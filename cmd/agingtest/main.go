@@ -1,0 +1,172 @@
+// Command agingtest runs the long-term SRAM PUF assessment campaign — the
+// simulated counterpart of the paper's two-year measurement — and prints
+// Table I plus the monthly metric series.
+//
+// The default configuration is a quick demonstration (4 devices, 6
+// months, 200-measurement windows, direct sampling). The paper's full
+// campaign is:
+//
+//	agingtest -devices 16 -months 24 -window 1000
+//
+// With -archive FILE the campaign runs through the full rig simulation
+// (masters, power switch, I2C, Raspberry Pi) and streams every archived
+// measurement record as JSON lines, the format cmd/evaluate consumes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/report"
+	"repro/internal/silicon"
+	"repro/internal/store"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "agingtest:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	devices := flag.Int("devices", 4, "boards under test (paper: 16)")
+	months := flag.Int("months", 6, "campaign length in months (paper: 24)")
+	window := flag.Int("window", 200, "measurements per monthly window (paper: 1000)")
+	seed := flag.Uint64("seed", 20170208, "campaign seed")
+	useHarness := flag.Bool("harness", false, "route windows through the full rig simulation")
+	i2cErr := flag.Float64("i2c-error", 0, "I2C byte corruption rate (harness path)")
+	csvDir := flag.String("csv", "", "directory for Fig. 6 series CSV export")
+	archive := flag.String("archive", "", "write a JSON-lines measurement archive (forces -harness)")
+	flag.Parse()
+
+	profile, err := silicon.ATmega32u4()
+	if err != nil {
+		return err
+	}
+
+	if *archive != "" {
+		return collectArchive(profile, *devices, *months, *window, *seed, *i2cErr, *archive)
+	}
+
+	cfg := core.Config{
+		Profile:      profile,
+		Devices:      *devices,
+		Months:       *months,
+		WindowSize:   *window,
+		Seed:         *seed,
+		UseHarness:   *useHarness,
+		I2CErrorRate: *i2cErr,
+	}
+	camp, err := core.NewCampaign(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("running campaign: %d devices, %d months, %d-measurement windows (harness=%v)\n",
+		cfg.Devices, cfg.Months, cfg.WindowSize, cfg.UseHarness)
+	res, err := camp.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(report.RenderTableI(res.Table))
+	fmt.Println()
+
+	wchd := res.Series(func(d core.DeviceMonth) float64 { return d.WCHD })
+	plot, err := report.LinePlot("Fig. 6a — WCHD development (one line per device)", wchd, res.MonthLabels(), 12)
+	if err != nil {
+		return err
+	}
+	fmt.Println(plot)
+
+	if *csvDir != "" {
+		if err := exportCSVs(res, *csvDir); err != nil {
+			return err
+		}
+		fmt.Println("series CSVs written to", *csvDir)
+	}
+	return nil
+}
+
+func exportCSVs(res *core.Results, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	labels := res.MonthLabels()
+	headers := make([]string, len(res.Monthly[0].Devices))
+	for d := range headers {
+		headers[d] = fmt.Sprintf("board%d", d)
+	}
+	series := map[string][][]float64{
+		"fig6a_wchd.csv":          res.Series(func(d core.DeviceMonth) float64 { return d.WCHD }),
+		"fig6b_hw.csv":            res.Series(func(d core.DeviceMonth) float64 { return d.FHW }),
+		"fig6c_noise_entropy.csv": res.Series(func(d core.DeviceMonth) float64 { return d.NoiseHmin }),
+		"stable_cells.csv":        res.Series(func(d core.DeviceMonth) float64 { return d.StableRatio }),
+	}
+	for name, s := range series {
+		if err := writeCSV(filepath.Join(dir, name), labels, headers, s); err != nil {
+			return err
+		}
+	}
+	return writeCSV(filepath.Join(dir, "fig6d_puf_entropy.csv"), labels,
+		[]string{"puf_entropy"}, [][]float64{res.PUFEntropySeries()})
+}
+
+func writeCSV(path string, labels, headers []string, series [][]float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := report.WriteSeriesCSV(f, "month", labels, headers, series); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// collectArchive runs monthly windows through the full rig and streams
+// the Raspberry Pi's records to a JSON-lines file.
+func collectArchive(profile silicon.DeviceProfile, devices, months, window int, seed uint64, i2cErr float64, path string) error {
+	if devices%2 != 0 {
+		return fmt.Errorf("harness path needs an even device count, got %d", devices)
+	}
+	hcfg := harness.DefaultConfig(profile, seed)
+	hcfg.SlavesPerLayer = devices / 2
+	hcfg.I2CErrorRate = i2cErr
+	rig, err := harness.New(hcfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	const cyclesPerMonth = uint64(30.44 * 24 * 3600 / 5.4)
+	for m := 0; m <= months; m++ {
+		for _, a := range rig.Arrays() {
+			if err := a.AgeTo(float64(m)); err != nil {
+				return err
+			}
+		}
+		rig.Archive().Reset()
+		rig.SetCycleBase(uint64(m) * cyclesPerMonth)
+		rig.SetSeqBase(uint64(m) * cyclesPerMonth)
+		if err := rig.RunWindow(window, store.MonthlyWindowStart(m)); err != nil {
+			return err
+		}
+		if err := rig.Archive().WriteArchiveJSONL(f); err != nil {
+			return err
+		}
+		fmt.Printf("month %2d (%s): %d records archived\n", m, store.MonthLabel(m), rig.Archive().Len())
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Println("archive written to", path)
+	return nil
+}

@@ -1,0 +1,170 @@
+// Command evaluate replays the paper's offline analysis: it reads a
+// JSON-lines measurement archive (as produced by agingtest -archive, or
+// by a real Raspberry-Pi-backed rig using the same schema), selects the
+// monthly evaluation windows, and computes every Table I metric.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/entropy"
+	"repro/internal/metrics"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/store"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "evaluate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	path := flag.String("archive", "", "JSON-lines measurement archive (required)")
+	window := flag.Int("window", 200, "measurements per monthly evaluation window")
+	flag.Parse()
+	if *path == "" {
+		flag.Usage()
+		return fmt.Errorf("missing -archive")
+	}
+	f, err := os.Open(*path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	archive, err := store.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	boards := archive.Boards()
+	if len(boards) < 2 {
+		return fmt.Errorf("archive has %d boards; need >= 2 for uniqueness metrics", len(boards))
+	}
+	fmt.Printf("archive: %d records from %d boards\n\n", archive.Len(), len(boards))
+
+	// Discover which monthly windows are present.
+	var monthsPresent []int
+	for m := 0; m <= 600; m++ {
+		start := store.MonthlyWindowStart(m)
+		if start.After(lastWall(archive, boards)) {
+			break
+		}
+		if _, err := archive.Window(boards[0], start, *window); err == nil {
+			monthsPresent = append(monthsPresent, m)
+		}
+	}
+	if len(monthsPresent) == 0 {
+		return fmt.Errorf("no complete %d-measurement monthly window found", *window)
+	}
+
+	refs := make(map[int]*bitvec.Vector)
+	var evals []core.MonthEval
+	for _, m := range monthsPresent {
+		start := store.MonthlyWindowStart(m)
+		eval := core.MonthEval{Month: m, Label: store.MonthLabel(m)}
+		var firsts []*bitvec.Vector
+		for _, b := range boards {
+			recs, err := archive.Window(b, start, *window)
+			if err != nil {
+				return fmt.Errorf("board %d month %d: %w", b, m, err)
+			}
+			patterns := store.Patterns(recs)
+			if refs[b] == nil {
+				refs[b] = patterns[0].Clone()
+			}
+			wc, err := metrics.WithinClassHD(refs[b], patterns)
+			if err != nil {
+				return err
+			}
+			fw, err := metrics.FractionalHW(patterns)
+			if err != nil {
+				return err
+			}
+			probs, err := entropy.OneProbabilities(patterns)
+			if err != nil {
+				return err
+			}
+			noise, err := entropy.NoiseMinEntropy(probs)
+			if err != nil {
+				return err
+			}
+			stable, err := entropy.StableCellRatio(probs)
+			if err != nil {
+				return err
+			}
+			eval.Devices = append(eval.Devices, core.DeviceMonth{
+				WCHD: wc.Mean, FHW: fw.Mean, NoiseHmin: noise, StableRatio: stable,
+			})
+			firsts = append(firsts, patterns[0])
+		}
+		bc, err := metrics.BetweenClassHD(firsts)
+		if err != nil {
+			return err
+		}
+		eval.BCHDMean, eval.BCHDMin, eval.BCHDMax = bc.Mean, bc.Min, bc.Max
+		puf, err := entropy.PUFMinEntropy(firsts)
+		if err != nil {
+			return err
+		}
+		eval.PUFHmin = puf
+		evals = append(evals, eval)
+
+		fmt.Printf("%s: WCHD %.3f%%  HW %.2f%%  stable %.2f%%  Hnoise %.3f%%  BCHD %.2f%%  Hpuf %.2f%%\n",
+			eval.Label,
+			100*eval.Avg(func(d core.DeviceMonth) float64 { return d.WCHD }),
+			100*eval.Avg(func(d core.DeviceMonth) float64 { return d.FHW }),
+			100*eval.Avg(func(d core.DeviceMonth) float64 { return d.StableRatio }),
+			100*eval.Avg(func(d core.DeviceMonth) float64 { return d.NoiseHmin }),
+			100*eval.BCHDMean, 100*eval.PUFHmin)
+	}
+
+	if len(evals) >= 2 {
+		first, last := evals[0], evals[len(evals)-1]
+		span := last.Month - first.Month
+		fmt.Println()
+		fmt.Printf("Table I summary over months %d..%d:\n\n", first.Month, last.Month)
+		table := buildTable(first, last, span)
+		fmt.Print(report.RenderTableI(table))
+	}
+	return nil
+}
+
+func lastWall(a *store.Archive, boards []int) time.Time {
+	var last time.Time
+	for _, b := range boards {
+		recs := a.Records(b)
+		if len(recs) > 0 && recs[len(recs)-1].Wall.After(last) {
+			last = recs[len(recs)-1].Wall
+		}
+	}
+	return last
+}
+
+// buildTable mirrors core's table assembly for archive-driven evaluation.
+func buildTable(start, end core.MonthEval, months int) core.TableI {
+	var t core.TableI
+	q := func(s, e float64) core.Quality {
+		return core.Quality{Start: s, End: e,
+			Relative: stats.RelativeChange(s, e), Monthly: stats.MonthlyChange(s, e, months)}
+	}
+	pair := func(f func(core.DeviceMonth) float64, lowIsWorst bool) core.QualityPair {
+		return core.QualityPair{
+			Avg: q(start.Avg(f), end.Avg(f)),
+			WC:  q(start.Worst(f, lowIsWorst), end.Worst(f, lowIsWorst)),
+		}
+	}
+	t.WCHD = pair(func(d core.DeviceMonth) float64 { return d.WCHD }, false)
+	t.HW = pair(func(d core.DeviceMonth) float64 { return d.FHW }, false)
+	t.StableCells = pair(func(d core.DeviceMonth) float64 { return d.StableRatio }, false)
+	t.NoiseEntropy = pair(func(d core.DeviceMonth) float64 { return d.NoiseHmin }, true)
+	t.BCHD = core.QualityPair{Avg: q(start.BCHDMean, end.BCHDMean), WC: q(start.BCHDMin, end.BCHDMin)}
+	t.PUFEntropy = q(start.PUFHmin, end.PUFHmin)
+	return t
+}

@@ -1,0 +1,128 @@
+// Command trnggen generates random bytes from the simulated SRAM-PUF TRNG
+// (paper §II-A2, ref [12]) and optionally assesses the output with the SP
+// 800-90B min-entropy estimators and the SP 800-22 randomness battery.
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+	"repro/internal/silicon"
+	"repro/internal/sp80022"
+	"repro/internal/sp80090b"
+	"repro/internal/sram"
+	"repro/internal/trng"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "trnggen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	nBytes := flag.Int("bytes", 64, "random bytes to generate")
+	seed := flag.Uint64("seed", 1, "simulated chip seed")
+	format := flag.String("format", "hex", "output format: hex or raw")
+	assess := flag.Bool("assess", false, "run SP 800-90B min-entropy estimators on the conditioned output")
+	raw := flag.Bool("assess-raw", false, "also assess the RAW (unconditioned) SRAM noise source")
+	battery := flag.Bool("battery", false, "run the SP 800-22 randomness battery on the conditioned output")
+	flag.Parse()
+	if *nBytes < 1 {
+		return fmt.Errorf("need -bytes >= 1")
+	}
+
+	profile, err := silicon.ATmega32u4()
+	if err != nil {
+		return err
+	}
+	chip, err := sram.New(profile, rng.New(*seed))
+	if err != nil {
+		return err
+	}
+	gen, err := trng.New(chip.PowerUpWindow, trng.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	out := make([]byte, *nBytes)
+	if _, err := io.ReadFull(gen, out); err != nil {
+		return err
+	}
+	switch *format {
+	case "hex":
+		fmt.Println(hex.EncodeToString(out))
+	case "raw":
+		if _, err := os.Stdout.Write(out); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	fmt.Fprintf(os.Stderr, "consumed %d power-up patterns for %d bytes\n", gen.Patterns(), gen.Emitted())
+
+	if *assess || *battery {
+		// Use a fresh, larger sample for assessment.
+		sample := make([]byte, 16384)
+		if _, err := io.ReadFull(gen, sample); err != nil {
+			return err
+		}
+		if *assess {
+			a, err := sp80090b.Assess(sp80090b.BytesToBits(sample))
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "\nSP 800-90B min-entropy estimates (conditioned output, bits/bit):\n")
+			fmt.Fprintf(os.Stderr, "  MCV %.3f  Collision %.3f  Markov %.3f  Compression %.3f  t-Tuple %.3f  LRS %.3f\n",
+				a.MCV, a.Collision, a.Markov, a.Compression, a.TTuple, a.LRS)
+			fmt.Fprintf(os.Stderr, "  overall: %.3f\n", a.Min)
+		}
+		if *battery {
+			v, err := bitvec.FromBytes(sample, len(sample)*8)
+			if err != nil {
+				return err
+			}
+			results, err := sp80022.Battery(v)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "\nSP 800-22 battery (alpha = %.2f):\n", sp80022.Alpha)
+			for _, r := range results {
+				status := "PASS"
+				if !r.Pass {
+					status = "FAIL"
+				}
+				fmt.Fprintf(os.Stderr, "  %-28s p=%.4f  %s\n", r.Name, r.PValue, status)
+			}
+			passed, total := sp80022.PassCount(results)
+			fmt.Fprintf(os.Stderr, "  %d/%d passed\n", passed, total)
+		}
+	}
+
+	if *raw {
+		// Assess the raw source: concatenated power-up windows, which carry
+		// the measured ~3% noise min-entropy only in their unstable cells
+		// (and heavy bias), demonstrating WHY conditioning is mandatory.
+		var bits []uint8
+		for len(bits) < 200000 {
+			w, err := chip.PowerUpWindow()
+			if err != nil {
+				return err
+			}
+			for i := 0; i < w.Len(); i++ {
+				bits = append(bits, uint8(w.Bit(i)))
+			}
+		}
+		mcv, err := sp80090b.MostCommonValue(bits)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "\nraw source MCV min-entropy: %.3f bits/bit (bias alone; conditioning required)\n", mcv)
+	}
+	return nil
+}

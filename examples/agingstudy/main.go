@@ -1,0 +1,65 @@
+// Agingstudy: a reduced end-to-end replica of the paper's evaluation —
+// a multi-device campaign with monthly windows, the Table I summary, the
+// Fig. 6a reliability trend, and the nominal-vs-accelerated comparison
+// that is the paper's headline conclusion (§V).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sramaging "repro"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+func main() {
+	cfg, err := sramaging.DefaultCampaign()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Reduced scale so the example runs in seconds; scale the three
+	// numbers up to (16, 24, 1000) for the paper's full campaign.
+	cfg.Devices = 6
+	cfg.Months = 12
+	cfg.WindowSize = 300
+
+	fmt.Printf("campaign: %d devices, %d months, %d-measurement monthly windows\n\n",
+		cfg.Devices, cfg.Months, cfg.WindowSize)
+	res, err := sramaging.RunCampaign(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(sramaging.RenderTableI(res.Table))
+
+	plot, err := report.LinePlot("\nWCHD development (one line per device)",
+		res.Series(func(d core.DeviceMonth) float64 { return d.WCHD }), res.MonthLabels(), 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(plot)
+
+	// Nominal vs accelerated comparison (model trajectories).
+	nominal, err := sramaging.ATmega32u4()
+	if err != nil {
+		log.Fatal(err)
+	}
+	accel, err := sramaging.CMOS65nmAccelerated()
+	if err != nil {
+		log.Fatal(err)
+	}
+	tn, err := sramaging.PredictedWCHDTrajectory(nominal, 24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ta, err := sramaging.PredictedWCHDTrajectory(accel, 24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rn := stats.MonthlyChange(tn[0], tn[24], 24)
+	ra := stats.MonthlyChange(ta[0], ta[24], 24)
+	fmt.Printf("WCHD monthly growth: nominal %+.2f%%/mo vs accelerated %+.2f%%/mo\n", 100*rn, 100*ra)
+	fmt.Printf("paper:               nominal +0.74%%/mo vs accelerated +1.28%%/mo\n")
+	fmt.Println("-> accelerated aging overestimates reliability degradation, the paper's central claim.")
+}

@@ -1,0 +1,69 @@
+// Keygeneration: the paper's §II-A1 application. A key is enrolled from a
+// fresh chip's power-up pattern, then the chip is aged month by month
+// across the full two-year campaign and the key is reconstructed from a
+// single noisy power-up at every step — demonstrating that despite the
+// WCHD growth from 2.49% to ~2.97%, the helper-data scheme keeps
+// reconstructing the identical key with margin.
+package main
+
+import (
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"log"
+
+	sramaging "repro"
+	"repro/internal/rng"
+)
+
+func main() {
+	profile, err := sramaging.ATmega32u4()
+	if err != nil {
+		log.Fatal(err)
+	}
+	chip, err := sramaging.NewChip(profile, 2017)
+	if err != nil {
+		log.Fatal(err)
+	}
+	extractor, err := sramaging.NewKeyExtractor()
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := extractor.ResponseBits()
+	fmt.Printf("scheme: %s over %d response bits\n", extractor.Code().Name(), n)
+
+	// Enrollment at month 0 (device leaves the factory).
+	enrollPattern, err := chip.PowerUpWindow()
+	if err != nil {
+		log.Fatal(err)
+	}
+	key, helper, err := extractor.Enroll(enrollPattern.Slice(0, n), rng.New(99))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("enrolled key: %s...\n\n", hex.EncodeToString(key[:8]))
+
+	// Reconstruction across the aging campaign.
+	fmt.Println("month | BER vs enrollment | reconstructed")
+	for _, month := range []float64{0, 3, 6, 9, 12, 15, 18, 21, 24} {
+		if err := chip.AgeTo(month); err != nil {
+			log.Fatal(err)
+		}
+		w, err := chip.PowerUpWindow()
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp := w.Slice(0, n)
+		ber, err := resp.FractionalHammingDistance(enrollPattern.Slice(0, n))
+		if err != nil {
+			log.Fatal(err)
+		}
+		got, err := extractor.Reconstruct(resp, helper)
+		ok := err == nil && bytes.Equal(got, key)
+		fmt.Printf("%5.0f | %16.2f%% | %v\n", month, 100*ber, ok)
+		if !ok {
+			log.Fatalf("month %.0f: key reconstruction failed: %v", month, err)
+		}
+	}
+	fmt.Println("\nkey remained recoverable across the full two-year aging span.")
+}

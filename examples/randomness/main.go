@@ -1,0 +1,93 @@
+// Randomness: the paper's §II-A2 application. The unstable SRAM cells
+// supply ~3% noise min-entropy per power-up bit (Table I); a conditioned
+// TRNG built on them must produce full-entropy output. This example
+// generates random bytes before and after two years of aging and verifies
+// that the aged source is, as the paper concludes, a slightly BETTER
+// entropy source.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+
+	sramaging "repro"
+	"repro/internal/bitvec"
+	"repro/internal/entropy"
+	"repro/internal/sp80022"
+	"repro/internal/sp80090b"
+)
+
+func main() {
+	profile, err := sramaging.ATmega32u4()
+	if err != nil {
+		log.Fatal(err)
+	}
+	chip, err := sramaging.NewChip(profile, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	measureNoise := func(label string) float64 {
+		var window []*bitvec.Vector
+		for i := 0; i < 200; i++ {
+			w, err := chip.PowerUpWindow()
+			if err != nil {
+				log.Fatal(err)
+			}
+			window = append(window, w)
+		}
+		probs, err := entropy.OneProbabilities(window)
+		if err != nil {
+			log.Fatal(err)
+		}
+		h, err := entropy.NoiseMinEntropy(probs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stable, err := entropy.StableCellRatio(probs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: noise min-entropy %.3f%% per bit, stable cells %.1f%%\n", label, 100*h, 100*stable)
+		return h
+	}
+
+	fresh := measureNoise("fresh chip      ")
+	if err := chip.AgeTo(24); err != nil {
+		log.Fatal(err)
+	}
+	aged := measureNoise("after 24 months ")
+	if aged > fresh {
+		fmt.Println("-> aging improved the entropy source, as the paper reports (+19.3%)")
+	}
+
+	// Conditioned TRNG output assessment.
+	gen, err := sramaging.NewTRNG(chip)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sample := make([]byte, 8192)
+	if _, err := io.ReadFull(gen, sample); err != nil {
+		log.Fatal(err)
+	}
+	a, err := sp80090b.Assess(sp80090b.BytesToBits(sample))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nconditioned output SP 800-90B min-entropy: %.3f bits/bit (min over 6 estimators)\n", a.Min)
+
+	v, err := bitvec.FromBytes(sample, len(sample)*8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := sp80022.Battery(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	passed, total := sp80022.PassCount(results)
+	fmt.Printf("SP 800-22 battery: %d/%d tests passed\n", passed, total)
+	for _, r := range results {
+		fmt.Printf("  %-28s p=%.4f\n", r.Name, r.PValue)
+	}
+}

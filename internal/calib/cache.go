@@ -1,0 +1,63 @@
+package calib
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// cacheVersion invalidates on-disk results when the model changes.
+const cacheVersion = 3
+
+// cachePath returns the per-configuration cache file location. The cache
+// lives in the OS temp directory so repeated runs (tests, benches, CLIs)
+// skip the numeric solve; deleting the file is always safe.
+func cachePath(t Targets, windowSize, devices int) string {
+	name := fmt.Sprintf("sram-puf-calib-v%d-%g-%g-%g-%g-%d-%d-%d.json",
+		cacheVersion, t.WCHDStart, t.WCHDEnd, t.FHW, t.NoiseRelChange, t.Months, windowSize, devices)
+	return filepath.Join(os.TempDir(), name)
+}
+
+// cachedResult is the serialised form, embedding the inputs for a
+// consistency check at load time.
+type cachedResult struct {
+	Targets    Targets
+	WindowSize int
+	Devices    int
+	Result     Result
+}
+
+// CachedCalibrate behaves like Calibrate but memoises the result on disk.
+// A corrupt, stale or foreign cache file is ignored and recomputed; cache
+// write failures are non-fatal (the result is still returned).
+func CachedCalibrate(t Targets, windowSize, devices int) (Result, error) {
+	path := cachePath(t, windowSize, devices)
+	if data, err := os.ReadFile(path); err == nil {
+		var c cachedResult
+		if json.Unmarshal(data, &c) == nil &&
+			c.Targets == t && c.WindowSize == windowSize && c.Devices == devices &&
+			c.Result.Lambda > 0 {
+			return c.Result, nil
+		}
+	}
+	res, err := Calibrate(t, windowSize, devices)
+	if err != nil {
+		return Result{}, err
+	}
+	if data, err := json.MarshalIndent(cachedResult{t, windowSize, devices, res}, "", " "); err == nil {
+		// Atomic publish: write a temp file, then rename. Concurrent
+		// writers race benignly (identical content).
+		tmp, err := os.CreateTemp(filepath.Dir(path), ".calib-*")
+		if err == nil {
+			name := tmp.Name()
+			if _, werr := tmp.Write(data); werr == nil && tmp.Close() == nil {
+				_ = os.Rename(name, path)
+			} else {
+				tmp.Close()
+				_ = os.Remove(name)
+			}
+		}
+	}
+	return res, nil
+}

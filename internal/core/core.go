@@ -1,0 +1,469 @@
+// Package core implements the paper's contribution: the long-term
+// continuous assessment of SRAM PUFs as key-generation primitives and as
+// entropy sources (§IV).
+//
+// A Campaign reproduces the two-year test: 16 ATmega32u4 boards, monthly
+// evaluation windows of 1,000 consecutive measurements starting at
+// midnight on the 8th of each month, and the full metric pipeline —
+// within-class Hamming distance (reliability), Hamming weight (bias),
+// between-class Hamming distance and PUF min-entropy (uniqueness),
+// stable-cell ratio and noise min-entropy (randomness). Its results
+// regenerate Table I and Figs. 4, 5 and 6 of the paper.
+//
+// Two execution paths produce bit-identical measurements (verified by
+// tests): the full rig simulation of package harness (power switch, boot,
+// I2C, Raspberry Pi archive) and a direct sampling path that skips the
+// rig and draws power-up windows straight from the SRAM arrays. The
+// direct path exists because a full-fidelity 175-million-measurement
+// campaign is not something anyone wants to event-step through for every
+// figure; the windows the paper evaluates are simulated measurement by
+// measurement either way, and aging between windows is advanced
+// analytically in both paths.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/bitvec"
+	"repro/internal/calib"
+	"repro/internal/entropy"
+	"repro/internal/harness"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/silicon"
+	"repro/internal/sram"
+	"repro/internal/stats"
+	"repro/internal/store"
+)
+
+// Config parameterises a campaign.
+type Config struct {
+	Profile    silicon.DeviceProfile
+	Devices    int // boards under test (16 in the paper)
+	Months     int // campaign length; evaluations run at months 0..Months
+	WindowSize int // measurements per evaluation window (1,000 in the paper)
+	Seed       uint64
+
+	// UseHarness routes every evaluation window through the full rig
+	// simulation (masters, power switch, I2C, Pi). The direct path is
+	// bit-identical and faster; the harness path exists to exercise and
+	// validate the full measurement chain.
+	UseHarness   bool
+	I2CErrorRate float64 // only meaningful with UseHarness
+
+	// Workers bounds evaluation parallelism on the direct path
+	// (0 = one goroutine per device).
+	Workers int
+}
+
+// DefaultConfig returns the paper's campaign: 16 devices, 24 months,
+// 1,000-measurement windows.
+func DefaultConfig() (Config, error) {
+	profile, err := silicon.ATmega32u4()
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		Profile:    profile,
+		Devices:    16,
+		Months:     24,
+		WindowSize: 1000,
+		Seed:       20170208,
+	}, nil
+}
+
+// Validate checks campaign parameters.
+func (c Config) Validate() error {
+	switch {
+	case c.Devices < 2:
+		return fmt.Errorf("core: need >= 2 devices for uniqueness metrics, got %d", c.Devices)
+	case c.Months < 1:
+		return fmt.Errorf("core: need >= 1 month, got %d", c.Months)
+	case c.WindowSize < 2:
+		return fmt.Errorf("core: need >= 2 measurements per window, got %d", c.WindowSize)
+	case c.UseHarness && c.Devices%2 != 0:
+		return fmt.Errorf("core: harness path needs an even device count (2 layers), got %d", c.Devices)
+	case c.I2CErrorRate < 0 || c.I2CErrorRate > 1:
+		return fmt.Errorf("core: I2C error rate %v", c.I2CErrorRate)
+	}
+	return c.Profile.Validate()
+}
+
+// DeviceMonth holds one device's metrics for one evaluation window.
+type DeviceMonth struct {
+	WCHD        float64 // mean FHD vs the device's month-0 reference
+	FHW         float64 // mean fractional Hamming weight over the window
+	NoiseHmin   float64 // empirical noise min-entropy
+	StableRatio float64 // fraction of cells with no flip in the window
+}
+
+// MonthEval aggregates one evaluation window across all devices.
+type MonthEval struct {
+	Month   int
+	Label   string // paper axis format, e.g. "17-Feb"
+	Devices []DeviceMonth
+
+	BCHDMean float64
+	BCHDMin  float64
+	BCHDMax  float64
+	PUFHmin  float64
+}
+
+// Avg returns the device average of a per-device metric.
+func (m MonthEval) Avg(f func(DeviceMonth) float64) float64 {
+	s := 0.0
+	for _, d := range m.Devices {
+		s += f(d)
+	}
+	return s / float64(len(m.Devices))
+}
+
+// Worst returns the application-worst value of a per-device metric:
+// highest WCHD/FHW/stable ratio, lowest noise entropy — matching the WC
+// rows of Table I.
+func (m MonthEval) Worst(f func(DeviceMonth) float64, lowIsWorst bool) float64 {
+	w := f(m.Devices[0])
+	for _, d := range m.Devices[1:] {
+		v := f(d)
+		if lowIsWorst && v < w || !lowIsWorst && v > w {
+			w = v
+		}
+	}
+	return w
+}
+
+// Quality is one Table I cell group: a metric at start and end of test
+// with its relative and monthly change.
+type Quality struct {
+	Start    float64
+	End      float64
+	Relative float64 // (end-start)/start
+	Monthly  float64 // geometric per-month rate
+}
+
+func quality(start, end float64, months int) Quality {
+	return Quality{
+		Start:    start,
+		End:      end,
+		Relative: stats.RelativeChange(start, end),
+		Monthly:  stats.MonthlyChange(start, end, months),
+	}
+}
+
+// QualityPair is an AVG row and a WC row.
+type QualityPair struct {
+	Avg Quality
+	WC  Quality
+}
+
+// TableI is the paper's summary table.
+type TableI struct {
+	WCHD         QualityPair
+	HW           QualityPair
+	StableCells  QualityPair
+	NoiseEntropy QualityPair
+	BCHD         QualityPair
+	PUFEntropy   Quality
+}
+
+// Results is the complete campaign outcome.
+type Results struct {
+	Config  Config
+	Monthly []MonthEval // index = month
+	Table   TableI
+	// References holds each device's month-0 reference pattern (the
+	// first-ever read-out), used by key-generation experiments.
+	References []*bitvec.Vector
+}
+
+// Campaign runs the long-term assessment.
+type Campaign struct {
+	cfg    Config
+	arrays []*sram.Array
+	rig    *harness.Rig // nil on the direct path
+	refs   []*bitvec.Vector
+}
+
+// NewCampaign builds the boards (and the rig, when configured).
+func NewCampaign(cfg Config) (*Campaign, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Campaign{cfg: cfg}
+	if cfg.UseHarness {
+		hcfg := harness.DefaultConfig(cfg.Profile, cfg.Seed)
+		hcfg.SlavesPerLayer = cfg.Devices / 2
+		hcfg.I2CErrorRate = cfg.I2CErrorRate
+		rig, err := harness.New(hcfg)
+		if err != nil {
+			return nil, err
+		}
+		c.rig = rig
+		c.arrays = rig.Arrays()
+	} else {
+		// Mirror the harness's seed derivation exactly so both paths
+		// produce identical chips and measurement streams.
+		root := rng.New(cfg.Seed)
+		for d := 0; d < cfg.Devices; d++ {
+			a, err := sram.New(cfg.Profile, root.Derive(uint64(d)+1))
+			if err != nil {
+				return nil, err
+			}
+			c.arrays = append(c.arrays, a)
+		}
+	}
+	return c, nil
+}
+
+// Arrays exposes the simulated chips (for extension experiments).
+func (c *Campaign) Arrays() []*sram.Array { return c.arrays }
+
+// Run executes the full campaign and assembles Table I.
+func (c *Campaign) Run() (*Results, error) {
+	res := &Results{Config: c.cfg}
+	for m := 0; m <= c.cfg.Months; m++ {
+		eval, err := c.evaluateMonth(m, res)
+		if err != nil {
+			return nil, fmt.Errorf("core: month %d: %w", m, err)
+		}
+		res.Monthly = append(res.Monthly, *eval)
+	}
+	res.Table = buildTable(res.Monthly[0], res.Monthly[c.cfg.Months], c.cfg.Months)
+	res.References = c.refs
+	return res, nil
+}
+
+// cyclesPerMonth approximates the power cycles a board accumulates per
+// month at the rig's 5.4 s period.
+const cyclesPerMonth = uint64(30.44 * 24 * 3600 / 5.4)
+
+// evaluateMonth ages every board to the month boundary, collects one
+// window of measurements per board and computes all metrics.
+func (c *Campaign) evaluateMonth(month int, res *Results) (*MonthEval, error) {
+	for _, a := range c.arrays {
+		if err := a.AgeTo(float64(month)); err != nil {
+			return nil, err
+		}
+	}
+	windows, err := c.collectWindows(month)
+	if err != nil {
+		return nil, err
+	}
+	if month == 0 {
+		c.refs = make([]*bitvec.Vector, len(windows))
+		for d := range windows {
+			if len(windows[d]) == 0 {
+				return nil, errors.New("core: empty window")
+			}
+			c.refs[d] = windows[d][0].Clone()
+		}
+	}
+
+	eval := &MonthEval{Month: month, Label: store.MonthLabel(month)}
+	eval.Devices = make([]DeviceMonth, len(windows))
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(windows))
+	for d := range windows {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			dm, err := evaluateDevice(c.refs[d], windows[d])
+			if err != nil {
+				errs[d] = err
+				return
+			}
+			eval.Devices[d] = dm
+		}(d)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Uniqueness metrics use the first measurement of each device's window
+	// (§IV-B2: "the first SRAM read-out data of the 1,000 consecutive
+	// measurements ... is used to calculate BCHD").
+	firsts := make([]*bitvec.Vector, len(windows))
+	for d := range windows {
+		firsts[d] = windows[d][0]
+	}
+	bc, err := metrics.BetweenClassHD(firsts)
+	if err != nil {
+		return nil, err
+	}
+	eval.BCHDMean, eval.BCHDMin, eval.BCHDMax = bc.Mean, bc.Min, bc.Max
+	puf, err := entropy.PUFMinEntropy(firsts)
+	if err != nil {
+		return nil, err
+	}
+	eval.PUFHmin = puf
+	return eval, nil
+}
+
+// collectWindows gathers one evaluation window per device, via the rig or
+// directly.
+func (c *Campaign) collectWindows(month int) ([][]*bitvec.Vector, error) {
+	wallStart := store.MonthlyWindowStart(month)
+	if c.rig != nil {
+		c.rig.Archive().Reset()
+		base := uint64(month) * cyclesPerMonth
+		c.rig.SetCycleBase(base)
+		c.rig.SetSeqBase(base)
+		if err := c.rig.RunWindow(c.cfg.WindowSize, wallStart); err != nil {
+			return nil, err
+		}
+		out := make([][]*bitvec.Vector, c.cfg.Devices)
+		for d := 0; d < c.cfg.Devices; d++ {
+			recs, err := c.rig.Archive().Window(d, wallStart, c.cfg.WindowSize)
+			if err != nil {
+				return nil, err
+			}
+			out[d] = store.Patterns(recs)
+		}
+		return out, nil
+	}
+
+	out := make([][]*bitvec.Vector, c.cfg.Devices)
+	var wg sync.WaitGroup
+	errs := make([]error, c.cfg.Devices)
+	sem := make(chan struct{}, workerLimit(c.cfg.Workers, c.cfg.Devices))
+	for d := 0; d < c.cfg.Devices; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ws := make([]*bitvec.Vector, c.cfg.WindowSize)
+			for i := range ws {
+				w, err := c.arrays[d].PowerUpWindow()
+				if err != nil {
+					errs[d] = err
+					return
+				}
+				ws[i] = w
+			}
+			out[d] = ws
+		}(d)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func workerLimit(workers, devices int) int {
+	if workers <= 0 || workers > devices {
+		return devices
+	}
+	return workers
+}
+
+// evaluateDevice computes the per-device window metrics.
+func evaluateDevice(ref *bitvec.Vector, window []*bitvec.Vector) (DeviceMonth, error) {
+	wc, err := metrics.WithinClassHD(ref, window)
+	if err != nil {
+		return DeviceMonth{}, err
+	}
+	fw, err := metrics.FractionalHW(window)
+	if err != nil {
+		return DeviceMonth{}, err
+	}
+	probs, err := entropy.OneProbabilities(window)
+	if err != nil {
+		return DeviceMonth{}, err
+	}
+	noise, err := entropy.NoiseMinEntropy(probs)
+	if err != nil {
+		return DeviceMonth{}, err
+	}
+	stable, err := entropy.StableCellRatio(probs)
+	if err != nil {
+		return DeviceMonth{}, err
+	}
+	return DeviceMonth{WCHD: wc.Mean, FHW: fw.Mean, NoiseHmin: noise, StableRatio: stable}, nil
+}
+
+// buildTable assembles Table I from the first and last evaluations.
+func buildTable(start, end MonthEval, months int) TableI {
+	var t TableI
+	get := func(f func(DeviceMonth) float64, lowIsWorst bool) QualityPair {
+		return QualityPair{
+			Avg: quality(start.Avg(f), end.Avg(f), months),
+			WC:  quality(start.Worst(f, lowIsWorst), end.Worst(f, lowIsWorst), months),
+		}
+	}
+	t.WCHD = get(func(d DeviceMonth) float64 { return d.WCHD }, false)
+	t.HW = get(func(d DeviceMonth) float64 { return d.FHW }, false)
+	t.StableCells = get(func(d DeviceMonth) float64 { return d.StableRatio }, false)
+	t.NoiseEntropy = get(func(d DeviceMonth) float64 { return d.NoiseHmin }, true)
+	t.BCHD = QualityPair{
+		Avg: quality(start.BCHDMean, end.BCHDMean, months),
+		WC:  quality(start.BCHDMin, end.BCHDMin, months),
+	}
+	t.PUFEntropy = quality(start.PUFHmin, end.PUFHmin, months)
+	return t
+}
+
+// Series extracts a per-device metric time series for the Fig. 6 plots:
+// one slice per device, indexed by month.
+func (r *Results) Series(f func(DeviceMonth) float64) [][]float64 {
+	if len(r.Monthly) == 0 {
+		return nil
+	}
+	out := make([][]float64, len(r.Monthly[0].Devices))
+	for d := range out {
+		s := make([]float64, len(r.Monthly))
+		for m := range r.Monthly {
+			s[m] = f(r.Monthly[m].Devices[d])
+		}
+		out[d] = s
+	}
+	return out
+}
+
+// PUFEntropySeries extracts the single cross-device PUF entropy series
+// (Fig. 6d).
+func (r *Results) PUFEntropySeries() []float64 {
+	out := make([]float64, len(r.Monthly))
+	for m := range r.Monthly {
+		out[m] = r.Monthly[m].PUFHmin
+	}
+	return out
+}
+
+// MonthLabels returns the x-axis labels of the monthly series.
+func (r *Results) MonthLabels() []string {
+	out := make([]string, len(r.Monthly))
+	for m := range r.Monthly {
+		out[m] = r.Monthly[m].Label
+	}
+	return out
+}
+
+// PredictedWCHDTrajectory returns the model's analytic WCHD-versus-month
+// expectation for a profile — the deterministic counterpart of a simulated
+// campaign, used for the nominal-vs-accelerated comparison figure and for
+// cross-validating simulation against theory.
+func PredictedWCHDTrajectory(profile silicon.DeviceProfile, months int) ([]float64, error) {
+	pop, err := calib.NewDispersedPopulation(profile.Lambda, profile.Mu, 1501, 9, profile.AgingDispersion, 17)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, months+1)
+	prevDrift := 0.0
+	for m := 0; m <= months; m++ {
+		drift := profile.Kinetics.CumulativeDrift(float64(m))
+		pop.Evolve(drift-prevDrift, 0.01)
+		prevDrift = drift
+		out[m] = pop.Predict(1000, 16).WCHD
+	}
+	return out, nil
+}

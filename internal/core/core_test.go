@@ -1,0 +1,302 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/silicon"
+)
+
+// smallConfig returns a reduced campaign that keeps test time in check:
+// 4 devices, 6 months, 120-measurement windows.
+func smallConfig(t *testing.T) Config {
+	t.Helper()
+	cfg, err := DefaultConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Devices = 4
+	cfg.Months = 6
+	cfg.WindowSize = 120
+	return cfg
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg, err := DefaultConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Devices != 16 || cfg.Months != 24 || cfg.WindowSize != 1000 {
+		t.Fatalf("default campaign %d devices, %d months, %d window; want 16/24/1000",
+			cfg.Devices, cfg.Months, cfg.WindowSize)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Devices = 1 },
+		func(c *Config) { c.Months = 0 },
+		func(c *Config) { c.WindowSize = 1 },
+		func(c *Config) { c.UseHarness = true; c.Devices = 5 },
+		func(c *Config) { c.I2CErrorRate = -1 },
+		func(c *Config) { c.Profile.Lambda = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := smallConfig(t)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestCampaignMonthlyStructure(t *testing.T) {
+	cfg := smallConfig(t)
+	camp, err := NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := camp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Monthly) != cfg.Months+1 {
+		t.Fatalf("monthly evaluations = %d, want %d", len(res.Monthly), cfg.Months+1)
+	}
+	if res.Monthly[0].Label != "17-Feb" {
+		t.Errorf("first label = %q", res.Monthly[0].Label)
+	}
+	for m, ev := range res.Monthly {
+		if ev.Month != m {
+			t.Fatalf("month %d has index %d", m, ev.Month)
+		}
+		if len(ev.Devices) != cfg.Devices {
+			t.Fatalf("month %d has %d devices", m, len(ev.Devices))
+		}
+	}
+	if len(res.References) != cfg.Devices {
+		t.Fatalf("references = %d", len(res.References))
+	}
+}
+
+func TestCampaignStartMetricsInPaperBands(t *testing.T) {
+	cfg := smallConfig(t)
+	cfg.Devices = 8
+	camp, err := NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := camp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0 := res.Monthly[0]
+	wchd := m0.Avg(func(d DeviceMonth) float64 { return d.WCHD })
+	if wchd < 0.018 || wchd > 0.032 {
+		t.Errorf("start WCHD = %v, paper 0.0249", wchd)
+	}
+	fhw := m0.Avg(func(d DeviceMonth) float64 { return d.FHW })
+	if fhw < 0.60 || fhw > 0.66 {
+		t.Errorf("start FHW = %v, paper 0.627", fhw)
+	}
+	if m0.BCHDMean < 0.43 || m0.BCHDMean > 0.50 {
+		t.Errorf("start BCHD = %v, paper 0.4679", m0.BCHDMean)
+	}
+	stable := m0.Avg(func(d DeviceMonth) float64 { return d.StableRatio })
+	if stable < 0.80 || stable > 0.92 {
+		t.Errorf("start stable ratio = %v, paper 0.859", stable)
+	}
+	noise := m0.Avg(func(d DeviceMonth) float64 { return d.NoiseHmin })
+	if noise < 0.02 || noise > 0.045 {
+		t.Errorf("start noise entropy = %v, paper 0.0305", noise)
+	}
+}
+
+func TestCampaignAgingDirections(t *testing.T) {
+	// Even a 6-month slice must show the paper's directions: WCHD up,
+	// noise entropy up, stable cells down, FHW/BCHD/PUF entropy flat.
+	cfg := smallConfig(t)
+	camp, err := NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := camp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := res.Table
+	if tb.WCHD.Avg.End <= tb.WCHD.Avg.Start {
+		t.Errorf("WCHD did not increase: %+v", tb.WCHD.Avg)
+	}
+	if tb.NoiseEntropy.Avg.End <= tb.NoiseEntropy.Avg.Start {
+		t.Errorf("noise entropy did not increase: %+v", tb.NoiseEntropy.Avg)
+	}
+	if tb.StableCells.Avg.End >= tb.StableCells.Avg.Start {
+		t.Errorf("stable cells did not decrease: %+v", tb.StableCells.Avg)
+	}
+	if math.Abs(tb.HW.Avg.End-tb.HW.Avg.Start) > 0.005 {
+		t.Errorf("HW moved: %+v", tb.HW.Avg)
+	}
+	if math.Abs(tb.BCHD.Avg.End-tb.BCHD.Avg.Start) > 0.01 {
+		t.Errorf("BCHD moved: %+v", tb.BCHD.Avg)
+	}
+	if math.Abs(tb.PUFEntropy.End-tb.PUFEntropy.Start) > 0.02 {
+		t.Errorf("PUF entropy moved: %+v", tb.PUFEntropy)
+	}
+}
+
+func TestWorstCaseOrdering(t *testing.T) {
+	cfg := smallConfig(t)
+	camp, err := NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := camp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := res.Table
+	// WC is pessimal: WCHD/HW/stable WC >= Avg, noise entropy WC <= Avg,
+	// BCHD WC <= Avg (matching Table I's conventions).
+	if tb.WCHD.WC.Start < tb.WCHD.Avg.Start {
+		t.Errorf("WCHD WC %v < avg %v", tb.WCHD.WC.Start, tb.WCHD.Avg.Start)
+	}
+	if tb.HW.WC.Start < tb.HW.Avg.Start {
+		t.Errorf("HW WC %v < avg %v", tb.HW.WC.Start, tb.HW.Avg.Start)
+	}
+	if tb.NoiseEntropy.WC.Start > tb.NoiseEntropy.Avg.Start {
+		t.Errorf("noise WC %v > avg %v", tb.NoiseEntropy.WC.Start, tb.NoiseEntropy.Avg.Start)
+	}
+	if tb.BCHD.WC.Start > tb.BCHD.Avg.Start {
+		t.Errorf("BCHD WC %v > avg %v", tb.BCHD.WC.Start, tb.BCHD.Avg.Start)
+	}
+}
+
+func TestHarnessAndDirectPathsAgree(t *testing.T) {
+	// The full rig and the direct sampler must produce bit-identical
+	// measurement streams (same seed derivation, no I2C errors).
+	cfg := smallConfig(t)
+	cfg.Devices = 2
+	cfg.Months = 1
+	cfg.WindowSize = 30
+	direct, err := NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resD, err := direct.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.UseHarness = true
+	viaRig, err := NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resH, err := viaRig.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range resD.References {
+		if !resD.References[d].Equal(resH.References[d]) {
+			t.Fatalf("device %d: references differ between paths", d)
+		}
+	}
+	for m := range resD.Monthly {
+		for d := range resD.Monthly[m].Devices {
+			dm, hm := resD.Monthly[m].Devices[d], resH.Monthly[m].Devices[d]
+			if math.Abs(dm.WCHD-hm.WCHD) > 1e-12 || math.Abs(dm.FHW-hm.FHW) > 1e-12 {
+				t.Fatalf("month %d device %d: paths disagree: %+v vs %+v", m, d, dm, hm)
+			}
+		}
+	}
+}
+
+func TestSeriesExtraction(t *testing.T) {
+	cfg := smallConfig(t)
+	cfg.Months = 2
+	camp, err := NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := camp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := res.Series(func(d DeviceMonth) float64 { return d.WCHD })
+	if len(series) != cfg.Devices {
+		t.Fatalf("series count = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s) != cfg.Months+1 {
+			t.Fatalf("series length = %d", len(s))
+		}
+	}
+	puf := res.PUFEntropySeries()
+	if len(puf) != cfg.Months+1 {
+		t.Fatalf("PUF series length = %d", len(puf))
+	}
+	labels := res.MonthLabels()
+	if labels[0] != "17-Feb" || labels[2] != "17-Apr" {
+		t.Fatalf("labels = %v", labels)
+	}
+}
+
+func TestPredictedWCHDTrajectory(t *testing.T) {
+	profile, err := silicon.ATmega32u4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj, err := PredictedWCHDTrajectory(profile, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj) != 25 {
+		t.Fatalf("trajectory length = %d", len(traj))
+	}
+	if math.Abs(traj[0]-0.0249) > 0.0005 {
+		t.Errorf("predicted start WCHD = %v", traj[0])
+	}
+	if math.Abs(traj[24]-0.0297) > 0.0008 {
+		t.Errorf("predicted end WCHD = %v", traj[24])
+	}
+	for m := 1; m < len(traj); m++ {
+		if traj[m] < traj[m-1]-1e-9 {
+			t.Fatalf("trajectory not monotone at month %d", m)
+		}
+	}
+}
+
+func TestNominalVsAcceleratedShape(t *testing.T) {
+	// The paper's headline comparison: accelerated aging overestimates the
+	// monthly WCHD growth (~1.28%/month) relative to nominal (~0.74%/month).
+	nom, err := silicon.ATmega32u4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := silicon.CMOS65nmAccelerated()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err := PredictedWCHDTrajectory(nom, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, err := PredictedWCHDTrajectory(acc, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rateNom := math.Pow(tn[24]/tn[0], 1.0/24) - 1
+	rateAcc := math.Pow(ta[24]/ta[0], 1.0/24) - 1
+	if math.Abs(rateNom-0.0074) > 0.002 {
+		t.Errorf("nominal monthly rate = %v, paper 0.0074", rateNom)
+	}
+	if math.Abs(rateAcc-0.0128) > 0.003 {
+		t.Errorf("accelerated monthly rate = %v, paper 0.0128", rateAcc)
+	}
+	if rateAcc <= rateNom {
+		t.Error("accelerated aging should degrade reliability faster than nominal")
+	}
+}

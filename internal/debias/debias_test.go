@@ -1,0 +1,166 @@
+package debias
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+func biasedVector(src *rng.Source, n int, p float64) *bitvec.Vector {
+	v := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		v.Set(i, src.Bernoulli(p))
+	}
+	return v
+}
+
+func TestClassicVonNeumannRemovesBias(t *testing.T) {
+	src := rng.New(1)
+	in := biasedVector(src, 200000, 0.627) // the paper's measured bias
+	out := ClassicVonNeumann(in)
+	if out.Len() == 0 {
+		t.Fatal("no output")
+	}
+	fhw := out.FractionalHammingWeight()
+	tol := 5 / math.Sqrt(float64(out.Len()))
+	if math.Abs(fhw-0.5) > tol {
+		t.Fatalf("CVN output bias = %v (n=%d)", fhw, out.Len())
+	}
+	// Yield should be near p(1-p) = 0.2338 output bits per input bit... per pair:
+	yield := float64(out.Len()) / float64(in.Len())
+	want := ExpectedCVNYield(0.627)
+	if math.Abs(yield-want) > 0.01 {
+		t.Fatalf("CVN yield = %v, want ~%v", yield, want)
+	}
+}
+
+func TestClassicVonNeumannDeterministicPairs(t *testing.T) {
+	// 01 -> 0? Convention: emits the SECOND bit of a discordant pair:
+	// pair (0,1) emits 1, pair (1,0) emits 0.
+	in := bitvec.FromBools([]bool{false, true, true, false, true, true, false, false})
+	out := ClassicVonNeumann(in)
+	if out.Len() != 2 {
+		t.Fatalf("output length = %d, want 2", out.Len())
+	}
+	if !out.Get(0) || out.Get(1) {
+		t.Fatalf("output = %v, want 10", out)
+	}
+}
+
+func TestClassicVonNeumannOddLength(t *testing.T) {
+	in := bitvec.FromBools([]bool{false, true, true}) // trailing bit ignored
+	out := ClassicVonNeumann(in)
+	if out.Len() != 1 {
+		t.Fatalf("output length = %d", out.Len())
+	}
+}
+
+func TestExpectedCVNYield(t *testing.T) {
+	if ExpectedCVNYield(0.5) != 0.25 {
+		t.Fatal("yield at p=0.5 should be 0.25")
+	}
+	if ExpectedCVNYield(0) != 0 || ExpectedCVNYield(1) != 0 {
+		t.Fatal("degenerate yield should be 0")
+	}
+}
+
+func TestPeresBeatsCVNYield(t *testing.T) {
+	src := rng.New(2)
+	in := biasedVector(src, 100000, 0.627)
+	cvn := ClassicVonNeumann(in)
+	peres3, err := Peres(in, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peres3.Len() <= cvn.Len() {
+		t.Fatalf("Peres depth 3 yield %d <= CVN yield %d", peres3.Len(), cvn.Len())
+	}
+	// Output still unbiased.
+	fhw := peres3.FractionalHammingWeight()
+	tol := 5 / math.Sqrt(float64(peres3.Len()))
+	if math.Abs(fhw-0.5) > tol {
+		t.Fatalf("Peres output bias = %v", fhw)
+	}
+}
+
+func TestPeresDepthOneEqualsCVN(t *testing.T) {
+	src := rng.New(3)
+	in := biasedVector(src, 10000, 0.7)
+	cvn := ClassicVonNeumann(in)
+	p1, err := Peres(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p1.Equal(cvn) {
+		t.Fatal("Peres depth 1 differs from classic von Neumann")
+	}
+	if _, err := Peres(in, 0); err == nil {
+		t.Fatal("depth 0 accepted")
+	}
+}
+
+func TestIndexSelection(t *testing.T) {
+	src := rng.New(4)
+	ref := biasedVector(src, 8192, 0.627)
+	sel, err := NewIndexSelection(ref, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.OutputLen() != 2000 {
+		t.Fatalf("output length = %d", sel.OutputLen())
+	}
+	// Applied to the reference itself the output is perfectly balanced.
+	out, err := sel.Apply(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FractionalHammingWeight() != 0.5 {
+		t.Fatalf("selection on reference has FHW %v, want exactly 0.5", out.FractionalHammingWeight())
+	}
+	// Indices are public helper data and must be within range and unique.
+	seen := map[int]bool{}
+	for _, idx := range sel.Indices() {
+		if idx < 0 || idx >= 8192 || seen[idx] {
+			t.Fatalf("bad index %d", idx)
+		}
+		seen[idx] = true
+	}
+}
+
+func TestIndexSelectionErrors(t *testing.T) {
+	ref := bitvec.FromBools([]bool{true, true, false})
+	if _, err := NewIndexSelection(ref, 2); err == nil {
+		t.Error("insufficient zeros accepted")
+	}
+	if _, err := NewIndexSelection(ref, 0); err == nil {
+		t.Error("zero pairs accepted")
+	}
+	sel, err := NewIndexSelection(ref, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sel.Apply(bitvec.New(5)); err == nil {
+		t.Error("wrong-length measurement accepted")
+	}
+}
+
+func TestBias(t *testing.T) {
+	v := bitvec.FromBools([]bool{true, true, true, false})
+	b, err := Bias(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 0.25 {
+		t.Fatalf("bias = %v, want 0.25", b)
+	}
+	low := bitvec.FromBools([]bool{false, false, false, true})
+	b, _ = Bias(low)
+	if b != 0.25 {
+		t.Fatalf("bias = %v, want 0.25 (symmetric)", b)
+	}
+	if _, err := Bias(bitvec.New(0)); err == nil {
+		t.Error("empty vector accepted")
+	}
+}

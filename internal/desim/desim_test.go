@@ -1,0 +1,190 @@
+package desim
+
+import (
+	"testing"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if Second != 1000000 || Millisecond != 1000 {
+		t.Fatal("time unit constants wrong")
+	}
+	if FromSeconds(5.4) != 5400000 {
+		t.Fatalf("FromSeconds(5.4) = %d", FromSeconds(5.4))
+	}
+	if got := Time(5400000).Seconds(); got != 5.4 {
+		t.Fatalf("Seconds = %v", got)
+	}
+	if s := Time(1500000).String(); s != "1.500000s" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	mustSchedule(t, s, 30*Millisecond, func() { order = append(order, 3) })
+	mustSchedule(t, s, 10*Millisecond, func() { order = append(order, 1) })
+	mustSchedule(t, s, 20*Millisecond, func() { order = append(order, 2) })
+	if _, err := s.RunAll(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 30*Millisecond {
+		t.Fatalf("final time = %v", s.Now())
+	}
+}
+
+func TestFIFOAtEqualTimes(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		mustSchedule(t, s, 5*Millisecond, func() { order = append(order, i) })
+	}
+	if _, err := s.RunAll(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	s := New()
+	if err := s.Schedule(-1, func() {}); err == nil {
+		t.Error("negative delay accepted")
+	}
+	if err := s.At(0, nil); err == nil {
+		t.Error("nil function accepted")
+	}
+	mustSchedule(t, s, 10, func() {})
+	s.Step()
+	if err := s.At(5, func() {}); err == nil {
+		t.Error("scheduling in the past accepted")
+	}
+}
+
+func TestSelfScheduling(t *testing.T) {
+	s := New()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			if err := s.Schedule(Second, tick); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	mustSchedule(t, s, 0, tick)
+	if _, err := s.RunAll(0); err != nil {
+		t.Fatal(err)
+	}
+	if count != 100 {
+		t.Fatalf("ticks = %d", count)
+	}
+	if s.Now() != 99*Second {
+		t.Fatalf("final time = %v", s.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		mustSchedule(t, s, Time(i)*Second, func() { fired++ })
+	}
+	s.Run(5 * Second)
+	if fired != 5 {
+		t.Fatalf("fired = %d, want 5", fired)
+	}
+	if s.Pending() != 5 {
+		t.Fatalf("pending = %d, want 5", s.Pending())
+	}
+	// Clock advances to the until time even with no event exactly there.
+	s.Run(7*Second + 500*Millisecond)
+	if s.Now() != 7*Second+500*Millisecond {
+		t.Fatalf("now = %v", s.Now())
+	}
+	if fired != 7 {
+		t.Fatalf("fired = %d, want 7", fired)
+	}
+}
+
+func TestRunAllBound(t *testing.T) {
+	s := New()
+	var loop func()
+	loop = func() {
+		if err := s.Schedule(1, loop); err != nil {
+			t.Error(err)
+		}
+	}
+	mustSchedule(t, s, 0, loop)
+	n, err := s.RunAll(1000)
+	if err == nil {
+		t.Fatal("runaway process not detected")
+	}
+	if n != 1000 {
+		t.Fatalf("executed %d events before bound", n)
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	s := New()
+	for i := 0; i < 7; i++ {
+		mustSchedule(t, s, Time(i), func() {})
+	}
+	if _, err := s.RunAll(0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Processed() != 7 {
+		t.Fatalf("Processed = %d", s.Processed())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	// An event scheduling another event at the same timestamp runs it in
+	// the same Run pass (FIFO after currently queued same-time events).
+	s := New()
+	var order []string
+	mustSchedule(t, s, 10, func() {
+		order = append(order, "outer")
+		if err := s.Schedule(0, func() { order = append(order, "inner") }); err != nil {
+			t.Error(err)
+		}
+	})
+	mustSchedule(t, s, 10, func() { order = append(order, "sibling") })
+	if _, err := s.RunAll(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"outer", "sibling", "inner"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func mustSchedule(t *testing.T, s *Simulator, d Time, fn func()) {
+	t.Helper()
+	if err := s.Schedule(d, fn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for j := 0; j < 100; j++ {
+			_ = s.Schedule(Time(j), func() {})
+		}
+		if _, err := s.RunAll(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

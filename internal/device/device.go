@@ -1,0 +1,271 @@
+// Package device models the boards of the measurement rig (§III, Fig. 2):
+// slave Arduino Leonardo boards that capture and serve their SRAM power-up
+// pattern, the power-switch board with its per-channel connections, and
+// the Raspberry Pi that archives incoming measurements.
+package device
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/bitvec"
+	"repro/internal/desim"
+	"repro/internal/sram"
+	"repro/internal/store"
+)
+
+// SlaveBoard is one Arduino Leonardo: an ATmega32u4 whose SRAM power-up
+// pattern is the measured PUF. It implements i2c.Slave: after boot it
+// serves the captured read-out window to its master.
+type SlaveBoard struct {
+	ID    int // global board index (paper: S0..S7 on layer 0, S16..S23 on layer 1)
+	Layer int
+	Addr  byte // I2C address on its layer bus
+
+	Array *sram.Array
+
+	BootDelay desim.Time // power-on to readout-ready
+
+	sim      *desim.Simulator
+	powered  bool
+	booted   bool
+	pattern  *bitvec.Vector // captured at the power-on edge
+	seq      uint64         // lifetime measurement counter
+	captures uint64
+}
+
+// NewSlaveBoard wires a slave board to the simulation clock.
+func NewSlaveBoard(sim *desim.Simulator, id, layer int, addr byte, array *sram.Array, bootDelay desim.Time) (*SlaveBoard, error) {
+	if sim == nil || array == nil {
+		return nil, errors.New("device: nil simulator or array")
+	}
+	if bootDelay < 0 {
+		return nil, fmt.Errorf("device: negative boot delay %v", bootDelay)
+	}
+	return &SlaveBoard{ID: id, Layer: layer, Addr: addr, Array: array, BootDelay: bootDelay, sim: sim}, nil
+}
+
+// Powered reports the current power state.
+func (s *SlaveBoard) Powered() bool { return s.powered }
+
+// Booted reports whether the board is ready to serve its pattern.
+func (s *SlaveBoard) Booted() bool { return s.booted }
+
+// Seq returns the lifetime measurement counter.
+func (s *SlaveBoard) Seq() uint64 { return s.seq }
+
+// SetSeq positions the lifetime measurement counter; the campaign driver
+// uses it to account for the power cycles elapsed between evaluation
+// windows that are fast-forwarded analytically.
+func (s *SlaveBoard) SetSeq(seq uint64) { s.seq = seq }
+
+// PowerOn latches the SRAM power-up state (the physical capture happens at
+// the supply rise) and schedules boot completion after BootDelay.
+func (s *SlaveBoard) PowerOn() error {
+	if s.powered {
+		return fmt.Errorf("device: board %d already powered", s.ID)
+	}
+	w, err := s.Array.PowerUpWindow()
+	if err != nil {
+		return fmt.Errorf("device: board %d: %w", s.ID, err)
+	}
+	s.pattern = w
+	s.seq++
+	s.captures++
+	s.powered = true
+	s.booted = false
+	return s.sim.Schedule(s.BootDelay, func() {
+		if s.powered {
+			s.booted = true
+		}
+	})
+}
+
+// PowerOff drops power; the captured pattern is lost (SRAM is volatile).
+func (s *SlaveBoard) PowerOff() error {
+	if !s.powered {
+		return fmt.Errorf("device: board %d already off", s.ID)
+	}
+	s.powered = false
+	s.booted = false
+	s.pattern = nil
+	return nil
+}
+
+// HandleRead implements i2c.Slave: it serves the captured pattern bytes.
+func (s *SlaveBoard) HandleRead(n int) ([]byte, error) {
+	if !s.powered {
+		return nil, fmt.Errorf("device: board %d is off", s.ID)
+	}
+	if !s.booted {
+		return nil, fmt.Errorf("device: board %d still booting", s.ID)
+	}
+	if s.pattern == nil {
+		return nil, fmt.Errorf("device: board %d has no capture", s.ID)
+	}
+	data := s.pattern.Bytes()
+	if n < len(data) {
+		data = data[:n]
+	}
+	return data, nil
+}
+
+// HandleWrite implements i2c.Slave; slaves accept no commands in this rig.
+func (s *SlaveBoard) HandleWrite(data []byte) error {
+	return fmt.Errorf("device: board %d accepts no writes (%d bytes)", s.ID, len(data))
+}
+
+// Pattern returns the currently captured pattern (nil when off).
+func (s *SlaveBoard) Pattern() *bitvec.Vector { return s.pattern }
+
+// Transition is one power-switch edge, the raw material of the Fig. 3
+// waveforms.
+type Transition struct {
+	Channel int // board ID
+	At      desim.Time
+	On      bool
+}
+
+// PowerSwitch is the relay board: one independently switched channel per
+// slave board ("separate connections between the power switch and each
+// slave board avoid interference", §III).
+type PowerSwitch struct {
+	sim      *desim.Simulator
+	channels map[int]*SlaveBoard
+	trace    []Transition
+	tracing  bool
+}
+
+// NewPowerSwitch creates a switch on the simulation clock.
+func NewPowerSwitch(sim *desim.Simulator) (*PowerSwitch, error) {
+	if sim == nil {
+		return nil, errors.New("device: nil simulator")
+	}
+	return &PowerSwitch{sim: sim, channels: make(map[int]*SlaveBoard)}, nil
+}
+
+// Connect wires a board to its channel.
+func (ps *PowerSwitch) Connect(board *SlaveBoard) error {
+	if board == nil {
+		return errors.New("device: nil board")
+	}
+	if _, dup := ps.channels[board.ID]; dup {
+		return fmt.Errorf("device: channel %d already connected", board.ID)
+	}
+	ps.channels[board.ID] = board
+	return nil
+}
+
+// SetTracing enables or disables waveform capture.
+func (ps *PowerSwitch) SetTracing(on bool) { ps.tracing = on }
+
+// Trace returns the captured transitions in chronological order.
+func (ps *PowerSwitch) Trace() []Transition { return ps.trace }
+
+// ResetTrace discards the captured transitions.
+func (ps *PowerSwitch) ResetTrace() { ps.trace = ps.trace[:0] }
+
+// Set switches one channel.
+func (ps *PowerSwitch) Set(channel int, on bool) error {
+	b, ok := ps.channels[channel]
+	if !ok {
+		return fmt.Errorf("device: no board on channel %d", channel)
+	}
+	var err error
+	if on {
+		err = b.PowerOn()
+	} else {
+		err = b.PowerOff()
+	}
+	if err != nil {
+		return err
+	}
+	if ps.tracing {
+		ps.trace = append(ps.trace, Transition{Channel: channel, At: ps.sim.Now(), On: on})
+	}
+	return nil
+}
+
+// RaspberryPi is the archive sink of the rig: master boards forward every
+// measurement to it and it appends them to the JSON store.
+type RaspberryPi struct {
+	Archive  *store.Archive
+	received uint64
+}
+
+// NewRaspberryPi returns a Pi with a fresh archive.
+func NewRaspberryPi() *RaspberryPi {
+	return &RaspberryPi{Archive: store.NewArchive()}
+}
+
+// Ingest archives one measurement.
+func (rp *RaspberryPi) Ingest(rec store.Record) error {
+	if err := rp.Archive.Append(rec); err != nil {
+		return fmt.Errorf("device: pi ingest: %w", err)
+	}
+	rp.received++
+	return nil
+}
+
+// Received returns the number of measurements archived over the Pi's
+// lifetime (across archive resets).
+func (rp *RaspberryPi) Received() uint64 { return rp.received }
+
+// WaveformSample reconstructs the power state of one channel at a given
+// time from a transition trace (false before the first edge).
+func WaveformSample(trace []Transition, channel int, at desim.Time) bool {
+	state := false
+	for _, tr := range trace {
+		if tr.Channel != channel {
+			continue
+		}
+		if tr.At > at {
+			break
+		}
+		state = tr.On
+	}
+	return state
+}
+
+// CyclePeriod estimates the power-cycle period of a channel from its
+// trace: the mean spacing between consecutive rising edges.
+func CyclePeriod(trace []Transition, channel int) (time.Duration, error) {
+	var rises []desim.Time
+	for _, tr := range trace {
+		if tr.Channel == channel && tr.On {
+			rises = append(rises, tr.At)
+		}
+	}
+	if len(rises) < 2 {
+		return 0, fmt.Errorf("device: channel %d has %d rising edges, need >= 2", channel, len(rises))
+	}
+	span := rises[len(rises)-1] - rises[0]
+	mean := float64(span) / float64(len(rises)-1)
+	return time.Duration(mean) * time.Microsecond, nil
+}
+
+// OnTime estimates the mean powered duration per cycle of a channel.
+func OnTime(trace []Transition, channel int) (time.Duration, error) {
+	var total desim.Time
+	var count int
+	var lastOn desim.Time
+	on := false
+	for _, tr := range trace {
+		if tr.Channel != channel {
+			continue
+		}
+		if tr.On && !on {
+			lastOn = tr.At
+			on = true
+		} else if !tr.On && on {
+			total += tr.At - lastOn
+			count++
+			on = false
+		}
+	}
+	if count == 0 {
+		return 0, fmt.Errorf("device: channel %d has no complete on-phase", channel)
+	}
+	return time.Duration(float64(total)/float64(count)) * time.Microsecond, nil
+}

@@ -1,0 +1,231 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/desim"
+	"repro/internal/rng"
+	"repro/internal/silicon"
+	"repro/internal/sram"
+	"repro/internal/store"
+)
+
+func newTestBoard(t *testing.T, sim *desim.Simulator, id int) *SlaveBoard {
+	t.Helper()
+	profile, err := silicon.ATmega32u4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	array, err := sram.New(profile, rng.New(uint64(id)+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSlaveBoard(sim, id, id/8, byte(0x10+id%8), array, desim.FromSeconds(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewSlaveBoardValidation(t *testing.T) {
+	sim := desim.New()
+	if _, err := NewSlaveBoard(nil, 0, 0, 0x10, nil, 0); err == nil {
+		t.Error("nil simulator accepted")
+	}
+	b := newTestBoard(t, sim, 0)
+	if _, err := NewSlaveBoard(sim, 0, 0, 0x10, b.Array, -1); err == nil {
+		t.Error("negative boot delay accepted")
+	}
+}
+
+func TestPowerCycleLifecycle(t *testing.T) {
+	sim := desim.New()
+	b := newTestBoard(t, sim, 0)
+	if b.Powered() || b.Booted() {
+		t.Fatal("new board should be off")
+	}
+	// Reads before power fail.
+	if _, err := b.HandleRead(16); err == nil {
+		t.Fatal("read from unpowered board succeeded")
+	}
+	if err := b.PowerOn(); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Powered() || b.Booted() {
+		t.Fatal("board should be powered but not yet booted")
+	}
+	// Reads during boot fail.
+	if _, err := b.HandleRead(16); err == nil {
+		t.Fatal("read during boot succeeded")
+	}
+	// Double power-on rejected.
+	if err := b.PowerOn(); err == nil {
+		t.Fatal("double power-on accepted")
+	}
+	sim.Run(desim.FromSeconds(1))
+	if !b.Booted() {
+		t.Fatal("board did not boot")
+	}
+	data, err := b.HandleRead(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 1024 {
+		t.Fatalf("read %d bytes, want 1024", len(data))
+	}
+	if b.Seq() != 1 {
+		t.Fatalf("seq = %d", b.Seq())
+	}
+	if err := b.PowerOff(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Pattern() != nil {
+		t.Fatal("pattern survived power-off (SRAM is volatile)")
+	}
+	if err := b.PowerOff(); err == nil {
+		t.Fatal("double power-off accepted")
+	}
+}
+
+func TestPowerOffDuringBoot(t *testing.T) {
+	sim := desim.New()
+	b := newTestBoard(t, sim, 0)
+	if err := b.PowerOn(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PowerOff(); err != nil {
+		t.Fatal(err)
+	}
+	// The boot-completion event fires but must not mark an off board booted.
+	sim.Run(desim.FromSeconds(1))
+	if b.Booted() {
+		t.Fatal("board booted while off")
+	}
+}
+
+func TestHandleWriteRejected(t *testing.T) {
+	b := newTestBoard(t, desim.New(), 0)
+	if err := b.HandleWrite([]byte{1}); err == nil {
+		t.Fatal("slave accepted a write")
+	}
+}
+
+func TestPowerSwitch(t *testing.T) {
+	sim := desim.New()
+	ps, err := NewPowerSwitch(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPowerSwitch(nil); err == nil {
+		t.Error("nil sim accepted")
+	}
+	b := newTestBoard(t, sim, 3)
+	if err := ps.Connect(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Connect(b); err == nil {
+		t.Error("duplicate channel accepted")
+	}
+	if err := ps.Connect(nil); err == nil {
+		t.Error("nil board accepted")
+	}
+	if err := ps.Set(99, true); err == nil {
+		t.Error("unknown channel accepted")
+	}
+	ps.SetTracing(true)
+	if err := ps.Set(3, true); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(desim.FromSeconds(1))
+	if err := ps.Set(3, false); err != nil {
+		t.Fatal(err)
+	}
+	trace := ps.Trace()
+	if len(trace) != 2 || !trace[0].On || trace[1].On {
+		t.Fatalf("trace = %+v", trace)
+	}
+	ps.ResetTrace()
+	if len(ps.Trace()) != 0 {
+		t.Fatal("ResetTrace did not clear")
+	}
+}
+
+func TestWaveformSample(t *testing.T) {
+	trace := []Transition{
+		{Channel: 0, At: 0, On: true},
+		{Channel: 0, At: desim.FromSeconds(3.8), On: false},
+		{Channel: 0, At: desim.FromSeconds(5.4), On: true},
+		{Channel: 1, At: desim.FromSeconds(2.7), On: true},
+	}
+	cases := []struct {
+		ch   int
+		at   float64
+		want bool
+	}{
+		{0, 1.0, true},
+		{0, 4.0, false},
+		{0, 5.5, true},
+		{1, 1.0, false},
+		{1, 3.0, true},
+	}
+	for _, c := range cases {
+		if got := WaveformSample(trace, c.ch, desim.FromSeconds(c.at)); got != c.want {
+			t.Errorf("channel %d at %vs: %v, want %v", c.ch, c.at, got, c.want)
+		}
+	}
+}
+
+func TestCyclePeriodAndOnTime(t *testing.T) {
+	var trace []Transition
+	for k := 0; k < 5; k++ {
+		t0 := desim.FromSeconds(5.4 * float64(k))
+		trace = append(trace,
+			Transition{Channel: 0, At: t0, On: true},
+			Transition{Channel: 0, At: t0 + desim.FromSeconds(3.8), On: false})
+	}
+	period, err := CyclePeriod(trace, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if period != 5400*time.Millisecond {
+		t.Fatalf("period = %v", period)
+	}
+	on, err := OnTime(trace, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on != 3800*time.Millisecond {
+		t.Fatalf("on-time = %v", on)
+	}
+	if _, err := CyclePeriod(trace, 9); err == nil {
+		t.Error("missing channel accepted")
+	}
+	if _, err := OnTime(nil, 0); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestRaspberryPi(t *testing.T) {
+	pi := NewRaspberryPi()
+	b := newTestBoard(t, desim.New(), 0)
+	if err := b.PowerOn(); err != nil {
+		t.Fatal(err)
+	}
+	rec := store.Record{Board: 0, Seq: 1, Wall: store.Epoch, Data: b.Pattern()}
+	if err := pi.Ingest(rec); err != nil {
+		t.Fatal(err)
+	}
+	if pi.Received() != 1 || pi.Archive.Len() != 1 {
+		t.Fatalf("received=%d archive=%d", pi.Received(), pi.Archive.Len())
+	}
+	// Received persists across archive resets (lifetime counter).
+	pi.Archive.Reset()
+	if pi.Received() != 1 {
+		t.Fatal("Received reset with archive")
+	}
+	// Bad record propagates an error.
+	if err := pi.Ingest(store.Record{Board: 0, Wall: store.Epoch}); err == nil {
+		t.Fatal("record without data accepted")
+	}
+}

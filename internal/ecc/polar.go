@@ -1,0 +1,241 @@
+package ecc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bitvec"
+)
+
+// Polar is a polar code of length N = 2^n with successive-cancellation
+// (SC) decoding, constructed for a binary symmetric channel with the given
+// design crossover probability via Bhattacharyya parameter evolution —
+// the construction used for SRAM-PUF key generation by Chen et al.
+// (GLOBECOM 2017, paper ref [13]).
+type Polar struct {
+	n       int   // log2(N)
+	size    int   // N
+	k       int   // information bits
+	info    []int // information-bit indices, ascending
+	frozen  []bool
+	designP float64
+}
+
+// NewPolar constructs a polar code of length n2 (a power of two >= 2) with
+// k information bits, designed for BSC crossover probability designP.
+func NewPolar(n2, k int, designP float64) (*Polar, error) {
+	if n2 < 2 || n2&(n2-1) != 0 {
+		return nil, fmt.Errorf("ecc: polar length %d is not a power of two >= 2", n2)
+	}
+	if k < 1 || k >= n2 {
+		return nil, fmt.Errorf("ecc: polar k=%d outside [1,%d)", k, n2-1)
+	}
+	if designP <= 0 || designP >= 0.5 {
+		return nil, fmt.Errorf("ecc: design crossover %v outside (0,0.5)", designP)
+	}
+	logN := 0
+	for 1<<uint(logN) < n2 {
+		logN++
+	}
+	// Bhattacharyya parameter evolution: start with the BSC parameter
+	// z = 2*sqrt(p(1-p)); each polarisation step maps
+	// z -> (2z - z^2, z^2) for the (worse, better) synthetic channel.
+	z := []float64{2 * math.Sqrt(designP*(1-designP))}
+	for level := 0; level < logN; level++ {
+		next := make([]float64, 2*len(z))
+		for i, zi := range z {
+			next[2*i] = 2*zi - zi*zi
+			next[2*i+1] = zi * zi
+		}
+		z = next
+	}
+	// The i-th synthetic channel in decoding order corresponds to z[i]
+	// with the bit-reversal-free (natural) indexing used by our butterfly.
+	type chq struct {
+		idx int
+		z   float64
+	}
+	order := make([]chq, n2)
+	for i := range order {
+		order[i] = chq{i, z[bitReverse(i, logN)]}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].z != order[b].z {
+			return order[a].z < order[b].z
+		}
+		return order[a].idx < order[b].idx
+	})
+	p := &Polar{n: logN, size: n2, k: k, frozen: make([]bool, n2), designP: designP}
+	for i := range p.frozen {
+		p.frozen[i] = true
+	}
+	for i := 0; i < k; i++ {
+		p.frozen[order[i].idx] = false
+	}
+	for i, f := range p.frozen {
+		if !f {
+			p.info = append(p.info, i)
+		}
+	}
+	return p, nil
+}
+
+// bitReverse reverses the low `bits` bits of x.
+func bitReverse(x, bits int) int {
+	r := 0
+	for i := 0; i < bits; i++ {
+		r = r<<1 | x&1
+		x >>= 1
+	}
+	return r
+}
+
+// Name implements Code.
+func (p *Polar) Name() string {
+	return fmt.Sprintf("polar(%d,%d)@%.3g", p.size, p.k, p.designP)
+}
+
+// K implements Code.
+func (p *Polar) K() int { return p.k }
+
+// N implements Code.
+func (p *Polar) N() int { return p.size }
+
+// InfoSet returns the information-bit indices (ascending).
+func (p *Polar) InfoSet() []int { return append([]int(nil), p.info...) }
+
+// Encode implements Code: place message bits on the information set,
+// zeros on frozen positions, and apply the polar transform F^{(x)n} via
+// butterflies.
+func (p *Polar) Encode(msg *bitvec.Vector) (*bitvec.Vector, error) {
+	if err := checkLen(msg, p.k, "message"); err != nil {
+		return nil, err
+	}
+	u := make([]byte, p.size)
+	for i, idx := range p.info {
+		if msg.Get(i) {
+			u[idx] = 1
+		}
+	}
+	x := polarTransform(u)
+	out := bitvec.New(p.size)
+	for i, b := range x {
+		if b == 1 {
+			out.Set(i, true)
+		}
+	}
+	return out, nil
+}
+
+// polarTransform applies G = F^{(x)n} in natural order, in place on a copy.
+func polarTransform(u []byte) []byte {
+	x := append([]byte(nil), u...)
+	n := len(x)
+	for step := 1; step < n; step <<= 1 {
+		for i := 0; i < n; i += step << 1 {
+			for j := i; j < i+step; j++ {
+				x[j] ^= x[j+step]
+			}
+		}
+	}
+	return x
+}
+
+// Decode implements Code with hard-input SC decoding: received bits are
+// converted to LLRs for a BSC at the design crossover probability.
+func (p *Polar) Decode(word *bitvec.Vector) (*bitvec.Vector, error) {
+	if err := checkLen(word, p.size, "word"); err != nil {
+		return nil, err
+	}
+	llr := make([]float64, p.size)
+	l0 := math.Log((1 - p.designP) / p.designP)
+	for i := range llr {
+		if word.Get(i) {
+			llr[i] = -l0
+		} else {
+			llr[i] = l0
+		}
+	}
+	u, _ := p.scDecode(llr, 0)
+	out := bitvec.New(p.k)
+	for i, idx := range p.info {
+		if u[idx] == 1 {
+			out.Set(i, true)
+		}
+	}
+	return out, nil
+}
+
+// DecodeLLR runs SC decoding on caller-provided channel LLRs (positive
+// favours bit 0). It enables soft-decision reconstruction when per-cell
+// reliability is known.
+func (p *Polar) DecodeLLR(llr []float64) (*bitvec.Vector, error) {
+	if len(llr) != p.size {
+		return nil, fmt.Errorf("%w: %d LLRs, want %d", ErrBlockLength, len(llr), p.size)
+	}
+	u, _ := p.scDecode(append([]float64(nil), llr...), 0)
+	out := bitvec.New(p.k)
+	for i, idx := range p.info {
+		if u[idx] == 1 {
+			out.Set(i, true)
+		}
+	}
+	return out, nil
+}
+
+// scDecode recursively decodes the block whose synthetic-channel indices
+// start at base, returning the decided u bits and their re-encoded x bits.
+func (p *Polar) scDecode(llr []float64, base int) (u, x []byte) {
+	n := len(llr)
+	if n == 1 {
+		var bit byte
+		if p.frozen[base] {
+			bit = 0
+		} else if llr[0] < 0 {
+			bit = 1
+		}
+		return []byte{bit}, []byte{bit}
+	}
+	half := n / 2
+	// f-step (min-sum): combine the two halves for the left subcode.
+	left := make([]float64, half)
+	for i := 0; i < half; i++ {
+		left[i] = fMinSum(llr[i], llr[i+half])
+	}
+	uL, xL := p.scDecode(left, base)
+	// g-step: use the left decisions as known interference.
+	right := make([]float64, half)
+	for i := 0; i < half; i++ {
+		if xL[i] == 1 {
+			right[i] = llr[i+half] - llr[i]
+		} else {
+			right[i] = llr[i+half] + llr[i]
+		}
+	}
+	uR, xR := p.scDecode(right, base+half)
+	u = append(uL, uR...)
+	x = make([]byte, n)
+	for i := 0; i < half; i++ {
+		x[i] = xL[i] ^ xR[i]
+		x[i+half] = xR[i]
+	}
+	return u, x
+}
+
+// fMinSum is the hardware-friendly approximation of the polar f function.
+func fMinSum(a, b float64) float64 {
+	sign := 1.0
+	if a < 0 {
+		sign = -sign
+		a = -a
+	}
+	if b < 0 {
+		sign = -sign
+		b = -b
+	}
+	if a < b {
+		return sign * a
+	}
+	return sign * b
+}

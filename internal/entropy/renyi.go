@@ -1,0 +1,95 @@
+package entropy
+
+import "math"
+
+// The Rényi entropy family over per-cell one-probabilities. Min-entropy
+// (order ∞) is the paper's headline estimator; Shannon (order 1) and
+// collision (order 2) entropy are its standard companions in PUF
+// evaluation (e.g. Maes CHES'13): they bound the key material available
+// under different attack models, with H∞ <= H2 <= H1 always.
+
+// ShannonEntropy returns the average per-bit binary Shannon entropy
+// (1/n) Σ h(p_i), h(p) = -p log2 p - (1-p) log2 (1-p).
+func ShannonEntropy(oneProbs []float64) (float64, error) {
+	if len(oneProbs) == 0 {
+		return 0, ErrNoMeasurements
+	}
+	sum := 0.0
+	for _, p := range oneProbs {
+		sum += binaryShannon(p)
+	}
+	return sum / float64(len(oneProbs)), nil
+}
+
+func binaryShannon(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// CollisionEntropy returns the average per-bit Rényi order-2 entropy
+// (1/n) Σ -log2(p_i² + (1-p_i)²).
+func CollisionEntropy(oneProbs []float64) (float64, error) {
+	if len(oneProbs) == 0 {
+		return 0, ErrNoMeasurements
+	}
+	sum := 0.0
+	for _, p := range oneProbs {
+		sum += -math.Log2(p*p + (1-p)*(1-p))
+	}
+	return sum / float64(len(oneProbs)), nil
+}
+
+// GuessingEntropy returns the average per-bit guessing entropy
+// (1/n) Σ (1 + min(p_i, 1-p_i)): the expected number of guesses an
+// optimal adversary needs per bit.
+func GuessingEntropy(oneProbs []float64) (float64, error) {
+	if len(oneProbs) == 0 {
+		return 0, ErrNoMeasurements
+	}
+	sum := 0.0
+	for _, p := range oneProbs {
+		m := p
+		if 1-p < m {
+			m = 1 - p
+		}
+		sum += 1 + m
+	}
+	return sum / float64(len(oneProbs)), nil
+}
+
+// Profile bundles the full entropy characterisation of one evaluation
+// window.
+type Profile struct {
+	Min       float64 // H∞ (the paper's noise entropy)
+	Collision float64 // H2
+	Shannon   float64 // H1
+	Guessing  float64 // expected guesses per bit
+	Stable    float64 // stable-cell ratio
+}
+
+// ProfileFromOneProbs computes all entropy measures of a window.
+func ProfileFromOneProbs(oneProbs []float64) (Profile, error) {
+	min, err := NoiseMinEntropy(oneProbs)
+	if err != nil {
+		return Profile{}, err
+	}
+	h2, err := CollisionEntropy(oneProbs)
+	if err != nil {
+		return Profile{}, err
+	}
+	h1, err := ShannonEntropy(oneProbs)
+	if err != nil {
+		return Profile{}, err
+	}
+	g, err := GuessingEntropy(oneProbs)
+	if err != nil {
+		return Profile{}, err
+	}
+	stable, err := StableCellRatio(oneProbs)
+	if err != nil {
+		return Profile{}, err
+	}
+	return Profile{Min: min, Collision: h2, Shannon: h1, Guessing: g, Stable: stable}, nil
+}

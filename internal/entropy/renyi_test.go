@@ -1,0 +1,96 @@
+package entropy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestShannonEntropy(t *testing.T) {
+	// Balanced bit: 1; stable bit: 0.
+	h, err := ShannonEntropy([]float64{0.5})
+	if err != nil || h != 1 {
+		t.Fatalf("h(0.5) = %v, err %v", h, err)
+	}
+	h, _ = ShannonEntropy([]float64{0, 1})
+	if h != 0 {
+		t.Fatalf("h(stable) = %v", h)
+	}
+	// h(0.627) known value.
+	want := -(0.627*math.Log2(0.627) + 0.373*math.Log2(0.373))
+	h, _ = ShannonEntropy([]float64{0.627})
+	if math.Abs(h-want) > 1e-12 {
+		t.Fatalf("h(0.627) = %v, want %v", h, want)
+	}
+	if _, err := ShannonEntropy(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestCollisionEntropy(t *testing.T) {
+	h, err := CollisionEntropy([]float64{0.5})
+	if err != nil || h != 1 {
+		t.Fatalf("H2(0.5) = %v, err %v", h, err)
+	}
+	h, _ = CollisionEntropy([]float64{0})
+	if h != 0 {
+		t.Fatalf("H2(stable) = %v", h)
+	}
+	if _, err := CollisionEntropy(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestGuessingEntropy(t *testing.T) {
+	g, err := GuessingEntropy([]float64{0.5})
+	if err != nil || g != 1.5 {
+		t.Fatalf("G(0.5) = %v, err %v", g, err)
+	}
+	g, _ = GuessingEntropy([]float64{1})
+	if g != 1 {
+		t.Fatalf("G(stable) = %v", g)
+	}
+	if _, err := GuessingEntropy(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+// TestEntropyOrdering is the standard Rényi monotonicity property:
+// H∞ <= H2 <= H1 for any distribution.
+func TestEntropyOrdering(t *testing.T) {
+	f := func(raw float64) bool {
+		p := math.Abs(math.Mod(raw, 1))
+		probs := []float64{p}
+		hMin, err1 := NoiseMinEntropy(probs)
+		h2, err2 := CollisionEntropy(probs)
+		h1, err3 := ShannonEntropy(probs)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		const eps = 1e-12
+		return hMin <= h2+eps && h2 <= h1+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileFromOneProbs(t *testing.T) {
+	probs := []float64{0, 1, 0.5, 0.9, 0.1}
+	p, err := ProfileFromOneProbs(probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(p.Min <= p.Collision && p.Collision <= p.Shannon) {
+		t.Fatalf("entropy ordering violated in profile: %+v", p)
+	}
+	if p.Stable != 0.4 {
+		t.Fatalf("stable = %v, want 0.4", p.Stable)
+	}
+	if p.Guessing < 1 || p.Guessing > 1.5 {
+		t.Fatalf("guessing = %v", p.Guessing)
+	}
+	if _, err := ProfileFromOneProbs(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+}

@@ -1,0 +1,176 @@
+// Package fuzzy implements the code-offset fuzzy extractor — the
+// helper-data key-generation scheme the paper's §II-A1 refers to: a
+// cryptographic key is derived from the SRAM power-up pattern at
+// enrollment, and reconstructed from any later (noisy) power-up with the
+// help of public helper data, as long as the within-class bit error rate
+// stays inside the error-correcting code's budget.
+//
+// Construction (code-offset / fuzzy commitment):
+//
+//	Enroll:      pick random secret s, helper = Encode(s) XOR response,
+//	             key = SHA-256(s).
+//	Reconstruct: word = helper XOR response', s' = Decode(word),
+//	             key' = SHA-256(s').
+//
+// The helper data is XOR-masked by a random codeword and therefore leaks
+// at most N - K bits about the response; with the response entropy per
+// bit measured in the campaign, the key retains full strength.
+//
+// A Toeplitz universal-hash extractor is provided as an alternative
+// conditioning stage (leftover-hash-lemma style).
+package fuzzy
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/ecc"
+	"repro/internal/rng"
+)
+
+// KeySize is the derived key length in bytes.
+const KeySize = 32
+
+// HelperData is the public enrollment output. It hides the secret
+// information-theoretically up to the code redundancy.
+type HelperData struct {
+	Offset *bitvec.Vector // Encode(secret) XOR response
+	Check  [8]byte        // truncated hash of the key for reconstruction verification
+}
+
+// Extractor binds an error-correcting code to the scheme.
+type Extractor struct {
+	code ecc.Code
+}
+
+// New creates an extractor over the given code.
+func New(code ecc.Code) (*Extractor, error) {
+	if code == nil {
+		return nil, errors.New("fuzzy: nil code")
+	}
+	return &Extractor{code: code}, nil
+}
+
+// Code returns the underlying code.
+func (e *Extractor) Code() ecc.Code { return e.code }
+
+// ResponseBits returns the number of PUF response bits consumed.
+func (e *Extractor) ResponseBits() int { return e.code.N() }
+
+// Enroll derives a key from the response and produces helper data.
+// The secret is drawn from src (use a cryptographically seeded source in
+// production; the simulator uses its deterministic stream).
+func (e *Extractor) Enroll(response *bitvec.Vector, src *rng.Source) (key []byte, helper HelperData, err error) {
+	if response == nil || response.Len() != e.code.N() {
+		return nil, HelperData{}, fmt.Errorf("fuzzy: response must have %d bits", e.code.N())
+	}
+	if src == nil {
+		return nil, HelperData{}, errors.New("fuzzy: nil randomness source")
+	}
+	secret := bitvec.New(e.code.K())
+	for i := 0; i < secret.Len(); i++ {
+		secret.Set(i, src.Bernoulli(0.5))
+	}
+	cw, err := e.code.Encode(secret)
+	if err != nil {
+		return nil, HelperData{}, err
+	}
+	offset, err := cw.Xor(response)
+	if err != nil {
+		return nil, HelperData{}, err
+	}
+	key = deriveKey(secret)
+	helper = HelperData{Offset: offset}
+	copy(helper.Check[:], checkDigest(key))
+	return key, helper, nil
+}
+
+// ErrReconstructFailed is returned when the reconstructed key fails the
+// helper-data check (too many response errors for the code).
+var ErrReconstructFailed = errors.New("fuzzy: key reconstruction failed")
+
+// Reconstruct recovers the enrolled key from a fresh response.
+func (e *Extractor) Reconstruct(response *bitvec.Vector, helper HelperData) ([]byte, error) {
+	if response == nil || response.Len() != e.code.N() {
+		return nil, fmt.Errorf("fuzzy: response must have %d bits", e.code.N())
+	}
+	if helper.Offset == nil {
+		return nil, errors.New("fuzzy: helper data has no offset")
+	}
+	word, err := helper.Offset.Xor(response)
+	if err != nil {
+		return nil, err
+	}
+	secret, err := e.code.Decode(word)
+	if err != nil {
+		return nil, err
+	}
+	key := deriveKey(secret)
+	var chk [8]byte
+	copy(chk[:], checkDigest(key))
+	if chk != helper.Check {
+		return nil, ErrReconstructFailed
+	}
+	return key, nil
+}
+
+// deriveKey hashes the secret bits into the final key (the conditioning
+// stage of the extractor).
+func deriveKey(secret *bitvec.Vector) []byte {
+	h := sha256.New()
+	h.Write([]byte("sram-puf-key-v1"))
+	h.Write(secret.Bytes())
+	return h.Sum(nil)
+}
+
+// checkDigest derives the public reconstruction check from the key via a
+// domain-separated hash (does not reveal the key).
+func checkDigest(key []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("sram-puf-check-v1"))
+	h.Write(key)
+	return h.Sum(nil)[:8]
+}
+
+// Toeplitz is a universal-hash strong extractor: out = T x in over GF(2),
+// where T is a Toeplitz matrix defined by in+out-1 seed bits. By the
+// leftover hash lemma, hashing an n-bit source of min-entropy k down to
+// m << k bits yields output statistically close to uniform.
+type Toeplitz struct {
+	in, out int
+	diag    *bitvec.Vector // first row + first column, length in+out-1
+}
+
+// NewToeplitz builds the extractor from the public seed.
+func NewToeplitz(in, out int, seed *bitvec.Vector) (*Toeplitz, error) {
+	if in < 1 || out < 1 || out > in {
+		return nil, fmt.Errorf("fuzzy: toeplitz dims %dx%d invalid", out, in)
+	}
+	want := in + out - 1
+	if seed == nil || seed.Len() != want {
+		return nil, fmt.Errorf("fuzzy: toeplitz seed must have %d bits", want)
+	}
+	return &Toeplitz{in: in, out: out, diag: seed.Clone()}, nil
+}
+
+// Extract computes the GF(2) matrix-vector product.
+func (t *Toeplitz) Extract(in *bitvec.Vector) (*bitvec.Vector, error) {
+	if in == nil || in.Len() != t.in {
+		return nil, fmt.Errorf("fuzzy: input must have %d bits", t.in)
+	}
+	out := bitvec.New(t.out)
+	for r := 0; r < t.out; r++ {
+		// Row r of T is diag[out-1-r : out-1-r+in] reversed indexing:
+		// T[r][c] = diag[r - c + in - 1] with diag indexed 0..in+out-2.
+		parity := false
+		for c := 0; c < t.in; c++ {
+			if t.diag.Get(r-c+t.in-1) && in.Get(c) {
+				parity = !parity
+			}
+		}
+		out.Set(r, parity)
+	}
+	return out, nil
+}

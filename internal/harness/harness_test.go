@@ -1,0 +1,259 @@
+package harness
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/desim"
+	"repro/internal/device"
+	"repro/internal/silicon"
+	"repro/internal/store"
+)
+
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	profile, err := silicon.ATmega32u4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return DefaultConfig(profile, 99)
+}
+
+func smallRig(t *testing.T, slavesPerLayer int) *Rig {
+	t.Helper()
+	cfg := testConfig(t)
+	cfg.SlavesPerLayer = slavesPerLayer
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := testConfig(t)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Layers = 0 },
+		func(c *Config) { c.Layers = 3 },
+		func(c *Config) { c.SlavesPerLayer = 0 },
+		func(c *Config) { c.BusClockHz = 0 },
+		func(c *Config) { c.PowerOnTime = 0 },
+		func(c *Config) { c.I2CErrorRate = 2 },
+		func(c *Config) { c.BootDelay = c.PowerOnTime }, // readout cannot fit
+		func(c *Config) { c.Profile.SRAMBytes = 0 },
+	}
+	for i, mutate := range bad {
+		c := testConfig(t)
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := testConfig(t)
+	if cfg.Layers != 2 || cfg.SlavesPerLayer != 8 {
+		t.Errorf("rig layout %dx%d, want 2x8", cfg.Layers, cfg.SlavesPerLayer)
+	}
+	if cfg.CyclePeriod() != desim.FromSeconds(5.4) {
+		t.Errorf("cycle period = %v, want 5.4 s", cfg.CyclePeriod())
+	}
+	if cfg.PowerOnTime != desim.FromSeconds(3.8) || cfg.PowerOffTime != desim.FromSeconds(1.6) {
+		t.Errorf("phases = %v/%v, want 3.8/1.6 s", cfg.PowerOnTime, cfg.PowerOffTime)
+	}
+}
+
+func TestRigAssembly(t *testing.T) {
+	r := smallRig(t, 8)
+	if len(r.Boards()) != 16 {
+		t.Fatalf("boards = %d, want 16", len(r.Boards()))
+	}
+	if len(r.Arrays()) != 16 {
+		t.Fatalf("arrays = %d", len(r.Arrays()))
+	}
+	for i, b := range r.Boards() {
+		if b.ID != i {
+			t.Fatalf("board %d has ID %d", i, b.ID)
+		}
+		wantLayer := i / 8
+		if b.Layer != wantLayer {
+			t.Fatalf("board %d on layer %d, want %d", i, b.Layer, wantLayer)
+		}
+	}
+}
+
+func TestRunWindowProducesRecords(t *testing.T) {
+	r := smallRig(t, 2)
+	start := store.MonthlyWindowStart(0)
+	if err := r.RunWindow(5, start); err != nil {
+		t.Fatal(err)
+	}
+	a := r.Archive()
+	if a.Len() != 4*5 {
+		t.Fatalf("archive has %d records, want 20", a.Len())
+	}
+	for _, board := range a.Boards() {
+		recs := a.Records(board)
+		if len(recs) != 5 {
+			t.Fatalf("board %d: %d records, want 5", board, len(recs))
+		}
+		for i, rec := range recs {
+			if rec.Data.Len() != 8192 {
+				t.Fatalf("record bits = %d, want 8192", rec.Data.Len())
+			}
+			if rec.Seq != uint64(i+1) {
+				t.Fatalf("board %d record %d: seq %d", board, i, rec.Seq)
+			}
+			if rec.Wall.Before(start) {
+				t.Fatalf("record timestamp %v before window start", rec.Wall)
+			}
+		}
+	}
+	if r.ReadErrors() != 0 {
+		t.Fatalf("read errors = %d", r.ReadErrors())
+	}
+}
+
+func TestRunWindowRejectsBadSize(t *testing.T) {
+	r := smallRig(t, 1)
+	if err := r.RunWindow(0, store.Epoch); err == nil {
+		t.Fatal("zero-measurement window accepted")
+	}
+}
+
+func TestCycleTimingMatchesFig3(t *testing.T) {
+	// Fig. 3: period 5.4 s, on-time 3.8 s, layers out of phase.
+	r := smallRig(t, 2)
+	r.Switch().SetTracing(true)
+	if err := r.RunWindow(6, store.Epoch); err != nil {
+		t.Fatal(err)
+	}
+	trace := r.Switch().Trace()
+	for _, ch := range []int{0, 1, 2, 3} {
+		period, err := device.CyclePeriod(trace, ch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(period.Seconds()-5.4) > 0.01 {
+			t.Errorf("channel %d: period = %v, want 5.4 s", ch, period)
+		}
+		on, err := device.OnTime(trace, ch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(on.Seconds()-3.8) > 0.01 {
+			t.Errorf("channel %d: on-time = %v, want 3.8 s", ch, on)
+		}
+	}
+	// Boards on the same layer switch together; layers are offset by 2.7 s.
+	atProbe := desim.FromSeconds(1.0)
+	if !device.WaveformSample(trace, 0, atProbe) || !device.WaveformSample(trace, 1, atProbe) {
+		t.Error("layer 0 boards not powered at t=1 s")
+	}
+	if device.WaveformSample(trace, 2, atProbe) {
+		t.Error("layer 1 board powered at t=1 s; layers should be out of phase")
+	}
+	if !device.WaveformSample(trace, 2, desim.FromSeconds(3.0)) {
+		t.Error("layer 1 board not powered at t=3.0 s")
+	}
+}
+
+func TestLayerSynchronisation(t *testing.T) {
+	// Algorithm 1's handshake: both layers produce exactly the same number
+	// of measurements even though they run out of phase.
+	r := smallRig(t, 3)
+	if err := r.RunWindow(7, store.Epoch); err != nil {
+		t.Fatal(err)
+	}
+	for _, board := range r.Archive().Boards() {
+		if n := len(r.Archive().Records(board)); n != 7 {
+			t.Fatalf("board %d produced %d records, want 7 (layer sync broken)", board, n)
+		}
+	}
+}
+
+func TestMeasurementRateMatchesPaper(t *testing.T) {
+	// "around 10 measurements per minute" per board across the rig.
+	cfg := testConfig(t)
+	perMinute := 60.0 / cfg.CyclePeriod().Seconds()
+	if perMinute < 10 || perMinute > 12 {
+		t.Fatalf("measurements per board-minute = %v, paper says ~10-11", perMinute)
+	}
+}
+
+func TestDeterministicWindows(t *testing.T) {
+	r1 := smallRig(t, 2)
+	r2 := smallRig(t, 2)
+	if err := r1.RunWindow(3, store.Epoch); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.RunWindow(3, store.Epoch); err != nil {
+		t.Fatal(err)
+	}
+	a1, a2 := r1.Archive(), r2.Archive()
+	if a1.Len() != a2.Len() {
+		t.Fatalf("archive sizes differ: %d vs %d", a1.Len(), a2.Len())
+	}
+	for _, b := range a1.Boards() {
+		recs1, recs2 := a1.Records(b), a2.Records(b)
+		for i := range recs1 {
+			if !recs1[i].Data.Equal(recs2[i].Data) {
+				t.Fatalf("board %d record %d differs between identical seeds", b, i)
+			}
+		}
+	}
+}
+
+func TestSeqAndCycleBases(t *testing.T) {
+	r := smallRig(t, 1)
+	r.SetSeqBase(1000000)
+	r.SetCycleBase(500000)
+	if err := r.RunWindow(2, store.Epoch); err != nil {
+		t.Fatal(err)
+	}
+	recs := r.Archive().Records(0)
+	if recs[0].Seq != 1000001 {
+		t.Fatalf("first seq = %d, want 1000001", recs[0].Seq)
+	}
+	if recs[0].Cycle != 500000 {
+		t.Fatalf("first cycle = %d, want 500000", recs[0].Cycle)
+	}
+}
+
+func TestI2CErrorInjectionCountsErrors(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.SlavesPerLayer = 1
+	cfg.I2CErrorRate = 0.001 // ~1 corrupted byte per 1 KByte read
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RunWindow(10, store.Epoch); err != nil {
+		t.Fatal(err)
+	}
+	// Corruption does not break framing (payload length unchanged), so
+	// records still arrive; the point is the archive keeps operating.
+	if r.Archive().Len() != 20 {
+		t.Fatalf("archive len = %d, want 20", r.Archive().Len())
+	}
+}
+
+func TestWindowTimestampsSpacing(t *testing.T) {
+	r := smallRig(t, 1)
+	if err := r.RunWindow(4, store.Epoch); err != nil {
+		t.Fatal(err)
+	}
+	recs := r.Archive().Records(0)
+	for i := 1; i < len(recs); i++ {
+		dt := recs[i].Wall.Sub(recs[i-1].Wall)
+		if math.Abs(dt.Seconds()-5.4) > 0.01 {
+			t.Fatalf("record spacing = %v, want 5.4 s", dt)
+		}
+	}
+	_ = time.Second
+}

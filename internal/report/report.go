@@ -1,0 +1,249 @@
+// Package report renders campaign results in the paper's formats: the
+// Table I summary, ASCII line charts for the Fig. 6 time series, ASCII
+// histograms for Fig. 5, bitmap output (PGM + ASCII) for the Fig. 4
+// start-up pattern, waveform rendering for Fig. 3, and CSV export for
+// external plotting.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/desim"
+	"repro/internal/device"
+	"repro/internal/stats"
+)
+
+// RenderTableI formats a campaign's Table I like the paper's layout.
+func RenderTableI(t core.TableI) string {
+	var sb strings.Builder
+	sb.WriteString("EVALUATION RESULT OF SRAM PUF QUALITIES AT THE START AND THE END OF THE TEST\n")
+	sb.WriteString(fmt.Sprintf("%-22s %-5s %9s %9s %10s %9s\n",
+		"Evaluation", "", "Start", "End", "Rel.Change", "Monthly"))
+	row := func(name, kind string, q core.Quality) {
+		sb.WriteString(fmt.Sprintf("%-22s %-5s %8.2f%% %8.2f%% %+9.2f%% %+8.2f%%\n",
+			name, kind, 100*q.Start, 100*q.End, 100*q.Relative, 100*q.Monthly))
+	}
+	pair := func(name string, p core.QualityPair) {
+		row(name, "AVG.", p.Avg)
+		row("", "WC.", p.WC)
+	}
+	pair("WCHD", t.WCHD)
+	pair("HW", t.HW)
+	pair("Ratio of Stable Cells", t.StableCells)
+	pair("Noise entropy", t.NoiseEntropy)
+	pair("BCHD", t.BCHD)
+	row("PUF entropy", "", t.PUFEntropy)
+	return sb.String()
+}
+
+// LinePlot renders multiple series as an ASCII chart. Series must share a
+// common length; xlabels annotates selected columns.
+func LinePlot(title string, series [][]float64, xlabels []string, height int) (string, error) {
+	if len(series) == 0 || len(series[0]) == 0 {
+		return "", fmt.Errorf("report: no data for plot %q", title)
+	}
+	if height < 4 {
+		height = 4
+	}
+	n := len(series[0])
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s) != n {
+			return "", fmt.Errorf("report: ragged series in plot %q", title)
+		}
+		for _, v := range s {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if hi == lo {
+		hi = lo + 1e-9
+	}
+	pad := (hi - lo) * 0.05
+	lo, hi = lo-pad, hi+pad
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", n))
+	}
+	marks := []byte("*+o#x%@&~^")
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for i, v := range s {
+			r := int(float64(height-1) * (hi - v) / (hi - lo))
+			if r < 0 {
+				r = 0
+			}
+			if r >= height {
+				r = height - 1
+			}
+			grid[r][i] = mark
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	for r := 0; r < height; r++ {
+		y := hi - (hi-lo)*float64(r)/float64(height-1)
+		fmt.Fprintf(&sb, "%9.4f |%s|\n", y, string(grid[r]))
+	}
+	if len(xlabels) > 0 {
+		first := xlabels[0]
+		last := xlabels[len(xlabels)-1]
+		gap := n - len(first) - len(last) + 10
+		if gap < 1 {
+			gap = 1
+		}
+		fmt.Fprintf(&sb, "%10s %s%s%s\n", "", first, strings.Repeat(" ", gap), last)
+	}
+	return sb.String(), nil
+}
+
+// HistogramPlot renders a stats.Histogram as horizontal percentage bars,
+// the Fig. 5 presentation. Only bins within [loBin, hiBin] (fractions of
+// the histogram range) are shown; empty leading/trailing bins collapse.
+func HistogramPlot(title string, h *stats.Histogram, maxBarWidth int) string {
+	if maxBarWidth < 10 {
+		maxBarWidth = 10
+	}
+	fr := h.Fractions(100)
+	first, last := -1, -1
+	for i, f := range fr {
+		if f > 0 {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (total %d samples)\n", title, h.Total())
+	if first < 0 {
+		sb.WriteString("  (empty)\n")
+		return sb.String()
+	}
+	maxF := 0.0
+	for _, f := range fr {
+		if f > maxF {
+			maxF = f
+		}
+	}
+	for i := first; i <= last; i++ {
+		bar := 0
+		if maxF > 0 {
+			bar = int(fr[i] / maxF * float64(maxBarWidth))
+		}
+		fmt.Fprintf(&sb, "%7.3f |%-*s| %6.2f%%\n", h.BinCenter(i), maxBarWidth, strings.Repeat("#", bar), fr[i])
+	}
+	return sb.String()
+}
+
+// RenderPattern draws a bit pattern as an ASCII bitmap with the given row
+// width ('#' = 1, '.' = 0) — the Fig. 4 visualisation.
+func RenderPattern(v *bitvec.Vector, width int) (string, error) {
+	if width < 1 {
+		return "", fmt.Errorf("report: pattern width %d", width)
+	}
+	var sb strings.Builder
+	for i := 0; i < v.Len(); i++ {
+		if v.Get(i) {
+			sb.WriteByte('#')
+		} else {
+			sb.WriteByte('.')
+		}
+		if (i+1)%width == 0 {
+			sb.WriteByte('\n')
+		}
+	}
+	if v.Len()%width != 0 {
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}
+
+// WritePGM emits a binary-valued PGM image of the pattern (one pixel per
+// bit, 1 -> white).
+func WritePGM(w io.Writer, v *bitvec.Vector, width int) error {
+	if width < 1 || v.Len()%width != 0 {
+		return fmt.Errorf("report: pattern of %d bits cannot form %d-wide image", v.Len(), width)
+	}
+	height := v.Len() / width
+	if _, err := fmt.Fprintf(w, "P2\n%d %d\n1\n", width, height); err != nil {
+		return err
+	}
+	for r := 0; r < height; r++ {
+		row := make([]string, width)
+		for c := 0; c < width; c++ {
+			if v.Get(r*width + c) {
+				row[c] = "1"
+			} else {
+				row[c] = "0"
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSeriesCSV writes one column of x labels and one column per series.
+func WriteSeriesCSV(w io.Writer, xHeader string, xs []string, headers []string, series [][]float64) error {
+	if len(headers) != len(series) {
+		return fmt.Errorf("report: %d headers for %d series", len(headers), len(series))
+	}
+	for _, s := range series {
+		if len(s) != len(xs) {
+			return fmt.Errorf("report: series length %d != %d labels", len(s), len(xs))
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s,%s\n", xHeader, strings.Join(headers, ",")); err != nil {
+		return err
+	}
+	for i := range xs {
+		cells := make([]string, len(series))
+		for j := range series {
+			cells[j] = fmt.Sprintf("%.6f", series[j][i])
+		}
+		if _, err := fmt.Fprintf(w, "%s,%s\n", xs[i], strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderWaveforms draws the power curves of the given channels from a
+// switch trace over [0, until] — the Fig. 3 presentation. One row per
+// channel; '▔' high, '▁' low (ASCII fallback: '-' and '_').
+func RenderWaveforms(trace []device.Transition, channels []int, until desim.Time, cols int) string {
+	if cols < 10 {
+		cols = 10
+	}
+	var sb strings.Builder
+	step := until / desim.Time(cols)
+	if step <= 0 {
+		step = 1
+	}
+	for _, ch := range channels {
+		fmt.Fprintf(&sb, "S%-3d ", ch)
+		for c := 0; c < cols; c++ {
+			at := desim.Time(c) * step
+			if device.WaveformSample(trace, ch, at) {
+				sb.WriteByte('-')
+			} else {
+				sb.WriteByte('_')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "     0s%s%.1fs\n", strings.Repeat(" ", cols-8), until.Seconds())
+	return sb.String()
+}

@@ -1,0 +1,167 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/desim"
+	"repro/internal/device"
+	"repro/internal/stats"
+)
+
+func TestRenderTableI(t *testing.T) {
+	var tab core.TableI
+	tab.WCHD.Avg = core.Quality{Start: 0.0249, End: 0.0297, Relative: 0.193, Monthly: 0.0074}
+	tab.WCHD.WC = core.Quality{Start: 0.0272, End: 0.0325, Relative: 0.195, Monthly: 0.0074}
+	tab.PUFEntropy = core.Quality{Start: 0.6492, End: 0.6491}
+	out := RenderTableI(tab)
+	for _, want := range []string{"WCHD", "AVG.", "WC.", "2.49%", "2.97%", "+19.30%", "PUF entropy", "64.92%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLinePlot(t *testing.T) {
+	series := [][]float64{
+		{1, 2, 3, 4, 5},
+		{5, 4, 3, 2, 1},
+	}
+	out, err := LinePlot("title", series, []string{"a", "b", "c", "d", "e"}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Errorf("missing series marks:\n%s", out)
+	}
+	if _, err := LinePlot("x", nil, nil, 5); err == nil {
+		t.Error("empty series accepted")
+	}
+	if _, err := LinePlot("x", [][]float64{{1, 2}, {1}}, nil, 5); err == nil {
+		t.Error("ragged series accepted")
+	}
+}
+
+func TestLinePlotConstantSeries(t *testing.T) {
+	out, err := LinePlot("flat", [][]float64{{2, 2, 2}}, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("constant series not drawn")
+	}
+}
+
+func TestHistogramPlot(t *testing.T) {
+	h, err := stats.NewHistogram(0, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		h.Add(0.025)
+	}
+	for i := 0; i < 25; i++ {
+		h.Add(0.465)
+	}
+	out := HistogramPlot("WCHD", h, 40)
+	if !strings.Contains(out, "WCHD") || !strings.Contains(out, "#") {
+		t.Errorf("histogram output:\n%s", out)
+	}
+	// Empty histogram renders gracefully.
+	h2, _ := stats.NewHistogram(0, 1, 10)
+	if out := HistogramPlot("empty", h2, 40); !strings.Contains(out, "(empty)") {
+		t.Errorf("empty histogram output:\n%s", out)
+	}
+}
+
+func TestRenderPattern(t *testing.T) {
+	v := bitvec.New(8)
+	v.Set(0, true)
+	v.Set(5, true)
+	out, err := RenderPattern(v, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "#...\n.#..\n"
+	if out != want {
+		t.Fatalf("pattern = %q, want %q", out, want)
+	}
+	if _, err := RenderPattern(v, 0); err == nil {
+		t.Error("zero width accepted")
+	}
+	// Non-multiple width still terminates with newline.
+	out, err = RenderPattern(v, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Error("missing trailing newline")
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	v := bitvec.New(6)
+	v.Set(1, true)
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, v, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "P2\n3 2\n1\n") {
+		t.Fatalf("PGM header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "0 1 0") {
+		t.Fatalf("PGM body wrong:\n%s", out)
+	}
+	if err := WritePGM(&buf, v, 4); err == nil {
+		t.Error("non-rectangular dimensions accepted")
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteSeriesCSV(&buf, "month", []string{"17-Feb", "17-Mar"},
+		[]string{"wchd", "fhw"}, [][]float64{{0.0249, 0.025}, {0.627, 0.627}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d", len(lines))
+	}
+	if lines[0] != "month,wchd,fhw" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "17-Feb,0.024900") {
+		t.Fatalf("row = %q", lines[1])
+	}
+	if err := WriteSeriesCSV(&buf, "x", []string{"a"}, []string{"h"}, [][]float64{{1, 2}}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := WriteSeriesCSV(&buf, "x", []string{"a"}, []string{"h", "g"}, [][]float64{{1}}); err == nil {
+		t.Error("header mismatch accepted")
+	}
+}
+
+func TestRenderWaveforms(t *testing.T) {
+	trace := []device.Transition{
+		{Channel: 3, At: 0, On: true},
+		{Channel: 3, At: desim.FromSeconds(3.8), On: false},
+		{Channel: 19, At: desim.FromSeconds(2.7), On: true},
+	}
+	out := RenderWaveforms(trace, []int{3, 19}, desim.FromSeconds(5.4), 54)
+	if !strings.Contains(out, "S3") || !strings.Contains(out, "S19") {
+		t.Errorf("waveforms missing channels:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// S3 row: high at the start, low near the end.
+	if !strings.Contains(lines[0], "-") || !strings.Contains(lines[0], "_") {
+		t.Errorf("S3 waveform shape wrong: %q", lines[0])
+	}
+}

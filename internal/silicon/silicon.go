@@ -1,0 +1,242 @@
+// Package silicon defines device profiles and per-device parameter
+// sampling for the simulated SRAM populations.
+//
+// A DeviceProfile describes a *family* of chips (the ATmega32u4 on the
+// Arduino Leonardo boards of the paper, or the 65 nm CMOS comparator of the
+// accelerated-aging baseline). Its numeric model parameters are not magic
+// constants: they are solved by package calib from the paper's measured
+// Table I targets, so the profile is exactly as biased, as noisy and as
+// aging-prone as the silicon the paper measured.
+//
+// Per-device instance parameters (DeviceParams) add the board-to-board
+// spread that produces the paper's worst-case (WC) rows: each board gets a
+// jittered mismatch ratio and bias, calibrated against the AVG-to-WC gaps
+// of Table I via order statistics of 16 devices.
+package silicon
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/aging"
+	"repro/internal/calib"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// DeviceProfile describes a family of SRAM devices and its calibrated
+// probabilistic model. All skew quantities are in units of the power-up
+// noise sigma.
+type DeviceProfile struct {
+	Name       string
+	Technology string
+
+	// Geometry.
+	SRAMBytes       int // total on-chip SRAM (2560 = 2.5 KByte on ATmega32u4)
+	ReadWindowBytes int // bytes read out per power-up (1024 in the paper)
+
+	// Electrical operating point.
+	OperatingVoltage float64
+	NominalTempC     float64
+
+	// Calibrated population model.
+	Lambda float64 // mismatch-to-noise sigma ratio
+	Mu     float64 // mismatch mean (bias)
+
+	// Per-device spread (see DeviceParams).
+	LambdaRelJitter float64 // relative sigma of per-device Lambda
+	BiasZJitter     float64 // sigma of per-device bias z-score
+
+	// Aging model.
+	Kinetics        aging.Kinetics
+	AgingDispersion float64 // per-cell aging-rate dispersion coefficient B
+}
+
+// Validate checks profile consistency.
+func (p DeviceProfile) Validate() error {
+	switch {
+	case p.SRAMBytes <= 0:
+		return fmt.Errorf("silicon: non-positive SRAM size %d", p.SRAMBytes)
+	case p.ReadWindowBytes <= 0 || p.ReadWindowBytes > p.SRAMBytes:
+		return fmt.Errorf("silicon: read window %d B invalid for %d B SRAM", p.ReadWindowBytes, p.SRAMBytes)
+	case p.Lambda <= 0:
+		return fmt.Errorf("silicon: non-positive lambda %v", p.Lambda)
+	case p.LambdaRelJitter < 0 || p.LambdaRelJitter > 0.5:
+		return fmt.Errorf("silicon: lambda jitter %v outside [0,0.5]", p.LambdaRelJitter)
+	case p.BiasZJitter < 0:
+		return fmt.Errorf("silicon: negative bias jitter %v", p.BiasZJitter)
+	case p.AgingDispersion < 0:
+		return fmt.Errorf("silicon: negative aging dispersion %v", p.AgingDispersion)
+	}
+	return p.Kinetics.Validate()
+}
+
+// Cells returns the number of SRAM bits on the device.
+func (p DeviceProfile) Cells() int { return p.SRAMBytes * 8 }
+
+// ReadWindowBits returns the number of bits read out per power-up.
+func (p DeviceProfile) ReadWindowBits() int { return p.ReadWindowBytes * 8 }
+
+// Spread constants, derived from the AVG-to-WC gaps of Table I.
+//
+// For 16 devices E[max of 16 iid normals] ~ 1.766 sigma
+// (calib.ExpectedMaxOfNormals). The paper's WCHD gap (2.72% WC vs 2.49%
+// AVG) translates into a ~5% relative sigma on the per-device mismatch
+// ratio (WCHD scales ~ 1/lambda); the FHW gap (65.78% WC vs 62.70% AVG)
+// into a 0.046 sigma on the per-device bias z-score
+// (dFHW/dz = phi(z0) ~ 0.378 at z0 = PhiInv(0.627)).
+const (
+	defaultLambdaRelJitter = 0.052
+	defaultBiasZJitter     = 0.046
+)
+
+// Duty cycle of the paper's measurement rig: 3.8 s powered per 5.4 s cycle.
+const (
+	PowerOnSeconds  = 3.8
+	PowerOffSeconds = 1.6
+	CycleSeconds    = PowerOnSeconds + PowerOffSeconds
+)
+
+var (
+	calOnce   sync.Once
+	calNom    calib.Result
+	calAcc    calib.Result
+	calMonths struct{ nom, acc int }
+	calErr    error
+)
+
+// runCalibration solves both profiles' model parameters once per process
+// (disk-cached across processes by calib.CachedCalibrate).
+func runCalibration() {
+	tn := calib.PaperTargets()
+	calNom, calErr = calib.CachedCalibrate(tn, 1000, 16)
+	if calErr != nil {
+		return
+	}
+	calMonths.nom = tn.Months
+	ta := calib.AcceleratedTargets()
+	calAcc, calErr = calib.CachedCalibrate(ta, 1000, 16)
+	calMonths.acc = ta.Months
+}
+
+// kineticsFromCalibration converts a calibrated total drift into a
+// power-law amplitude for the given kinetics shape: A = Delta_T / t_eff^beta.
+func kineticsFromCalibration(base aging.Kinetics, totalDrift float64, months int) aging.Kinetics {
+	k := base
+	te := k.EffectiveTime(float64(months))
+	k.Amplitude = totalDrift / math.Pow(te, k.Exponent)
+	return k
+}
+
+// baseNominalKinetics is the kinetics *shape* shared by both profiles:
+// reaction-diffusion exponent, NBTI/PBTI split, the rig's duty factor and
+// moderate BTI relaxation, with Arrhenius/voltage acceleration anchored at
+// the profile's own test conditions (AF = 1 during the calibrated run).
+func baseNominalKinetics(tempC, voltage float64) aging.Kinetics {
+	return aging.Kinetics{
+		Exponent:           0.35, // decelerating monthly change (paper §IV-D)
+		NBTIShare:          0.75, // NBTI dominant, PBTI secondary (§II-B)
+		DutyOn:             PowerOnSeconds / CycleSeconds,
+		Recovery:           0.25,
+		TempC:              tempC,
+		Voltage:            voltage,
+		RefTempC:           tempC,
+		RefVoltage:         voltage,
+		ActivationEnergyEV: 0.15,
+		VoltageExponent:    3,
+	}
+}
+
+// ATmega32u4 returns the calibrated profile of the paper's device: the
+// SRAM of the ATmega32u4 microcontroller on an Arduino Leonardo board
+// (2.5 KByte SRAM, 5 V, room temperature, first 1 KByte read out).
+func ATmega32u4() (DeviceProfile, error) {
+	calOnce.Do(runCalibration)
+	if calErr != nil {
+		return DeviceProfile{}, calErr
+	}
+	p := DeviceProfile{
+		Name:             "ATmega32u4",
+		Technology:       "AVR 8-bit MCU embedded SRAM",
+		SRAMBytes:        2560,
+		ReadWindowBytes:  1024,
+		OperatingVoltage: 5.0,
+		NominalTempC:     25,
+		Lambda:           calNom.Lambda,
+		Mu:               calNom.Mu,
+		LambdaRelJitter:  defaultLambdaRelJitter,
+		BiasZJitter:      defaultBiasZJitter,
+		Kinetics:         kineticsFromCalibration(baseNominalKinetics(25, 5.0), calNom.TotalDrift, calMonths.nom),
+		AgingDispersion:  calNom.Dispersion,
+	}
+	return p, p.Validate()
+}
+
+// CMOS65nmAccelerated returns the calibrated profile of the
+// accelerated-aging comparator (Maes & van der Leest, HOST 2014, paper
+// ref [5]): a 65 nm CMOS SRAM whose reported equivalent-time WCHD
+// trajectory runs from 5.3% to 7.2% over the first two years
+// (+1.28%/month). Time for this profile is *equivalent* time; the
+// aging.Kinetics acceleration machinery maps it back to oven wall-clock.
+func CMOS65nmAccelerated() (DeviceProfile, error) {
+	calOnce.Do(runCalibration)
+	if calErr != nil {
+		return DeviceProfile{}, calErr
+	}
+	p := DeviceProfile{
+		Name:             "CMOS65nm-accelerated",
+		Technology:       "65 nm CMOS test chip",
+		SRAMBytes:        2560, // matched geometry for like-for-like comparison
+		ReadWindowBytes:  1024,
+		OperatingVoltage: 1.2,
+		NominalTempC:     25,
+		Lambda:           calAcc.Lambda,
+		Mu:               calAcc.Mu,
+		LambdaRelJitter:  defaultLambdaRelJitter,
+		BiasZJitter:      defaultBiasZJitter,
+		Kinetics:         kineticsFromCalibration(baseNominalKinetics(25, 1.2), calAcc.TotalDrift, calMonths.acc),
+		AgingDispersion:  calAcc.Dispersion,
+	}
+	return p, p.Validate()
+}
+
+// NominalCalibration exposes the cached calibration result of the paper's
+// profile for reporting and tests.
+func NominalCalibration() (calib.Result, error) {
+	calOnce.Do(runCalibration)
+	return calNom, calErr
+}
+
+// AcceleratedCalibration exposes the cached calibration result of the
+// accelerated comparator profile.
+func AcceleratedCalibration() (calib.Result, error) {
+	calOnce.Do(runCalibration)
+	return calAcc, calErr
+}
+
+// DeviceParams are the per-board instance parameters drawn around the
+// profile's population values.
+type DeviceParams struct {
+	Lambda float64 // this board's mismatch sigma ratio
+	Mu     float64 // this board's mismatch mean
+}
+
+// SampleDeviceParams draws the instance parameters of one physical board.
+// The draw is deterministic in the supplied stream.
+func SampleDeviceParams(p DeviceProfile, src *rng.Source) DeviceParams {
+	lambda := p.Lambda * (1 + p.LambdaRelJitter*src.NormFloat64())
+	if lambda < 0.1*p.Lambda {
+		lambda = 0.1 * p.Lambda // guard absurd tail draws
+	}
+	z0 := p.Mu / math.Sqrt(1+p.Lambda*p.Lambda)
+	z := z0 + p.BiasZJitter*src.NormFloat64()
+	mu := z * math.Sqrt(1+lambda*lambda)
+	return DeviceParams{Lambda: lambda, Mu: mu}
+}
+
+// ExpectedFHW returns the expected fractional Hamming weight of a device
+// with the given instance parameters.
+func (d DeviceParams) ExpectedFHW() float64 {
+	return stats.Phi(d.Mu / math.Sqrt(1+d.Lambda*d.Lambda))
+}

@@ -1,0 +1,273 @@
+package sp80022
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+func randomBits(seed uint64, n int, p float64) *bitvec.Vector {
+	src := rng.New(seed)
+	v := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		v.Set(i, src.Bernoulli(p))
+	}
+	return v
+}
+
+func alternating(n int) *bitvec.Vector {
+	v := bitvec.New(n)
+	for i := 1; i < n; i += 2 {
+		v.Set(i, true)
+	}
+	return v
+}
+
+func TestIgamcKnownValues(t *testing.T) {
+	// Q(1, x) = exp(-x).
+	for _, x := range []float64{0.1, 1, 3} {
+		if got := igamc(1, x); math.Abs(got-math.Exp(-x)) > 1e-12 {
+			t.Errorf("igamc(1,%v) = %v, want %v", x, got, math.Exp(-x))
+		}
+	}
+	// Q(0.5, x) = erfc(sqrt(x)).
+	for _, x := range []float64{0.25, 1, 4} {
+		want := math.Erfc(math.Sqrt(x))
+		if got := igamc(0.5, x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("igamc(0.5,%v) = %v, want %v", x, got, want)
+		}
+	}
+	if igamc(2, 0) != 1 {
+		t.Error("igamc(a,0) should be 1")
+	}
+	if !math.IsNaN(igamc(-1, 1)) {
+		t.Error("igamc with a<=0 should be NaN")
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	src := rng.New(1)
+	n := 256
+	re := make([]float64, n)
+	im := make([]float64, n)
+	timeEnergy := 0.0
+	for i := range re {
+		re[i] = src.NormFloat64()
+		timeEnergy += re[i] * re[i]
+	}
+	if err := fft(re, im); err != nil {
+		t.Fatal(err)
+	}
+	freqEnergy := 0.0
+	for i := range re {
+		freqEnergy += re[i]*re[i] + im[i]*im[i]
+	}
+	if math.Abs(freqEnergy/float64(n)-timeEnergy) > 1e-6*timeEnergy {
+		t.Fatalf("Parseval violated: %v vs %v", freqEnergy/float64(n), timeEnergy)
+	}
+	if err := fft(make([]float64, 3), make([]float64, 3)); err == nil {
+		t.Error("non-power-of-two length accepted")
+	}
+	if err := fft(make([]float64, 4), make([]float64, 8)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestGF2Rank(t *testing.T) {
+	// Identity has full rank.
+	rows := make([]uint64, 8)
+	for i := range rows {
+		rows[i] = 1 << uint(i)
+	}
+	if r := gf2Rank(rows, 8); r != 8 {
+		t.Fatalf("identity rank = %d", r)
+	}
+	// All-equal rows have rank 1.
+	rows = []uint64{0b1011, 0b1011, 0b1011, 0b1011}
+	if r := gf2Rank(rows, 4); r != 1 {
+		t.Fatalf("duplicate-row rank = %d", r)
+	}
+	// Zero matrix has rank 0.
+	rows = make([]uint64, 4)
+	if r := gf2Rank(rows, 4); r != 0 {
+		t.Fatalf("zero rank = %d", r)
+	}
+}
+
+// uniformPasses asserts that a test passes on uniform random data.
+func uniformPasses(t *testing.T, name string, run func(*bitvec.Vector) (Result, error)) {
+	t.Helper()
+	pass := 0
+	const trials = 8
+	for seed := uint64(0); seed < trials; seed++ {
+		bits := randomBits(seed+100, 1<<
+			15, 0.5)
+		r, err := run(bits)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.Pass {
+			pass++
+		}
+	}
+	// With alpha=0.01 the chance of >=2 failures in 8 trials is ~0.3%.
+	if pass < trials-1 {
+		t.Fatalf("%s passed only %d/%d uniform trials", name, pass, trials)
+	}
+}
+
+func TestUniformDataPassesBattery(t *testing.T) {
+	uniformPasses(t, "frequency", Frequency)
+	uniformPasses(t, "block-frequency", func(b *bitvec.Vector) (Result, error) { return BlockFrequency(b, 128) })
+	uniformPasses(t, "runs", Runs)
+	uniformPasses(t, "longest-run", LongestRunOfOnes)
+	uniformPasses(t, "cusum", CumulativeSums)
+	uniformPasses(t, "serial", func(b *bitvec.Vector) (Result, error) { return Serial(b, 2) })
+	uniformPasses(t, "apen", func(b *bitvec.Vector) (Result, error) { return ApproximateEntropy(b, 2) })
+	uniformPasses(t, "dft", DFT)
+}
+
+func TestBiasedDataFailsFrequency(t *testing.T) {
+	// Raw SRAM-PUF bias (62.7%) must fail the monobit test decisively —
+	// this is exactly why conditioning is required before use as a TRNG.
+	bits := randomBits(1, 1<<15, 0.627)
+	r, err := Frequency(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pass {
+		t.Fatalf("62.7%%-biased data passed frequency test (p=%v)", r.PValue)
+	}
+}
+
+func TestAlternatingFailsRuns(t *testing.T) {
+	bits := alternating(1 << 14)
+	r, err := Runs(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pass {
+		t.Fatalf("alternating sequence passed runs test (p=%v)", r.PValue)
+	}
+	// It also fails serial and approximate entropy.
+	r2, err := Serial(bits, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Pass {
+		t.Fatalf("alternating sequence passed serial test (p=%v)", r2.PValue)
+	}
+	r3, err := ApproximateEntropy(bits, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Pass {
+		t.Fatalf("alternating sequence passed apen test (p=%v)", r3.PValue)
+	}
+}
+
+func TestConstantFailsEverything(t *testing.T) {
+	bits := bitvec.New(1 << 14)
+	for _, run := range []func(*bitvec.Vector) (Result, error){
+		Frequency, Runs, CumulativeSums, DFT,
+	} {
+		r, err := run(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Pass {
+			t.Fatalf("constant sequence passed %s (p=%v)", r.Name, r.PValue)
+		}
+	}
+}
+
+func TestLongestRunShortParameterisation(t *testing.T) {
+	// 1024 bits uses the M=8 table.
+	bits := randomBits(7, 1024, 0.5)
+	r, err := LongestRunOfOnes(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "longest-run" {
+		t.Fatalf("name = %q", r.Name)
+	}
+}
+
+func TestMatrixRank(t *testing.T) {
+	bits := randomBits(8, 38*1024+100, 0.5)
+	r, err := BinaryMatrixRank(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pass {
+		t.Fatalf("uniform data failed matrix rank (p=%v)", r.PValue)
+	}
+	// Highly structured data (all zero) fails.
+	zero := bitvec.New(38 * 1024)
+	r, err = BinaryMatrixRank(zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pass {
+		t.Fatal("zero matrix data passed rank test")
+	}
+	if _, err := BinaryMatrixRank(bitvec.New(100)); err == nil {
+		t.Error("short input accepted")
+	}
+}
+
+func TestParameterValidation(t *testing.T) {
+	bits := randomBits(9, 4096, 0.5)
+	if _, err := BlockFrequency(bits, 1); err == nil {
+		t.Error("block size 1 accepted")
+	}
+	if _, err := Serial(bits, 1); err == nil {
+		t.Error("serial m=1 accepted")
+	}
+	if _, err := Serial(bits, 20); err == nil {
+		t.Error("serial m=20 accepted")
+	}
+	if _, err := ApproximateEntropy(bits, 0); err == nil {
+		t.Error("apen m=0 accepted")
+	}
+	if _, err := Frequency(bitvec.New(10)); err == nil {
+		t.Error("short input accepted")
+	}
+	if _, err := Frequency(nil); err == nil {
+		t.Error("nil input accepted")
+	}
+}
+
+func TestBattery(t *testing.T) {
+	bits := randomBits(10, 1<<16, 0.5)
+	results, err := Battery(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) < 8 {
+		t.Fatalf("battery ran %d tests", len(results))
+	}
+	passed, total := PassCount(results)
+	if passed < total-1 {
+		for _, r := range results {
+			t.Logf("%s: p=%v pass=%v", r.Name, r.PValue, r.Pass)
+		}
+		t.Fatalf("uniform data passed only %d/%d battery tests", passed, total)
+	}
+	if _, err := Battery(bitvec.New(10)); err == nil {
+		t.Error("short battery input accepted")
+	}
+}
+
+func BenchmarkBattery64K(b *testing.B) {
+	bits := randomBits(1, 1<<16, 0.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Battery(bits); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

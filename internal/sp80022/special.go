@@ -1,0 +1,136 @@
+package sp80022
+
+import (
+	"errors"
+	"math"
+)
+
+// igamc returns the regularized upper incomplete gamma function Q(a, x),
+// computed by the series expansion for x < a+1 and the continued fraction
+// otherwise (Numerical Recipes style). It is the p-value kernel of the
+// chi-squared based tests.
+func igamc(a, x float64) float64 {
+	switch {
+	case a <= 0 || math.IsNaN(a) || math.IsNaN(x):
+		return math.NaN()
+	case x <= 0:
+		return 1
+	case x < a+1:
+		return 1 - igamSeries(a, x)
+	default:
+		return igamCF(a, x)
+	}
+}
+
+// igamSeries computes P(a,x) by its power series.
+func igamSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for n := 0; n < 500; n++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// igamCF computes Q(a,x) by its continued fraction (modified Lentz).
+func igamCF(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// fft computes the in-place radix-2 decimation-in-time FFT of the complex
+// sequence given as separate real and imaginary slices. Length must be a
+// power of two.
+func fft(re, im []float64) error {
+	n := len(re)
+	if n != len(im) {
+		return errors.New("sp80022: fft length mismatch")
+	}
+	if n == 0 || n&(n-1) != 0 {
+		return errors.New("sp80022: fft length must be a power of two")
+	}
+	// Bit reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wRe, wIm := math.Cos(ang), math.Sin(ang)
+		for i := 0; i < n; i += length {
+			curRe, curIm := 1.0, 0.0
+			for j := 0; j < length/2; j++ {
+				uRe, uIm := re[i+j], im[i+j]
+				vRe := re[i+j+length/2]*curRe - im[i+j+length/2]*curIm
+				vIm := re[i+j+length/2]*curIm + im[i+j+length/2]*curRe
+				re[i+j], im[i+j] = uRe+vRe, uIm+vIm
+				re[i+j+length/2], im[i+j+length/2] = uRe-vRe, uIm-vIm
+				curRe, curIm = curRe*wRe-curIm*wIm, curRe*wIm+curIm*wRe
+			}
+		}
+	}
+	return nil
+}
+
+// gf2Rank computes the rank of a square GF(2) matrix given as row bit
+// masks (bit j of rows[i] is column j).
+func gf2Rank(rows []uint64, dim int) int {
+	rank := 0
+	for col := 0; col < dim && rank < len(rows); col++ {
+		pivot := -1
+		for r := rank; r < len(rows); r++ {
+			if rows[r]>>uint(col)&1 == 1 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		rows[rank], rows[pivot] = rows[pivot], rows[rank]
+		for r := 0; r < len(rows); r++ {
+			if r != rank && rows[r]>>uint(col)&1 == 1 {
+				rows[r] ^= rows[rank]
+			}
+		}
+		rank++
+	}
+	return rank
+}

@@ -1,0 +1,71 @@
+package sp80022
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitvec"
+)
+
+// NonOverlappingTemplate is the non-overlapping template matching test
+// (SP 800-22 §2.7): it counts non-overlapping occurrences of an aperiodic
+// template in each of N independent blocks and compares against the
+// theoretical mean and variance.
+func NonOverlappingTemplate(bits *bitvec.Vector, template []uint8) (Result, error) {
+	if err := checkLen(bits, 1024, "template"); err != nil {
+		return Result{}, err
+	}
+	m := len(template)
+	if m < 2 || m > 16 {
+		return Result{}, fmt.Errorf("sp80022: template length %d outside [2,16]", m)
+	}
+	for _, b := range template {
+		if b > 1 {
+			return Result{}, fmt.Errorf("sp80022: template must be binary")
+		}
+	}
+	const blocks = 8
+	n := bits.Len()
+	blockLen := n / blocks
+	if blockLen <= m {
+		return Result{}, fmt.Errorf("sp80022: blocks too small for template")
+	}
+	mu := float64(blockLen-m+1) / math.Pow(2, float64(m))
+	sigma2 := float64(blockLen) * (1/math.Pow(2, float64(m)) -
+		float64(2*m-1)/math.Pow(2, float64(2*m)))
+	chi2 := 0.0
+	for b := 0; b < blocks; b++ {
+		count := 0
+		for i := b * blockLen; i <= (b+1)*blockLen-m; {
+			if matchTemplate(bits, i, template) {
+				count++
+				i += m // non-overlapping: jump past the match
+			} else {
+				i++
+			}
+		}
+		d := float64(count) - mu
+		chi2 += d * d / sigma2
+	}
+	p := igamc(float64(blocks)/2, chi2/2)
+	return result(fmt.Sprintf("non-overlapping-template(m=%d)", m), p), nil
+}
+
+func matchTemplate(bits *bitvec.Vector, at int, template []uint8) bool {
+	for j, tb := range template {
+		got := uint8(0)
+		if bits.Get(at + j) {
+			got = 1
+		}
+		if got != tb {
+			return false
+		}
+	}
+	return true
+}
+
+// DefaultTemplate returns the standard 9-bit aperiodic template
+// 000000001 used as the suite's default.
+func DefaultTemplate() []uint8 {
+	return []uint8{0, 0, 0, 0, 0, 0, 0, 0, 1}
+}

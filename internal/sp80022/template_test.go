@@ -1,0 +1,56 @@
+package sp80022
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+func TestNonOverlappingTemplateUniform(t *testing.T) {
+	pass := 0
+	const trials = 8
+	for seed := uint64(0); seed < trials; seed++ {
+		bits := randomBits(seed+300, 1<<15, 0.5)
+		r, err := NonOverlappingTemplate(bits, DefaultTemplate())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Pass {
+			pass++
+		}
+	}
+	if pass < trials-1 {
+		t.Fatalf("uniform data passed only %d/%d template trials", pass, trials)
+	}
+}
+
+func TestNonOverlappingTemplateDetectsStuffing(t *testing.T) {
+	// A sequence stuffed with the template at a high rate must fail.
+	tpl := DefaultTemplate()
+	v := bitvec.New(1 << 15)
+	for i := 0; i+len(tpl) < v.Len(); i += 12 {
+		for j, b := range tpl {
+			v.Set(i+j, b == 1)
+		}
+	}
+	r, err := NonOverlappingTemplate(v, tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pass {
+		t.Fatalf("template-stuffed sequence passed (p=%v)", r.PValue)
+	}
+}
+
+func TestNonOverlappingTemplateValidation(t *testing.T) {
+	bits := randomBits(1, 1<<12, 0.5)
+	if _, err := NonOverlappingTemplate(bits, []uint8{1}); err == nil {
+		t.Error("1-bit template accepted")
+	}
+	if _, err := NonOverlappingTemplate(bits, []uint8{0, 2, 1}); err == nil {
+		t.Error("non-binary template accepted")
+	}
+	if _, err := NonOverlappingTemplate(bitvec.New(100), DefaultTemplate()); err == nil {
+		t.Error("short input accepted")
+	}
+}

@@ -1,0 +1,297 @@
+package sp80090b
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func biasedBits(seed uint64, n int, p float64) []uint8 {
+	src := rng.New(seed)
+	out := make([]uint8, n)
+	for i := range out {
+		if src.Bernoulli(p) {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+func alternatingBits(n int) []uint8 {
+	out := make([]uint8, n)
+	for i := range out {
+		out[i] = uint8(i % 2)
+	}
+	return out
+}
+
+func constantBits(n int) []uint8 { return make([]uint8, n) }
+
+func TestValidateBits(t *testing.T) {
+	if _, err := MostCommonValue([]uint8{0}); err == nil {
+		t.Error("short input accepted")
+	}
+	if _, err := MostCommonValue([]uint8{0, 2, 1}); err == nil {
+		t.Error("non-binary sample accepted")
+	}
+}
+
+func TestMCVUniform(t *testing.T) {
+	h, err := MostCommonValue(biasedBits(1, 100000, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 0.95 || h > 1 {
+		t.Fatalf("MCV on uniform = %v, want ~1", h)
+	}
+}
+
+func TestMCVBiased(t *testing.T) {
+	// p = 0.627: true min-entropy is -log2(0.627) = 0.674.
+	h, err := MostCommonValue(biasedBits(2, 200000, 0.627))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-0.674) > 0.02 {
+		t.Fatalf("MCV on 62.7%% bias = %v, want ~0.674", h)
+	}
+}
+
+func TestMCVConstant(t *testing.T) {
+	h, err := MostCommonValue(constantBits(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 0 {
+		t.Fatalf("MCV on constant = %v, want 0", h)
+	}
+}
+
+func TestCollisionUniformAndBiased(t *testing.T) {
+	hU, err := Collision(biasedBits(3, 200000, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hU < 0.85 {
+		t.Fatalf("collision on uniform = %v", hU)
+	}
+	hB, err := Collision(biasedBits(4, 200000, 0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hB >= hU {
+		t.Fatalf("collision estimate did not drop with bias: %v vs %v", hB, hU)
+	}
+	hC, err := Collision(constantBits(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hC > 0.01 {
+		t.Fatalf("collision on constant = %v", hC)
+	}
+}
+
+func TestMarkovDetectsStructure(t *testing.T) {
+	// An alternating sequence is balanced (MCV ~ 1) but fully predictable
+	// from the previous bit; Markov must catch it.
+	alt := alternatingBits(100000)
+	hMCV, err := MostCommonValue(alt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hMCV < 0.95 {
+		t.Fatalf("MCV on alternating = %v (sanity)", hMCV)
+	}
+	hM, err := Markov(alt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hM > 0.05 {
+		t.Fatalf("Markov on alternating = %v, want ~0", hM)
+	}
+	// Uniform i.i.d. stays high.
+	hU, err := Markov(biasedBits(5, 100000, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hU < 0.9 {
+		t.Fatalf("Markov on uniform = %v", hU)
+	}
+}
+
+func TestCompressionOrdersSources(t *testing.T) {
+	hU, err := Compression(biasedBits(6, 60000, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hB, err := Compression(biasedBits(7, 60000, 0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hU <= hB {
+		t.Fatalf("compression estimate ordering wrong: uniform %v <= biased %v", hU, hB)
+	}
+	if hU < 0.5 || hU > 1 {
+		t.Fatalf("compression on uniform = %v", hU)
+	}
+}
+
+func TestTTuple(t *testing.T) {
+	// The t-tuple estimator is conservative by construction (max-count
+	// upper bounds over overlapping windows); ~0.88-0.95 on truly uniform
+	// data matches the reference NIST tool's behaviour.
+	hU, err := TTuple(biasedBits(8, 100000, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hU < 0.85 {
+		t.Fatalf("t-tuple on uniform = %v", hU)
+	}
+	hC, err := TTuple(constantBits(10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hC > 0.01 {
+		t.Fatalf("t-tuple on constant = %v", hC)
+	}
+	hB, err := TTuple(biasedBits(9, 100000, 0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hB >= hU {
+		t.Fatalf("t-tuple ordering wrong: %v vs %v", hB, hU)
+	}
+}
+
+func TestLRS(t *testing.T) {
+	hU, err := LRS(biasedBits(10, 50000, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hU < 0.7 {
+		t.Fatalf("LRS on uniform = %v", hU)
+	}
+	// A periodic sequence has massive repeated substrings.
+	periodic := make([]uint8, 50000)
+	for i := range periodic {
+		periodic[i] = uint8((i / 3) % 2)
+	}
+	hP, err := LRS(periodic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hP >= hU {
+		t.Fatalf("LRS did not penalise periodicity: %v vs %v", hP, hU)
+	}
+}
+
+func TestAssessTakesMinimum(t *testing.T) {
+	a, err := Assess(biasedBits(11, 60000, 0.627))
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := a.MCV
+	for _, h := range []float64{a.Collision, a.Markov, a.Compression, a.TTuple, a.LRS} {
+		if h < min {
+			min = h
+		}
+	}
+	if a.Min != min {
+		t.Fatalf("Assess.Min = %v, want %v", a.Min, min)
+	}
+	if a.Min <= 0 || a.Min > 0.674+0.05 {
+		t.Fatalf("assessed entropy of 62.7%%-biased source = %v", a.Min)
+	}
+}
+
+func TestRepetitionCountTest(t *testing.T) {
+	if _, err := NewRepetitionCountTest(0); err == nil {
+		t.Error("zero entropy accepted")
+	}
+	rct, err := NewRepetitionCountTest(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rct.Cutoff() != 21 {
+		t.Fatalf("cutoff = %d, want 21 for H=1", rct.Cutoff())
+	}
+	// 20 repeats pass, the 21st fails.
+	for i := 0; i < 20; i++ {
+		if !rct.Feed(1) {
+			t.Fatalf("tripped early at repeat %d", i+1)
+		}
+	}
+	if rct.Feed(1) {
+		t.Fatal("did not trip at cutoff")
+	}
+	if !rct.Failed() {
+		t.Fatal("Failed() false after trip")
+	}
+}
+
+func TestRepetitionCountResetOnChange(t *testing.T) {
+	rct, _ := NewRepetitionCountTest(0.5) // cutoff 41
+	for i := 0; i < 1000; i++ {
+		if !rct.Feed(uint8(i % 2)) {
+			t.Fatal("alternating input tripped RCT")
+		}
+	}
+}
+
+func TestAdaptiveProportionTest(t *testing.T) {
+	if _, err := NewAdaptiveProportionTest(2); err == nil {
+		t.Error("entropy > 1 accepted")
+	}
+	apt, err := NewAdaptiveProportionTest(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform input passes comfortably.
+	src := rng.New(12)
+	for i := 0; i < 100000; i++ {
+		var b uint8
+		if src.Bernoulli(0.5) {
+			b = 1
+		}
+		if !apt.Feed(b) {
+			t.Fatal("uniform input tripped APT")
+		}
+	}
+	// A constant run inside a window trips it.
+	apt2, _ := NewAdaptiveProportionTest(1.0)
+	tripped := false
+	for i := 0; i < 1024; i++ {
+		if !apt2.Feed(0) {
+			tripped = true
+			break
+		}
+	}
+	if !tripped {
+		t.Fatal("constant window did not trip APT")
+	}
+}
+
+func TestBytesToBits(t *testing.T) {
+	bits := BytesToBits([]byte{0x03})
+	want := []uint8{1, 1, 0, 0, 0, 0, 0, 0}
+	if len(bits) != 8 {
+		t.Fatalf("length = %d", len(bits))
+	}
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Fatalf("bits = %v, want %v", bits, want)
+		}
+	}
+}
+
+func BenchmarkAssess(b *testing.B) {
+	bits := biasedBits(1, 60000, 0.627)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Assess(bits); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

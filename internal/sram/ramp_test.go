@@ -1,0 +1,91 @@
+package sram
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+func TestEffectiveNoiseSigma(t *testing.T) {
+	// Reference ramp gives sigma 1.
+	s, err := EffectiveNoiseSigma(ReferenceRampSeconds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-12 {
+		t.Fatalf("sigma at reference ramp = %v", s)
+	}
+	// Slower ramp -> less noise; faster ramp -> more noise.
+	slow, _ := EffectiveNoiseSigma(10 * ReferenceRampSeconds)
+	fast, _ := EffectiveNoiseSigma(ReferenceRampSeconds / 10)
+	if !(slow < 1 && fast > 1) {
+		t.Fatalf("ramp ordering wrong: slow=%v fast=%v", slow, fast)
+	}
+	// Exponent 0.5: 100x slower ramp halves... gives 10x less? (1/100)^0.5 = 0.1.
+	s100, _ := EffectiveNoiseSigma(100 * ReferenceRampSeconds)
+	if math.Abs(s100-0.1) > 1e-12 {
+		t.Fatalf("sigma at 100x ramp = %v, want 0.1", s100)
+	}
+	if _, err := EffectiveNoiseSigma(0); err == nil {
+		t.Fatal("zero ramp accepted")
+	}
+}
+
+func TestRampControlsFlipRate(t *testing.T) {
+	// The ref [17] trade-off: slower ramps reduce within-class flips,
+	// faster ramps increase them.
+	a := testArray(t, 20)
+	countFlips := func(ramp float64) int {
+		ref := bitvec.New(a.Cells())
+		cur := bitvec.New(a.Cells())
+		if err := a.PowerUpWithRamp(ref, ramp); err != nil {
+			t.Fatal(err)
+		}
+		flips := 0
+		const reps = 5
+		for i := 0; i < reps; i++ {
+			if err := a.PowerUpWithRamp(cur, ramp); err != nil {
+				t.Fatal(err)
+			}
+			d, err := cur.HammingDistance(ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			flips += d
+		}
+		return flips
+	}
+	slow := countFlips(100 * ReferenceRampSeconds)
+	nominal := countFlips(ReferenceRampSeconds)
+	fast := countFlips(ReferenceRampSeconds / 100)
+	if !(slow < nominal && nominal < fast) {
+		t.Fatalf("flip ordering wrong: slow=%d nominal=%d fast=%d", slow, nominal, fast)
+	}
+}
+
+func TestExpectedWCHDAtRamp(t *testing.T) {
+	a := testArray(t, 21)
+	nominal, err := a.ExpectedWCHDAtRamp(ReferenceRampSeconds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the reference ramp this must agree with the calibrated band.
+	if nominal < 0.015 || nominal > 0.04 {
+		t.Fatalf("nominal-ramp WCHD = %v", nominal)
+	}
+	slow, err := a.ExpectedWCHDAtRamp(100 * ReferenceRampSeconds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := a.ExpectedWCHDAtRamp(ReferenceRampSeconds / 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(slow < nominal && nominal < fast) {
+		t.Fatalf("WCHD ordering wrong: %v / %v / %v", slow, nominal, fast)
+	}
+	if _, err := a.ExpectedWCHDAtRamp(-1); err == nil {
+		t.Fatal("negative ramp accepted")
+	}
+}

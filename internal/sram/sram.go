@@ -1,0 +1,292 @@
+// Package sram simulates the power-up behaviour of a complete on-chip SRAM
+// array over its lifetime.
+//
+// An Array holds one simulated chip: per-cell static skew (process
+// variation), per-transistor BTI threshold shifts (aging state), a per-cell
+// aging-rate dispersion coefficient, and a deterministic noise stream.
+// PowerUp draws one power-up pattern exactly as the physical chip would
+// produce it; AgeTo advances the BTI state to a target age in months,
+// integrating the occupancy-weighted drift of package aging in drift space.
+//
+// Two sampling paths exist: the default Bernoulli fast path (one uniform
+// draw per cell against the cached one-probability) and a full-noise path
+// (one Gaussian draw per cell added to the skew). Both are statistically
+// identical; the ablation bench quantifies the speed difference.
+package sram
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/aging"
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+	"repro/internal/silicon"
+	"repro/internal/stats"
+)
+
+// Array is one simulated SRAM chip instance.
+type Array struct {
+	profile silicon.DeviceProfile
+	params  silicon.DeviceParams
+
+	// Per-cell state. Skew quantities are in noise-sigma units.
+	static []float64 // static skew from process variation
+	dP1    []float64 // NBTI Vth shift of P1 (skew-weighted), stressed by state 1
+	dP2    []float64 // NBTI Vth shift of P2, stressed by state 0
+	dN1    []float64 // PBTI Vth shift of N1, stressed by state 0
+	dN2    []float64 // PBTI Vth shift of N2, stressed by state 1
+	dDisp  []float64 // accumulated aging-rate dispersion drift
+	gamma  []float64 // per-cell dispersion coefficient draw ~ N(0,1)
+
+	ageMonths float64
+	noise     *rng.Source
+
+	// pcache holds the per-cell one-probability at the current age; it is
+	// invalidated by aging and rebuilt lazily.
+	pcache      []float64
+	pcacheValid bool
+
+	powerUps uint64 // number of power cycles sampled so far
+}
+
+// New creates a chip instance of the given profile. The seed stream
+// determines both the chip's process variation and its noise sequence;
+// the same seed always reproduces the same chip and measurement history.
+func New(profile silicon.DeviceProfile, seed *rng.Source) (*Array, error) {
+	if err := profile.Validate(); err != nil {
+		return nil, err
+	}
+	n := profile.Cells()
+	a := &Array{
+		profile: profile,
+		params:  silicon.SampleDeviceParams(profile, seed.Derive(0)),
+		static:  make([]float64, n),
+		dP1:     make([]float64, n),
+		dP2:     make([]float64, n),
+		dN1:     make([]float64, n),
+		dN2:     make([]float64, n),
+		dDisp:   make([]float64, n),
+		gamma:   make([]float64, n),
+		noise:   seed.Derive(2),
+		pcache:  make([]float64, n),
+	}
+	mfg := seed.Derive(1) // manufacturing variation stream
+	for i := 0; i < n; i++ {
+		a.static[i] = a.params.Mu + a.params.Lambda*mfg.NormFloat64()
+		a.gamma[i] = mfg.NormFloat64()
+	}
+	return a, nil
+}
+
+// Profile returns the device family profile.
+func (a *Array) Profile() silicon.DeviceProfile { return a.profile }
+
+// Params returns this chip instance's sampled parameters.
+func (a *Array) Params() silicon.DeviceParams { return a.params }
+
+// Cells returns the number of SRAM bits.
+func (a *Array) Cells() int { return len(a.static) }
+
+// AgeMonths returns the chip's current age in months.
+func (a *Array) AgeMonths() float64 { return a.ageMonths }
+
+// PowerUps returns the number of power cycles sampled so far.
+func (a *Array) PowerUps() uint64 { return a.powerUps }
+
+// Skew returns the current total power-up skew of cell i.
+func (a *Array) Skew(i int) float64 {
+	return a.static[i] + (a.dP2[i] - a.dP1[i]) + (a.dN1[i] - a.dN2[i]) + a.dDisp[i]
+}
+
+// OneProbability returns the current probability that cell i powers up
+// to 1.
+func (a *Array) OneProbability(i int) float64 {
+	return stats.PhiFast(a.Skew(i))
+}
+
+// TransistorShifts returns the accumulated BTI threshold shifts of the
+// four core transistors of cell i (skew-weighted units).
+func (a *Array) TransistorShifts(i int) aging.TransistorIncrements {
+	return aging.TransistorIncrements{P1: a.dP1[i], P2: a.dP2[i], N1: a.dN1[i], N2: a.dN2[i]}
+}
+
+// maxDriftStep bounds the drift-space integration step so the occupancy
+// term stays accurate (q changes little per step). With h = 0.01 the
+// first-order integration error is below 1e-3 sigma over a full campaign.
+const maxDriftStep = 0.01
+
+// AgeTo advances the chip's BTI state to the given age in months using the
+// profile's kinetics. Ageing is one-directional; an error is returned if
+// months is behind the current age.
+func (a *Array) AgeTo(months float64) error {
+	if months < a.ageMonths {
+		return fmt.Errorf("sram: cannot rejuvenate from %.3f to %.3f months", a.ageMonths, months)
+	}
+	if months == a.ageMonths {
+		return nil
+	}
+	k := a.profile.Kinetics
+	total := k.DriftIncrement(a.ageMonths, months)
+	if total > 0 {
+		steps := int(math.Ceil(total / maxDriftStep))
+		h := total / float64(steps)
+		b := a.profile.AgingDispersion
+		for s := 0; s < steps; s++ {
+			for i := range a.static {
+				q := stats.PhiFast(a.Skew(i))
+				inc := k.Resolve(q, h)
+				a.dP1[i] += inc.P1
+				a.dP2[i] += inc.P2
+				a.dN1[i] += inc.N1
+				a.dN2[i] += inc.N2
+				a.dDisp[i] += b * a.gamma[i] * h
+			}
+		}
+	}
+	a.ageMonths = months
+	a.pcacheValid = false
+	return nil
+}
+
+// probabilities returns the cached per-cell one-probabilities, rebuilding
+// the cache after aging.
+func (a *Array) probabilities() []float64 {
+	if !a.pcacheValid {
+		for i := range a.pcache {
+			a.pcache[i] = stats.PhiFast(a.Skew(i))
+		}
+		a.pcacheValid = true
+	}
+	return a.pcache
+}
+
+// PowerUp samples one full-array power-up pattern using the Bernoulli fast
+// path and stores it into dst, which must have Cells() bits.
+func (a *Array) PowerUp(dst *bitvec.Vector) error {
+	if dst.Len() != a.Cells() {
+		return fmt.Errorf("sram: destination has %d bits, array has %d cells", dst.Len(), a.Cells())
+	}
+	return a.powerUpInto(dst, a.Cells())
+}
+
+// PowerUpWindow samples one power-up and returns only the read window
+// (the first ReadWindowBytes of the SRAM), matching the paper's read-out.
+func (a *Array) PowerUpWindow() (*bitvec.Vector, error) {
+	w := bitvec.New(a.profile.ReadWindowBits())
+	if err := a.powerUpInto(w, a.profile.ReadWindowBits()); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// powerUpInto samples the first n cells into dst using one uniform draw
+// per cell packed 64 cells at a time.
+func (a *Array) powerUpInto(dst *bitvec.Vector, n int) error {
+	if dst.Len() != n {
+		return fmt.Errorf("sram: destination has %d bits, want %d", dst.Len(), n)
+	}
+	p := a.probabilities()
+	wi := 0
+	var word uint64
+	var nbits uint
+	for i := 0; i < n; i++ {
+		if a.noise.Float64() < p[i] {
+			word |= 1 << nbits
+		}
+		nbits++
+		if nbits == 64 {
+			dst.SetWord(wi, word)
+			wi++
+			word, nbits = 0, 0
+		}
+	}
+	if nbits > 0 {
+		dst.SetWord(wi, word)
+	}
+	a.powerUps++
+	return nil
+}
+
+// PowerUpFullNoise samples one power-up with an explicit Gaussian noise
+// draw per cell (skew + noise > 0), the physically literal path. It is
+// statistically identical to PowerUp and ~5x slower; kept for the noise
+// ablation and for voltage-ramp experiments where the noise sigma varies.
+func (a *Array) PowerUpFullNoise(dst *bitvec.Vector, noiseSigma float64) error {
+	if dst.Len() != a.Cells() {
+		return fmt.Errorf("sram: destination has %d bits, array has %d cells", dst.Len(), a.Cells())
+	}
+	if noiseSigma <= 0 {
+		return fmt.Errorf("sram: noise sigma must be positive, got %v", noiseSigma)
+	}
+	for i := 0; i < a.Cells(); i++ {
+		dst.Set(i, a.Skew(i)+noiseSigma*a.noise.NormFloat64() > 0)
+	}
+	a.powerUps++
+	return nil
+}
+
+// StableCellCount returns the number of cells whose one-probability is so
+// extreme that a window of w power-ups is expected to show no flip, using
+// the exact no-flip probability p^w + (1-p)^w >= threshold.
+func (a *Array) StableCellCount(w int, threshold float64) int {
+	p := a.probabilities()
+	count := 0
+	for _, pi := range p {
+		noFlip := math.Pow(pi, float64(w)) + math.Pow(1-pi, float64(w))
+		if noFlip >= threshold {
+			count++
+		}
+	}
+	return count
+}
+
+// ExpectedFHW returns the expected fractional Hamming weight of the read
+// window at the current age.
+func (a *Array) ExpectedFHW() float64 {
+	p := a.probabilities()
+	n := a.profile.ReadWindowBits()
+	s := 0.0
+	for i := 0; i < n; i++ {
+		s += p[i]
+	}
+	return s / float64(n)
+}
+
+// Snapshot captures the full aging state of the array for later Restore.
+type Snapshot struct {
+	AgeMonths float64
+	DP1       []float64
+	DP2       []float64
+	DN1       []float64
+	DN2       []float64
+	DDisp     []float64
+}
+
+// Snapshot returns a deep copy of the aging state.
+func (a *Array) Snapshot() Snapshot {
+	cp := func(x []float64) []float64 { return append([]float64(nil), x...) }
+	return Snapshot{
+		AgeMonths: a.ageMonths,
+		DP1:       cp(a.dP1), DP2: cp(a.dP2),
+		DN1: cp(a.dN1), DN2: cp(a.dN2),
+		DDisp: cp(a.dDisp),
+	}
+}
+
+// Restore resets the aging state to a previously captured snapshot.
+// The noise stream position is not restored (measurement noise is not
+// part of chip state).
+func (a *Array) Restore(s Snapshot) error {
+	if len(s.DP1) != a.Cells() {
+		return fmt.Errorf("sram: snapshot has %d cells, array has %d", len(s.DP1), a.Cells())
+	}
+	copy(a.dP1, s.DP1)
+	copy(a.dP2, s.DP2)
+	copy(a.dN1, s.DN1)
+	copy(a.dN2, s.DN2)
+	copy(a.dDisp, s.DDisp)
+	a.ageMonths = s.AgeMonths
+	a.pcacheValid = false
+	return nil
+}

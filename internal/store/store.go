@@ -1,0 +1,220 @@
+// Package store implements the measurement database of the rig: the
+// Raspberry Pi in the paper's setup receives every SRAM read-out from the
+// master boards and archives it in JSON (§III). This package provides the
+// record schema, an in-memory archive with the paper's monthly evaluation
+// window selection ("the first 1,000 consecutive measurements after
+// midnight on the 8th of each month", §IV-B), and a streaming JSON-lines
+// serialisation for on-disk archives.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/bitvec"
+)
+
+// Epoch is the start of the paper's test campaign: February 8, 2017.
+var Epoch = time.Date(2017, time.February, 8, 0, 0, 0, 0, time.UTC)
+
+// TestEnd is the end of the campaign: February 8, 2019.
+var TestEnd = time.Date(2019, time.February, 8, 0, 0, 0, 0, time.UTC)
+
+// Record is one archived SRAM power-up read-out.
+type Record struct {
+	Board int    // global board index (0..15)
+	Layer int    // rig layer (0 or 1)
+	Seq   uint64 // per-board lifetime measurement index
+	Cycle uint64 // rig cycle counter at capture time
+	Wall  time.Time
+	Data  *bitvec.Vector // the read-out window pattern
+}
+
+// jsonRecord is the wire format: timestamps in RFC3339, payload in hex —
+// matching the JSON database the Raspberry Pi kept in the paper's setup.
+type jsonRecord struct {
+	Board int    `json:"board"`
+	Layer int    `json:"layer"`
+	Seq   uint64 `json:"seq"`
+	Cycle uint64 `json:"cycle"`
+	Wall  string `json:"wall"`
+	Bits  int    `json:"bits"`
+	Data  string `json:"data"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (r Record) MarshalJSON() ([]byte, error) {
+	if r.Data == nil {
+		return nil, errors.New("store: record has no data")
+	}
+	return json.Marshal(jsonRecord{
+		Board: r.Board,
+		Layer: r.Layer,
+		Seq:   r.Seq,
+		Cycle: r.Cycle,
+		Wall:  r.Wall.UTC().Format(time.RFC3339Nano),
+		Bits:  r.Data.Len(),
+		Data:  r.Data.Hex(),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (r *Record) UnmarshalJSON(data []byte) error {
+	var j jsonRecord
+	if err := json.Unmarshal(data, &j); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	wall, err := time.Parse(time.RFC3339Nano, j.Wall)
+	if err != nil {
+		return fmt.Errorf("store: bad wall time: %w", err)
+	}
+	v, err := bitvec.ParseHex(j.Data, j.Bits)
+	if err != nil {
+		return fmt.Errorf("store: bad payload: %w", err)
+	}
+	*r = Record{Board: j.Board, Layer: j.Layer, Seq: j.Seq, Cycle: j.Cycle, Wall: wall.UTC(), Data: v}
+	return nil
+}
+
+// Archive is an in-memory, per-board ordered collection of records.
+// Appends must arrive in non-decreasing wall time per board (the rig
+// produces them in order).
+type Archive struct {
+	byBoard map[int][]Record
+	total   int
+}
+
+// NewArchive returns an empty archive.
+func NewArchive() *Archive {
+	return &Archive{byBoard: make(map[int][]Record)}
+}
+
+// Append adds one record.
+func (a *Archive) Append(r Record) error {
+	if r.Data == nil {
+		return errors.New("store: record has no data")
+	}
+	recs := a.byBoard[r.Board]
+	if len(recs) > 0 && r.Wall.Before(recs[len(recs)-1].Wall) {
+		return fmt.Errorf("store: board %d: out-of-order record at %v", r.Board, r.Wall)
+	}
+	a.byBoard[r.Board] = append(recs, r)
+	a.total++
+	return nil
+}
+
+// Len returns the total number of records.
+func (a *Archive) Len() int { return a.total }
+
+// Boards returns the board indices present, sorted.
+func (a *Archive) Boards() []int {
+	out := make([]int, 0, len(a.byBoard))
+	for b := range a.byBoard {
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Records returns the records of one board in capture order. The returned
+// slice is owned by the archive and must not be modified.
+func (a *Archive) Records(board int) []Record {
+	return a.byBoard[board]
+}
+
+// Reset discards all records, retaining allocations where possible. The
+// campaign pipeline evaluates each monthly window and resets the archive
+// to bound memory.
+func (a *Archive) Reset() {
+	for b := range a.byBoard {
+		a.byBoard[b] = a.byBoard[b][:0]
+	}
+	a.total = 0
+}
+
+// Window returns the first count records of a board at or after the given
+// wall time — the paper's evaluation window selection. It returns an error
+// if fewer than count records qualify.
+func (a *Archive) Window(board int, after time.Time, count int) ([]Record, error) {
+	recs := a.byBoard[board]
+	i := sort.Search(len(recs), func(k int) bool { return !recs[k].Wall.Before(after) })
+	if len(recs)-i < count {
+		return nil, fmt.Errorf("store: board %d has %d records after %v, want %d",
+			board, len(recs)-i, after, count)
+	}
+	return recs[i : i+count], nil
+}
+
+// Patterns extracts the payload vectors of a record slice.
+func Patterns(recs []Record) []*bitvec.Vector {
+	out := make([]*bitvec.Vector, len(recs))
+	for i := range recs {
+		out[i] = recs[i].Data
+	}
+	return out
+}
+
+// MonthlyWindowStart returns midnight (UTC) on the 8th of the month that
+// is monthIndex months after the campaign epoch. Index 0 is the epoch
+// itself (Feb 8, 2017); index 24 is Feb 8, 2019.
+func MonthlyWindowStart(monthIndex int) time.Time {
+	return Epoch.AddDate(0, monthIndex, 0)
+}
+
+// MonthLabel renders a window start in the paper's axis format ("17-Feb").
+func MonthLabel(monthIndex int) string {
+	t := MonthlyWindowStart(monthIndex)
+	return fmt.Sprintf("%02d-%s", t.Year()%100, t.Format("Jan"))
+}
+
+// WriteJSONL streams records to w, one JSON object per line.
+func WriteJSONL(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range recs {
+		if err := enc.Encode(recs[i]); err != nil {
+			return fmt.Errorf("store: record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteArchiveJSONL streams the entire archive, boards in ascending order.
+func (a *Archive) WriteArchiveJSONL(w io.Writer) error {
+	for _, b := range a.Boards() {
+		if err := WriteJSONL(w, a.Records(b)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses a JSON-lines stream into an archive.
+func ReadJSONL(r io.Reader) (*Archive, error) {
+	a := NewArchive()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("store: line %d: %w", line, err)
+		}
+		if err := a.Append(rec); err != nil {
+			return nil, fmt.Errorf("store: line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return a, nil
+}

@@ -1,0 +1,222 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bitvec"
+)
+
+func rec(board int, seq uint64, at time.Time) Record {
+	v := bitvec.New(16)
+	v.Set(int(seq)%16, true)
+	return Record{Board: board, Layer: board / 8, Seq: seq, Cycle: seq, Wall: at, Data: v}
+}
+
+func TestEpochMatchesPaper(t *testing.T) {
+	if Epoch.Year() != 2017 || Epoch.Month() != time.February || Epoch.Day() != 8 {
+		t.Fatalf("Epoch = %v, want Feb 8 2017", Epoch)
+	}
+	if TestEnd.Sub(Epoch) < 729*24*time.Hour || TestEnd.Sub(Epoch) > 731*24*time.Hour {
+		t.Fatalf("test span = %v, want ~2 years", TestEnd.Sub(Epoch))
+	}
+}
+
+func TestRecordJSONRoundTrip(t *testing.T) {
+	r := rec(3, 42, Epoch.Add(5*time.Hour))
+	data, err := r.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"board":3`, `"seq":42`, `"bits":16`, `"data":`} {
+		if !strings.Contains(string(data), field) {
+			t.Errorf("JSON missing %s: %s", field, data)
+		}
+	}
+	var back Record
+	if err := back.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.Board != 3 || back.Seq != 42 || !back.Wall.Equal(r.Wall) || !back.Data.Equal(r.Data) {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+}
+
+func TestRecordMarshalNilData(t *testing.T) {
+	r := Record{Board: 1}
+	if _, err := r.MarshalJSON(); err == nil {
+		t.Fatal("nil data accepted")
+	}
+}
+
+func TestRecordUnmarshalErrors(t *testing.T) {
+	cases := []string{
+		`{bad json`,
+		`{"wall":"not-a-time","bits":8,"data":"00"}`,
+		`{"wall":"2017-02-08T00:00:00Z","bits":8,"data":"zz"}`,
+	}
+	for _, c := range cases {
+		var r Record
+		if err := r.UnmarshalJSON([]byte(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+func TestArchiveAppendAndQuery(t *testing.T) {
+	a := NewArchive()
+	for i := 0; i < 10; i++ {
+		if err := a.Append(rec(0, uint64(i), Epoch.Add(time.Duration(i)*time.Minute))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Append(rec(5, 0, Epoch)); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 11 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	boards := a.Boards()
+	if len(boards) != 2 || boards[0] != 0 || boards[1] != 5 {
+		t.Fatalf("Boards = %v", boards)
+	}
+	if len(a.Records(0)) != 10 || len(a.Records(99)) != 0 {
+		t.Fatalf("Records sizes wrong")
+	}
+}
+
+func TestArchiveRejectsOutOfOrder(t *testing.T) {
+	a := NewArchive()
+	if err := a.Append(rec(0, 1, Epoch.Add(time.Hour))); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Append(rec(0, 2, Epoch)); err == nil {
+		t.Fatal("out-of-order record accepted")
+	}
+	if err := a.Append(Record{Board: 0, Wall: Epoch}); err == nil {
+		t.Fatal("record without data accepted")
+	}
+}
+
+func TestWindowSelection(t *testing.T) {
+	a := NewArchive()
+	// 20 records, one per minute starting 10 minutes before the cutoff.
+	cutoff := Epoch.Add(24 * time.Hour)
+	for i := 0; i < 20; i++ {
+		at := cutoff.Add(time.Duration(i-10) * time.Minute)
+		if err := a.Append(rec(0, uint64(i), at)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w, err := a.Window(0, cutoff, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 5 {
+		t.Fatalf("window size = %d", len(w))
+	}
+	// First selected record is the first at/after the cutoff: seq 10.
+	if w[0].Seq != 10 || w[4].Seq != 14 {
+		t.Fatalf("window = seq %d..%d, want 10..14", w[0].Seq, w[4].Seq)
+	}
+	// Not enough records after the cutoff.
+	if _, err := a.Window(0, cutoff, 11); err == nil {
+		t.Fatal("oversized window accepted")
+	}
+	if _, err := a.Window(9, cutoff, 1); err == nil {
+		t.Fatal("unknown board accepted")
+	}
+}
+
+func TestPatterns(t *testing.T) {
+	rs := []Record{rec(0, 0, Epoch), rec(0, 1, Epoch)}
+	ps := Patterns(rs)
+	if len(ps) != 2 || !ps[0].Equal(rs[0].Data) {
+		t.Fatal("Patterns mismatch")
+	}
+}
+
+func TestMonthlyWindowStart(t *testing.T) {
+	if got := MonthlyWindowStart(0); !got.Equal(Epoch) {
+		t.Fatalf("month 0 = %v", got)
+	}
+	m1 := MonthlyWindowStart(1)
+	if m1.Month() != time.March || m1.Day() != 8 || m1.Hour() != 0 {
+		t.Fatalf("month 1 = %v, want Mar 8 midnight", m1)
+	}
+	m24 := MonthlyWindowStart(24)
+	if !m24.Equal(TestEnd) {
+		t.Fatalf("month 24 = %v, want %v", m24, TestEnd)
+	}
+}
+
+func TestMonthLabel(t *testing.T) {
+	if l := MonthLabel(0); l != "17-Feb" {
+		t.Fatalf("label(0) = %q", l)
+	}
+	if l := MonthLabel(24); l != "19-Feb" {
+		t.Fatalf("label(24) = %q", l)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	a := NewArchive()
+	for b := 0; b < 3; b++ {
+		for i := 0; i < 4; i++ {
+			if err := a.Append(rec(b, uint64(i), Epoch.Add(time.Duration(i)*time.Second))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := a.WriteArchiveJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 12 {
+		t.Fatalf("JSONL lines = %d", lines)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 12 {
+		t.Fatalf("restored Len = %d", back.Len())
+	}
+	for _, b := range back.Boards() {
+		orig := a.Records(b)
+		rest := back.Records(b)
+		for i := range orig {
+			if !orig[i].Data.Equal(rest[i].Data) || orig[i].Seq != rest[i].Seq {
+				t.Fatalf("board %d record %d mismatch", b, i)
+			}
+		}
+	}
+}
+
+func TestReadJSONLBadInput(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{broken\n")); err == nil {
+		t.Fatal("broken JSONL accepted")
+	}
+	// Blank lines are tolerated.
+	a, err := ReadJSONL(strings.NewReader("\n\n"))
+	if err != nil || a.Len() != 0 {
+		t.Fatalf("blank lines: %v, len %d", err, a.Len())
+	}
+}
+
+func TestArchiveReset(t *testing.T) {
+	a := NewArchive()
+	if err := a.Append(rec(0, 0, Epoch)); err != nil {
+		t.Fatal(err)
+	}
+	a.Reset()
+	if a.Len() != 0 || len(a.Records(0)) != 0 {
+		t.Fatal("Reset did not clear records")
+	}
+	// Appends after reset work (even older timestamps).
+	if err := a.Append(rec(0, 0, Epoch.Add(-time.Hour))); err != nil {
+		t.Fatal(err)
+	}
+}

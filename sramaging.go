@@ -1,0 +1,104 @@
+// Package sramaging is the public facade of the reproduction of
+// "Long-term Continuous Assessment of SRAM PUF and Source of Random
+// Numbers" (Wang, Selimis, Maes, Goossens — DATE 2020).
+//
+// It re-exports the campaign API (internal/core), the calibrated device
+// profiles (internal/silicon), the measurement rig (internal/harness) and
+// the application substrates (key generation, TRNG) behind a small
+// surface:
+//
+//	cfg, _ := sramaging.DefaultCampaign()
+//	cfg.Devices, cfg.Months, cfg.WindowSize = 4, 6, 200
+//	res, _ := sramaging.RunCampaign(cfg)
+//	fmt.Print(sramaging.RenderTableI(res.Table))
+//
+// See the examples/ directory for runnable programs and DESIGN.md for the
+// system inventory.
+package sramaging
+
+import (
+	"repro/internal/core"
+	"repro/internal/ecc"
+	"repro/internal/fuzzy"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/silicon"
+	"repro/internal/sram"
+	"repro/internal/trng"
+)
+
+// Re-exported core types.
+type (
+	// CampaignConfig parameterises a long-term assessment campaign.
+	CampaignConfig = core.Config
+	// CampaignResults carries the monthly metric series and Table I.
+	CampaignResults = core.Results
+	// TableI is the paper's summary table.
+	TableI = core.TableI
+	// DeviceMonth is one device's metrics for one monthly window.
+	DeviceMonth = core.DeviceMonth
+	// DeviceProfile describes a calibrated SRAM device family.
+	DeviceProfile = silicon.DeviceProfile
+)
+
+// DefaultCampaign returns the paper's campaign configuration: 16
+// ATmega32u4 boards, 24 months, 1,000-measurement monthly windows.
+func DefaultCampaign() (CampaignConfig, error) { return core.DefaultConfig() }
+
+// RunCampaign executes a campaign and returns its results.
+func RunCampaign(cfg CampaignConfig) (*CampaignResults, error) {
+	camp, err := core.NewCampaign(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return camp.Run()
+}
+
+// ATmega32u4 returns the calibrated profile of the paper's device.
+func ATmega32u4() (DeviceProfile, error) { return silicon.ATmega32u4() }
+
+// CMOS65nmAccelerated returns the accelerated-aging comparator profile
+// (Maes & van der Leest, HOST 2014).
+func CMOS65nmAccelerated() (DeviceProfile, error) { return silicon.CMOS65nmAccelerated() }
+
+// NewChip instantiates one simulated SRAM chip of the given profile.
+// The same seed always reproduces the same chip.
+func NewChip(profile DeviceProfile, seed uint64) (*sram.Array, error) {
+	return sram.New(profile, rng.New(seed))
+}
+
+// RenderTableI formats a Table I like the paper.
+func RenderTableI(t TableI) string { return report.RenderTableI(t) }
+
+// PredictedWCHDTrajectory returns the analytic WCHD expectation per month
+// for a profile (used for the nominal-vs-accelerated comparison).
+func PredictedWCHDTrajectory(profile DeviceProfile, months int) ([]float64, error) {
+	return core.PredictedWCHDTrajectory(profile, months)
+}
+
+// NewKeyExtractor returns the repository's standard PUF key-generation
+// scheme: an 11-block Golay(23,12) ∘ repetition(5) code-offset fuzzy
+// extractor consuming 1,265 response bits for a 132-bit secret — sized so
+// the paper's end-of-life worst-case BER (3.25%) reconstructs with a
+// failure probability below 1e-9 per block.
+func NewKeyExtractor() (*fuzzy.Extractor, error) {
+	golay := ecc.NewGolay()
+	rep, err := ecc.NewRepetition(5)
+	if err != nil {
+		return nil, err
+	}
+	concat, err := ecc.NewConcatenated(golay, rep)
+	if err != nil {
+		return nil, err
+	}
+	blocked, err := ecc.NewBlocked(concat, 11)
+	if err != nil {
+		return nil, err
+	}
+	return fuzzy.New(blocked)
+}
+
+// NewTRNG builds the SRAM-PUF true random number generator over a chip.
+func NewTRNG(chip *sram.Array) (*trng.Generator, error) {
+	return trng.New(chip.PowerUpWindow, trng.DefaultConfig())
+}
