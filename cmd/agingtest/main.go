@@ -129,7 +129,8 @@ func writeCSV(path string, labels, headers []string, series [][]float64) error {
 }
 
 // collectArchive runs monthly windows through the full rig and streams
-// the Raspberry Pi's records to a JSON-lines file.
+// every record straight to a JSON-lines file as it is captured — no
+// window is ever buffered in memory.
 func collectArchive(profile silicon.DeviceProfile, devices, months, window int, seed uint64, i2cErr float64, path string) error {
 	if devices%2 != 0 {
 		return fmt.Errorf("harness path needs an even device count, got %d", devices)
@@ -146,6 +147,7 @@ func collectArchive(profile silicon.DeviceProfile, devices, months, window int, 
 		return err
 	}
 	defer f.Close()
+	jw := store.NewJSONLWriter(f)
 	const cyclesPerMonth = uint64(30.44 * 24 * 3600 / 5.4)
 	for m := 0; m <= months; m++ {
 		for _, a := range rig.Arrays() {
@@ -153,16 +155,20 @@ func collectArchive(profile silicon.DeviceProfile, devices, months, window int, 
 				return err
 			}
 		}
-		rig.Archive().Reset()
 		rig.SetCycleBase(uint64(m) * cyclesPerMonth)
 		rig.SetSeqBase(uint64(m) * cyclesPerMonth)
-		if err := rig.RunWindow(window, store.MonthlyWindowStart(m)); err != nil {
+		archived := 0
+		err := rig.StreamWindow(window, store.MonthlyWindowStart(m), func(rec store.Record) error {
+			archived++
+			return jw.Write(rec)
+		})
+		if err != nil {
 			return err
 		}
-		if err := rig.Archive().WriteArchiveJSONL(f); err != nil {
-			return err
-		}
-		fmt.Printf("month %2d (%s): %d records archived\n", m, store.MonthLabel(m), rig.Archive().Len())
+		fmt.Printf("month %2d (%s): %d records archived\n", m, store.MonthLabel(m), archived)
+	}
+	if err := jw.Flush(); err != nil {
+		return err
 	}
 	if err := f.Close(); err != nil {
 		return err

@@ -1,7 +1,8 @@
 // Command evaluate replays the paper's offline analysis: it reads a
 // JSON-lines measurement archive (as produced by agingtest -archive, or
 // by a real Raspberry-Pi-backed rig using the same schema), selects the
-// monthly evaluation windows, and computes every Table I metric.
+// monthly evaluation windows, and computes every Table I metric through
+// the same streaming accumulators the campaign engine uses.
 package main
 
 import (
@@ -12,11 +13,9 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/core"
-	"repro/internal/entropy"
-	"repro/internal/metrics"
 	"repro/internal/report"
-	"repro/internal/stats"
 	"repro/internal/store"
+	"repro/internal/stream"
 )
 
 func main() {
@@ -69,51 +68,36 @@ func run() error {
 	for _, m := range monthsPresent {
 		start := store.MonthlyWindowStart(m)
 		eval := core.MonthEval{Month: m, Label: store.MonthLabel(m)}
-		var firsts []*bitvec.Vector
+		cross := stream.NewCross()
 		for _, b := range boards {
 			recs, err := archive.Window(b, start, *window)
 			if err != nil {
 				return fmt.Errorf("board %d month %d: %w", b, m, err)
 			}
-			patterns := store.Patterns(recs)
+			acc := stream.NewDevice(refs[b])
+			if _, err := stream.Drain(stream.Slice(store.Patterns(recs)), acc); err != nil {
+				return fmt.Errorf("board %d month %d: %w", b, m, err)
+			}
 			if refs[b] == nil {
-				refs[b] = patterns[0].Clone()
+				refs[b] = acc.Ref()
 			}
-			wc, err := metrics.WithinClassHD(refs[b], patterns)
-			if err != nil {
-				return err
-			}
-			fw, err := metrics.FractionalHW(patterns)
-			if err != nil {
-				return err
-			}
-			probs, err := entropy.OneProbabilities(patterns)
-			if err != nil {
-				return err
-			}
-			noise, err := entropy.NoiseMinEntropy(probs)
-			if err != nil {
-				return err
-			}
-			stable, err := entropy.StableCellRatio(probs)
+			r, err := acc.Result()
 			if err != nil {
 				return err
 			}
 			eval.Devices = append(eval.Devices, core.DeviceMonth{
-				WCHD: wc.Mean, FHW: fw.Mean, NoiseHmin: noise, StableRatio: stable,
+				WCHD: r.WCHDMean, FHW: r.FHW, NoiseHmin: r.NoiseHmin, StableRatio: r.StableRatio,
 			})
-			firsts = append(firsts, patterns[0])
+			if err := cross.Add(acc.First()); err != nil {
+				return err
+			}
 		}
-		bc, err := metrics.BetweenClassHD(firsts)
+		cr, err := cross.Result()
 		if err != nil {
 			return err
 		}
-		eval.BCHDMean, eval.BCHDMin, eval.BCHDMax = bc.Mean, bc.Min, bc.Max
-		puf, err := entropy.PUFMinEntropy(firsts)
-		if err != nil {
-			return err
-		}
-		eval.PUFHmin = puf
+		eval.BCHDMean, eval.BCHDMin, eval.BCHDMax = cr.BCHDMean, cr.BCHDMin, cr.BCHDMax
+		eval.PUFHmin = cr.PUFHmin
 		evals = append(evals, eval)
 
 		fmt.Printf("%s: WCHD %.3f%%  HW %.2f%%  stable %.2f%%  Hnoise %.3f%%  BCHD %.2f%%  Hpuf %.2f%%\n",
@@ -130,8 +114,7 @@ func run() error {
 		span := last.Month - first.Month
 		fmt.Println()
 		fmt.Printf("Table I summary over months %d..%d:\n\n", first.Month, last.Month)
-		table := buildTable(first, last, span)
-		fmt.Print(report.RenderTableI(table))
+		fmt.Print(report.RenderTableI(core.BuildTable(first, last, span)))
 	}
 	return nil
 }
@@ -145,26 +128,4 @@ func lastWall(a *store.Archive, boards []int) time.Time {
 		}
 	}
 	return last
-}
-
-// buildTable mirrors core's table assembly for archive-driven evaluation.
-func buildTable(start, end core.MonthEval, months int) core.TableI {
-	var t core.TableI
-	q := func(s, e float64) core.Quality {
-		return core.Quality{Start: s, End: e,
-			Relative: stats.RelativeChange(s, e), Monthly: stats.MonthlyChange(s, e, months)}
-	}
-	pair := func(f func(core.DeviceMonth) float64, lowIsWorst bool) core.QualityPair {
-		return core.QualityPair{
-			Avg: q(start.Avg(f), end.Avg(f)),
-			WC:  q(start.Worst(f, lowIsWorst), end.Worst(f, lowIsWorst)),
-		}
-	}
-	t.WCHD = pair(func(d core.DeviceMonth) float64 { return d.WCHD }, false)
-	t.HW = pair(func(d core.DeviceMonth) float64 { return d.FHW }, false)
-	t.StableCells = pair(func(d core.DeviceMonth) float64 { return d.StableRatio }, false)
-	t.NoiseEntropy = pair(func(d core.DeviceMonth) float64 { return d.NoiseHmin }, true)
-	t.BCHD = core.QualityPair{Avg: q(start.BCHDMean, end.BCHDMean), WC: q(start.BCHDMin, end.BCHDMin)}
-	t.PUFEntropy = q(start.PUFHmin, end.PUFHmin)
-	return t
 }

@@ -108,17 +108,18 @@ func run() error {
 		// Assess the raw source: concatenated power-up windows, which carry
 		// the measured ~3% noise min-entropy only in their unstable cells
 		// (and heavy bias), demonstrating WHY conditioning is mandatory.
-		var bits []uint8
-		for len(bits) < 200000 {
-			w, err := chip.PowerUpWindow()
-			if err != nil {
+		// The stream is folded into (ones, total) counts as it is sampled —
+		// one reused scratch vector instead of a 200,000-entry bit slice.
+		scratch := bitvec.New(profile.ReadWindowBits())
+		ones, total := 0, 0
+		for total < 200000 {
+			if err := chip.PowerUpWindowInto(scratch); err != nil {
 				return err
 			}
-			for i := 0; i < w.Len(); i++ {
-				bits = append(bits, uint8(w.Bit(i)))
-			}
+			ones += scratch.HammingWeight()
+			total += scratch.Len()
 		}
-		mcv, err := sp80090b.MostCommonValue(bits)
+		mcv, err := sp80090b.MostCommonValueCounts(ones, total)
 		if err != nil {
 			return err
 		}

@@ -248,6 +248,27 @@ func (v *Vector) Or(u *Vector) (*Vector, error) {
 	return out, nil
 }
 
+// OrDiffInPlace sets v |= a XOR b without allocating — the streaming
+// flip-bitmap update: every position where a and b disagree is marked in v.
+func (v *Vector) OrDiffInPlace(a, b *Vector) error {
+	if v.n != a.n || v.n != b.n {
+		return fmt.Errorf("%w: %d vs %d vs %d bits", ErrLengthMismatch, v.n, a.n, b.n)
+	}
+	for i := range v.words {
+		v.words[i] |= a.words[i] ^ b.words[i]
+	}
+	return nil
+}
+
+// CopyFrom overwrites v's contents with u's without allocating.
+func (v *Vector) CopyFrom(u *Vector) error {
+	if v.n != u.n {
+		return fmt.Errorf("%w: %d vs %d bits", ErrLengthMismatch, v.n, u.n)
+	}
+	copy(v.words, u.words)
+	return nil
+}
+
 // Not returns the bitwise complement of v as a new vector.
 func (v *Vector) Not() *Vector {
 	out := New(v.n)

@@ -19,12 +19,20 @@
 // figure; the windows the paper evaluates are simulated measurement by
 // measurement either way, and aging between windows is advanced
 // analytically in both paths.
+//
+// Evaluation is a streaming pipeline (package stream): both paths are
+// measurement Sources feeding the same one-pass accumulators, so a
+// device-window costs O(array size) memory instead of materialising
+// WindowSize patterns. The historical collect-then-evaluate flow survives
+// as RunBatch, the oracle the equivalence tests hold Run to — the two
+// engines are bit-identical on the same Config.
 package core
 
 import (
 	"errors"
 	"fmt"
-	"sync"
+	"math"
+	"time"
 
 	"repro/internal/bitvec"
 	"repro/internal/calib"
@@ -36,6 +44,7 @@ import (
 	"repro/internal/sram"
 	"repro/internal/stats"
 	"repro/internal/store"
+	"repro/internal/stream"
 )
 
 // Config parameterises a campaign.
@@ -53,8 +62,10 @@ type Config struct {
 	UseHarness   bool
 	I2CErrorRate float64 // only meaningful with UseHarness
 
-	// Workers bounds evaluation parallelism on the direct path
-	// (0 = one goroutine per device).
+	// Workers bounds evaluation parallelism: it sizes the single
+	// stream.Pool scheduler that both execution paths submit their window
+	// jobs to (0 = one goroutine per device on the direct path; the rig
+	// path is one simulation-pump job either way).
 	Workers int
 }
 
@@ -111,8 +122,13 @@ type MonthEval struct {
 	PUFHmin  float64
 }
 
-// Avg returns the device average of a per-device metric.
+// Avg returns the device average of a per-device metric. An evaluation
+// with no devices has no average: it deliberately returns NaN (rather
+// than panicking or silently reading 0, which is a legal metric value).
 func (m MonthEval) Avg(f func(DeviceMonth) float64) float64 {
+	if len(m.Devices) == 0 {
+		return math.NaN()
+	}
 	s := 0.0
 	for _, d := range m.Devices {
 		s += f(d)
@@ -122,8 +138,11 @@ func (m MonthEval) Avg(f func(DeviceMonth) float64) float64 {
 
 // Worst returns the application-worst value of a per-device metric:
 // highest WCHD/FHW/stable ratio, lowest noise entropy — matching the WC
-// rows of Table I.
+// rows of Table I. Like Avg, it returns NaN for an empty evaluation.
 func (m MonthEval) Worst(f func(DeviceMonth) float64, lowIsWorst bool) float64 {
+	if len(m.Devices) == 0 {
+		return math.NaN()
+	}
 	w := f(m.Devices[0])
 	for _, d := range m.Devices[1:] {
 		v := f(d)
@@ -184,6 +203,7 @@ type Campaign struct {
 	arrays []*sram.Array
 	rig    *harness.Rig // nil on the direct path
 	refs   []*bitvec.Vector
+	sched  *stream.Pool // the single window-job scheduler of both paths
 }
 
 // NewCampaign builds the boards (and the rig, when configured).
@@ -191,7 +211,7 @@ func NewCampaign(cfg Config) (*Campaign, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	c := &Campaign{cfg: cfg}
+	c := &Campaign{cfg: cfg, sched: stream.NewPool(cfg.Workers)}
 	if cfg.UseHarness {
 		hcfg := harness.DefaultConfig(cfg.Profile, cfg.Seed)
 		hcfg.SlavesPerLayer = cfg.Devices / 2
@@ -220,17 +240,33 @@ func NewCampaign(cfg Config) (*Campaign, error) {
 // Arrays exposes the simulated chips (for extension experiments).
 func (c *Campaign) Arrays() []*sram.Array { return c.arrays }
 
-// Run executes the full campaign and assembles Table I.
+// Run executes the full campaign with the streaming engine and assembles
+// Table I. A Campaign instance runs once: every power-up draw advances the
+// simulated chips' RNG state, so build a fresh Campaign per run.
 func (c *Campaign) Run() (*Results, error) {
+	return c.run(c.evaluateMonthStreaming)
+}
+
+// RunBatch executes the campaign with the historical two-pass engine:
+// every window is materialised as []*bitvec.Vector and handed to the
+// batch metric functions. It is retained as the oracle the streaming
+// engine is tested against — Run and RunBatch produce bit-identical
+// Results for the same Config — and costs O(WindowSize × array) memory
+// per device-window where Run costs O(array).
+func (c *Campaign) RunBatch() (*Results, error) {
+	return c.run(c.evaluateMonthBatch)
+}
+
+func (c *Campaign) run(evaluate func(int) (*MonthEval, error)) (*Results, error) {
 	res := &Results{Config: c.cfg}
 	for m := 0; m <= c.cfg.Months; m++ {
-		eval, err := c.evaluateMonth(m, res)
+		eval, err := evaluate(m)
 		if err != nil {
 			return nil, fmt.Errorf("core: month %d: %w", m, err)
 		}
 		res.Monthly = append(res.Monthly, *eval)
 	}
-	res.Table = buildTable(res.Monthly[0], res.Monthly[c.cfg.Months], c.cfg.Months)
+	res.Table = BuildTable(res.Monthly[0], res.Monthly[c.cfg.Months], c.cfg.Months)
 	res.References = c.refs
 	return res, nil
 }
@@ -239,13 +275,115 @@ func (c *Campaign) Run() (*Results, error) {
 // month at the rig's 5.4 s period.
 const cyclesPerMonth = uint64(30.44 * 24 * 3600 / 5.4)
 
-// evaluateMonth ages every board to the month boundary, collects one
-// window of measurements per board and computes all metrics.
-func (c *Campaign) evaluateMonth(month int, res *Results) (*MonthEval, error) {
+// age advances every board to the month boundary.
+func (c *Campaign) age(month int) error {
 	for _, a := range c.arrays {
 		if err := a.AgeTo(float64(month)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// positionRig points the rig's cycle and sequence counters at the month's
+// window and returns the window's wall-clock start.
+func (c *Campaign) positionRig(month int) time.Time {
+	base := uint64(month) * cyclesPerMonth
+	c.rig.SetCycleBase(base)
+	c.rig.SetSeqBase(base)
+	return store.MonthlyWindowStart(month)
+}
+
+// evaluateMonthStreaming ages every board to the month boundary and folds
+// one window of measurements per board through the stream accumulators as
+// the measurements are produced — nothing is buffered. Both paths submit
+// their window jobs to the campaign's single scheduler: the direct path
+// one Sampler job per device, the rig path one simulation pump whose
+// record tap dispatches to the per-device accumulators.
+func (c *Campaign) evaluateMonthStreaming(month int) (*MonthEval, error) {
+	if err := c.age(month); err != nil {
+		return nil, err
+	}
+	accs := make([]*stream.Device, c.cfg.Devices)
+	for d := range accs {
+		var ref *bitvec.Vector
+		if month > 0 {
+			ref = c.refs[d]
+		}
+		accs[d] = stream.NewDevice(ref)
+	}
+
+	if c.rig != nil {
+		pump := func() error {
+			return c.rig.StreamWindow(c.cfg.WindowSize, c.positionRig(month), func(rec store.Record) error {
+				if rec.Board < 0 || rec.Board >= len(accs) {
+					return fmt.Errorf("core: record for unknown board %d", rec.Board)
+				}
+				return accs[rec.Board].Add(rec.Data)
+			})
+		}
+		if err := c.sched.Run(pump); err != nil {
 			return nil, err
 		}
+	} else {
+		jobs := make([]func() error, c.cfg.Devices)
+		bits := c.cfg.Profile.ReadWindowBits()
+		for d := range jobs {
+			d := d
+			jobs[d] = func() error {
+				src := stream.Sampler(bits, c.cfg.WindowSize, c.arrays[d].PowerUpWindowInto)
+				_, err := stream.Drain(src, accs[d])
+				return err
+			}
+		}
+		if err := c.sched.Run(jobs...); err != nil {
+			return nil, err
+		}
+	}
+
+	if month == 0 {
+		c.refs = make([]*bitvec.Vector, len(accs))
+		for d := range accs {
+			if accs[d].Ref() == nil {
+				return nil, errors.New("core: empty window")
+			}
+			c.refs[d] = accs[d].Ref()
+		}
+	}
+
+	eval := &MonthEval{Month: month, Label: store.MonthLabel(month)}
+	eval.Devices = make([]DeviceMonth, len(accs))
+	cross := stream.NewCross()
+	for d, acc := range accs {
+		r, err := acc.Result()
+		if err != nil {
+			return nil, fmt.Errorf("core: device %d: %w", d, err)
+		}
+		if r.Count != c.cfg.WindowSize {
+			return nil, fmt.Errorf("core: device %d produced %d of %d measurements", d, r.Count, c.cfg.WindowSize)
+		}
+		eval.Devices[d] = DeviceMonth{WCHD: r.WCHDMean, FHW: r.FHW, NoiseHmin: r.NoiseHmin, StableRatio: r.StableRatio}
+		// Uniqueness metrics use the first measurement of each device's
+		// window (§IV-B2: "the first SRAM read-out data of the 1,000
+		// consecutive measurements ... is used to calculate BCHD").
+		if err := cross.Add(acc.First()); err != nil {
+			return nil, err
+		}
+	}
+	cr, err := cross.Result()
+	if err != nil {
+		return nil, err
+	}
+	eval.BCHDMean, eval.BCHDMin, eval.BCHDMax = cr.BCHDMean, cr.BCHDMin, cr.BCHDMax
+	eval.PUFHmin = cr.PUFHmin
+	return eval, nil
+}
+
+// evaluateMonthBatch is the two-pass oracle: it collects every window in
+// memory, then computes all metrics with the batch functions.
+func (c *Campaign) evaluateMonthBatch(month int) (*MonthEval, error) {
+	if err := c.age(month); err != nil {
+		return nil, err
 	}
 	windows, err := c.collectWindows(month)
 	if err != nil {
@@ -264,30 +402,22 @@ func (c *Campaign) evaluateMonth(month int, res *Results) (*MonthEval, error) {
 	eval := &MonthEval{Month: month, Label: store.MonthLabel(month)}
 	eval.Devices = make([]DeviceMonth, len(windows))
 
-	var wg sync.WaitGroup
-	errs := make([]error, len(windows))
+	jobs := make([]func() error, len(windows))
 	for d := range windows {
-		wg.Add(1)
-		go func(d int) {
-			defer wg.Done()
+		d := d
+		jobs[d] = func() error {
 			dm, err := evaluateDevice(c.refs[d], windows[d])
 			if err != nil {
-				errs[d] = err
-				return
+				return err
 			}
 			eval.Devices[d] = dm
-		}(d)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+			return nil
 		}
 	}
+	if err := c.sched.Run(jobs...); err != nil {
+		return nil, err
+	}
 
-	// Uniqueness metrics use the first measurement of each device's window
-	// (§IV-B2: "the first SRAM read-out data of the 1,000 consecutive
-	// measurements ... is used to calculate BCHD").
 	firsts := make([]*bitvec.Vector, len(windows))
 	for d := range windows {
 		firsts[d] = windows[d][0]
@@ -305,15 +435,12 @@ func (c *Campaign) evaluateMonth(month int, res *Results) (*MonthEval, error) {
 	return eval, nil
 }
 
-// collectWindows gathers one evaluation window per device, via the rig or
-// directly.
+// collectWindows gathers one full evaluation window per device, via the
+// rig archive or directly — the buffering path of the batch oracle.
 func (c *Campaign) collectWindows(month int) ([][]*bitvec.Vector, error) {
-	wallStart := store.MonthlyWindowStart(month)
 	if c.rig != nil {
 		c.rig.Archive().Reset()
-		base := uint64(month) * cyclesPerMonth
-		c.rig.SetCycleBase(base)
-		c.rig.SetSeqBase(base)
+		wallStart := c.positionRig(month)
 		if err := c.rig.RunWindow(c.cfg.WindowSize, wallStart); err != nil {
 			return nil, err
 		}
@@ -329,44 +456,30 @@ func (c *Campaign) collectWindows(month int) ([][]*bitvec.Vector, error) {
 	}
 
 	out := make([][]*bitvec.Vector, c.cfg.Devices)
-	var wg sync.WaitGroup
-	errs := make([]error, c.cfg.Devices)
-	sem := make(chan struct{}, workerLimit(c.cfg.Workers, c.cfg.Devices))
+	jobs := make([]func() error, c.cfg.Devices)
 	for d := 0; d < c.cfg.Devices; d++ {
-		wg.Add(1)
-		go func(d int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+		d := d
+		jobs[d] = func() error {
 			ws := make([]*bitvec.Vector, c.cfg.WindowSize)
 			for i := range ws {
 				w, err := c.arrays[d].PowerUpWindow()
 				if err != nil {
-					errs[d] = err
-					return
+					return err
 				}
 				ws[i] = w
 			}
 			out[d] = ws
-		}(d)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+			return nil
 		}
+	}
+	if err := c.sched.Run(jobs...); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-func workerLimit(workers, devices int) int {
-	if workers <= 0 || workers > devices {
-		return devices
-	}
-	return workers
-}
-
-// evaluateDevice computes the per-device window metrics.
+// evaluateDevice computes the per-device window metrics with the batch
+// functions (the streaming accumulators' oracle).
 func evaluateDevice(ref *bitvec.Vector, window []*bitvec.Vector) (DeviceMonth, error) {
 	wc, err := metrics.WithinClassHD(ref, window)
 	if err != nil {
@@ -391,8 +504,10 @@ func evaluateDevice(ref *bitvec.Vector, window []*bitvec.Vector) (DeviceMonth, e
 	return DeviceMonth{WCHD: wc.Mean, FHW: fw.Mean, NoiseHmin: noise, StableRatio: stable}, nil
 }
 
-// buildTable assembles Table I from the first and last evaluations.
-func buildTable(start, end MonthEval, months int) TableI {
+// BuildTable assembles Table I from a first and last evaluation spanning
+// the given number of months. It is shared by the campaign engines and by
+// archive-driven evaluation (cmd/evaluate).
+func BuildTable(start, end MonthEval, months int) TableI {
 	var t TableI
 	get := func(f func(DeviceMonth) float64, lowIsWorst bool) QualityPair {
 		return QualityPair{

@@ -109,6 +109,12 @@ type Rig struct {
 	wallBase       time.Time
 	windowStartSim desim.Time
 	readErrors     uint64
+
+	// tap, when non-nil, receives every read-out record in capture order
+	// instead of the Pi archive (the streaming pipeline's path: nothing is
+	// buffered in the rig). tapErr records the first sink failure.
+	tap    func(store.Record) error
+	tapErr error
 }
 
 // master is one master Arduino board driving the slaves of its layer
@@ -221,6 +227,29 @@ func (r *Rig) SetSeqBase(base uint64) {
 // cycles per board, with wall-clock timestamps starting at wallStart.
 // Records land in the Pi's archive.
 func (r *Rig) RunWindow(measurements int, wallStart time.Time) error {
+	return r.runWindow(measurements, wallStart)
+}
+
+// StreamWindow executes one evaluation window like RunWindow, but forwards
+// every record to sink in capture order instead of archiving it — the
+// rig-path Source of the streaming pipeline. The rig buffers nothing; the
+// measurement chain (power switch, boot, I2C, master forwarding) is
+// identical to RunWindow's, so the record streams are bit-identical.
+// The window runs to completion even if sink fails; the first sink error
+// is returned.
+func (r *Rig) StreamWindow(measurements int, wallStart time.Time, sink func(store.Record) error) error {
+	if sink == nil {
+		return errors.New("harness: nil stream sink")
+	}
+	r.tap, r.tapErr = sink, nil
+	defer func() { r.tap, r.tapErr = nil, nil }()
+	if err := r.runWindow(measurements, wallStart); err != nil {
+		return err
+	}
+	return r.tapErr
+}
+
+func (r *Rig) runWindow(measurements int, wallStart time.Time) error {
 	if measurements <= 0 {
 		return fmt.Errorf("harness: non-positive window size %d", measurements)
 	}
@@ -325,6 +354,12 @@ func (m *master) archive(s *device.SlaveBoard, data []byte) {
 		Cycle: m.cycleBase + m.completed,
 		Wall:  wall,
 		Data:  v,
+	}
+	if m.rig.tap != nil {
+		if err := m.rig.tap(rec); err != nil && m.rig.tapErr == nil {
+			m.rig.tapErr = err
+		}
+		return
 	}
 	if err := m.rig.pi.Ingest(rec); err != nil {
 		m.rig.readErrors++

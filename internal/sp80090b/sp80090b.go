@@ -62,7 +62,21 @@ func MostCommonValue(bits []uint8) (float64, error) {
 	for _, b := range bits {
 		ones += int(b)
 	}
-	n := float64(len(bits))
+	return MostCommonValueCounts(ones, len(bits))
+}
+
+// MostCommonValueCounts is the streaming form of MostCommonValue: the MCV
+// estimate from pre-tallied counts, so a caller can fold an arbitrarily
+// long bit stream into (ones, total) without materialising it. The math
+// is identical to MostCommonValue's.
+func MostCommonValueCounts(ones, total int) (float64, error) {
+	if total < 2 {
+		return 0, fmt.Errorf("%w: %d samples, need >= 2", ErrTooShort, total)
+	}
+	if ones < 0 || ones > total {
+		return 0, fmt.Errorf("sp80090b: %d ones out of %d samples", ones, total)
+	}
+	n := float64(total)
 	pHat := math.Max(float64(ones), n-float64(ones)) / n
 	pU := math.Min(1, pHat+zAlpha*math.Sqrt(pHat*(1-pHat)/(n-1)))
 	return clampEntropy(-math.Log2(pU)), nil

@@ -180,6 +180,14 @@ func (a *Array) PowerUpWindow() (*bitvec.Vector, error) {
 	return w, nil
 }
 
+// PowerUpWindowInto samples one power-up read window into dst, which must
+// have ReadWindowBits() bits. It is the allocation-free form of
+// PowerUpWindow used by the streaming pipeline: the same RNG draws in the
+// same order, so the sampled patterns are bit-identical.
+func (a *Array) PowerUpWindowInto(dst *bitvec.Vector) error {
+	return a.powerUpInto(dst, a.profile.ReadWindowBits())
+}
+
 // powerUpInto samples the first n cells into dst using one uniform draw
 // per cell packed 64 cells at a time.
 func (a *Array) powerUpInto(dst *bitvec.Vector, n int) error {

@@ -174,15 +174,34 @@ func MonthLabel(monthIndex int) string {
 
 // WriteJSONL streams records to w, one JSON object per line.
 func WriteJSONL(w io.Writer, recs []Record) error {
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
+	jw := NewJSONLWriter(w)
 	for i := range recs {
-		if err := enc.Encode(recs[i]); err != nil {
+		if err := jw.Write(recs[i]); err != nil {
 			return fmt.Errorf("store: record %d: %w", i, err)
 		}
 	}
-	return bw.Flush()
+	return jw.Flush()
 }
+
+// JSONLWriter encodes records to a JSON-lines stream one at a time — the
+// sink of the streaming collection path, which archives to disk without
+// ever holding a window in memory. Call Flush when done.
+type JSONLWriter struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewJSONLWriter returns a buffered record writer over w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	bw := bufio.NewWriter(w)
+	return &JSONLWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write encodes one record.
+func (jw *JSONLWriter) Write(rec Record) error { return jw.enc.Encode(rec) }
+
+// Flush drains the write buffer.
+func (jw *JSONLWriter) Flush() error { return jw.bw.Flush() }
 
 // WriteArchiveJSONL streams the entire archive, boards in ascending order.
 func (a *Archive) WriteArchiveJSONL(w io.Writer) error {

@@ -220,3 +220,32 @@ func TestArchiveReset(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestJSONLWriterMatchesWriteJSONL(t *testing.T) {
+	recs := []Record{rec(0, 0, Epoch), rec(1, 1, Epoch.Add(time.Second)), rec(0, 2, Epoch.Add(2*time.Second))}
+
+	var batch bytes.Buffer
+	if err := WriteJSONL(&batch, recs); err != nil {
+		t.Fatal(err)
+	}
+	var streamed bytes.Buffer
+	jw := NewJSONLWriter(&streamed)
+	for _, r := range recs {
+		if err := jw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if batch.String() != streamed.String() {
+		t.Fatalf("record-at-a-time encoding differs from batch:\n%s\nvs\n%s", streamed.String(), batch.String())
+	}
+	a, err := ReadJSONL(&streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != len(recs) {
+		t.Fatalf("round trip kept %d of %d records", a.Len(), len(recs))
+	}
+}

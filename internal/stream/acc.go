@@ -1,0 +1,376 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bitvec"
+	"repro/internal/entropy"
+	"repro/internal/metrics"
+)
+
+// ErrNoMeasurements is returned when a result is requested from an
+// accumulator that has consumed nothing.
+var ErrNoMeasurements = errors.New("stream: no measurements")
+
+// WCHD accumulates the within-class Hamming distance of a measurement
+// stream against a fixed reference pattern (§IV-B1). It keeps a running
+// sum, maximum and count — the per-measurement series of the batch
+// pipeline is never materialised. The floating-point accumulation order
+// matches metrics.WithinClassHD exactly, so Mean and Max are bit-identical
+// to the batch result.
+type WCHD struct {
+	ref   *bitvec.Vector
+	sum   float64
+	max   float64
+	count int
+}
+
+// NewWCHD returns a WCHD accumulator against ref.
+func NewWCHD(ref *bitvec.Vector) (*WCHD, error) {
+	if ref == nil {
+		return nil, errors.New("stream: nil reference")
+	}
+	return &WCHD{ref: ref}, nil
+}
+
+// Add folds one measurement.
+func (a *WCHD) Add(m *bitvec.Vector) error {
+	f, err := a.ref.FractionalHammingDistance(m)
+	if err != nil {
+		return fmt.Errorf("stream: measurement %d: %w", a.count, err)
+	}
+	a.sum += f
+	if f > a.max {
+		a.max = f
+	}
+	a.count++
+	return nil
+}
+
+// Count returns the number of measurements consumed.
+func (a *WCHD) Count() int { return a.count }
+
+// Mean returns the mean fractional Hamming distance versus the reference.
+func (a *WCHD) Mean() (float64, error) {
+	if a.count == 0 {
+		return 0, ErrNoMeasurements
+	}
+	return a.sum / float64(a.count), nil
+}
+
+// Max returns the worst per-measurement distance seen.
+func (a *WCHD) Max() (float64, error) {
+	if a.count == 0 {
+		return 0, ErrNoMeasurements
+	}
+	return a.max, nil
+}
+
+// FHW accumulates the fractional Hamming weight of a measurement stream
+// (§IV-A3), mirroring metrics.FractionalHW's accumulation order.
+type FHW struct {
+	sum   float64
+	count int
+}
+
+// NewFHW returns an empty weight accumulator.
+func NewFHW() *FHW { return &FHW{} }
+
+// Add folds one measurement.
+func (a *FHW) Add(m *bitvec.Vector) error {
+	a.sum += m.FractionalHammingWeight()
+	a.count++
+	return nil
+}
+
+// Count returns the number of measurements consumed.
+func (a *FHW) Count() int { return a.count }
+
+// Mean returns the mean fractional Hamming weight.
+func (a *FHW) Mean() (float64, error) {
+	if a.count == 0 {
+		return 0, ErrNoMeasurements
+	}
+	return a.sum / float64(a.count), nil
+}
+
+// Ones accumulates per-cell one-counts — the streaming form of
+// entropy.OneProbabilities — from which the noise min-entropy (§IV-C2)
+// and the one-probability map derive. State is one int per cell,
+// independent of the window size.
+type Ones struct {
+	counts []int
+	count  int
+}
+
+// NewOnes returns a one-count accumulator; the cell count is fixed by the
+// first measurement.
+func NewOnes() *Ones { return &Ones{} }
+
+// Add folds one measurement.
+func (a *Ones) Add(m *bitvec.Vector) error {
+	if a.counts == nil {
+		a.counts = make([]int, m.Len())
+	}
+	if m.Len() != len(a.counts) {
+		return fmt.Errorf("stream: measurement %d has %d bits, want %d", a.count, m.Len(), len(a.counts))
+	}
+	for wi, w := range m.Words() {
+		base := wi * 64
+		for ; w != 0; w &= w - 1 {
+			a.counts[base+bits.TrailingZeros64(w)]++
+		}
+	}
+	a.count++
+	return nil
+}
+
+// Count returns the number of measurements consumed.
+func (a *Ones) Count() int { return a.count }
+
+// Probabilities returns the empirical one-probability of every cell,
+// computed exactly as entropy.OneProbabilities computes it (same
+// count-times-reciprocal rounding).
+func (a *Ones) Probabilities() ([]float64, error) {
+	if a.count == 0 {
+		return nil, ErrNoMeasurements
+	}
+	probs := make([]float64, len(a.counts))
+	inv := 1 / float64(a.count)
+	for i, c := range a.counts {
+		probs[i] = float64(c) * inv
+	}
+	return probs, nil
+}
+
+// NoiseMinEntropy returns the window's average per-bit noise min-entropy,
+// delegating the final fold to the entropy oracle over the streaming
+// one-probabilities.
+func (a *Ones) NoiseMinEntropy() (float64, error) {
+	probs, err := a.Probabilities()
+	if err != nil {
+		return 0, err
+	}
+	return entropy.NoiseMinEntropy(probs)
+}
+
+// StableRatio returns the fraction of cells with an empirical
+// one-probability of exactly 0 or 1.
+func (a *Ones) StableRatio() (float64, error) {
+	probs, err := a.Probabilities()
+	if err != nil {
+		return 0, err
+	}
+	return entropy.StableCellRatio(probs)
+}
+
+// Flips tracks, per cell, whether the cell ever changed value across the
+// stream: a one-word-per-64-cells bitmap updated with one XOR-OR pass per
+// measurement. A cell is stable over a window exactly when it never flips,
+// so the bitmap yields the stable-cell tally (§IV-C1) as an exact integer
+// count. Note that StableRatio can differ from entropy.StableCellRatio in
+// the last ulp for window sizes n where float64(n)*(1/float64(n)) != 1
+// (the oracle's p == 0 || p == 1 test on rounded probabilities then
+// misses fully-stable cells); the Table I pipeline therefore uses
+// Ones.StableRatio, which reproduces the oracle's rounding exactly, and
+// keeps Flips as a standalone flip-location diagnostic.
+type Flips struct {
+	prev    *bitvec.Vector
+	changed *bitvec.Vector
+	count   int
+}
+
+// NewFlips returns an empty flip tracker.
+func NewFlips() *Flips { return &Flips{} }
+
+// Add folds one measurement.
+func (a *Flips) Add(m *bitvec.Vector) error {
+	if a.prev == nil {
+		a.prev = m.Clone()
+		a.changed = bitvec.New(m.Len())
+		a.count++
+		return nil
+	}
+	if err := a.changed.OrDiffInPlace(m, a.prev); err != nil {
+		return fmt.Errorf("stream: measurement %d: %w", a.count, err)
+	}
+	if err := a.prev.CopyFrom(m); err != nil {
+		return err
+	}
+	a.count++
+	return nil
+}
+
+// Count returns the number of measurements consumed.
+func (a *Flips) Count() int { return a.count }
+
+// Changed returns the bitmap of cells that flipped at least once. The
+// returned vector is owned by the accumulator.
+func (a *Flips) Changed() (*bitvec.Vector, error) {
+	if a.count == 0 {
+		return nil, ErrNoMeasurements
+	}
+	return a.changed, nil
+}
+
+// StableRatio returns the fraction of cells that never flipped.
+func (a *Flips) StableRatio() (float64, error) {
+	if a.count == 0 {
+		return 0, ErrNoMeasurements
+	}
+	n := a.changed.Len()
+	if n == 0 {
+		return 0, ErrNoMeasurements
+	}
+	return float64(n-a.changed.HammingWeight()) / float64(n), nil
+}
+
+// DeviceResult carries every per-device window metric of Table I.
+type DeviceResult struct {
+	WCHDMean    float64 // mean FHD vs the device's reference
+	WCHDMax     float64 // worst single measurement
+	FHW         float64 // mean fractional Hamming weight
+	NoiseHmin   float64 // empirical noise min-entropy
+	StableRatio float64 // fraction of never-flipping cells
+	Count       int     // measurements consumed
+}
+
+// Device is the composite per-device window accumulator: a reference
+// pattern, the window's first pattern, and the WCHD/FHW/Ones
+// accumulators, all updated in one pass. Total state is O(array size).
+type Device struct {
+	ref   *bitvec.Vector // month-0 reference; adopted from the first measurement when nil
+	first *bitvec.Vector // first measurement of THIS window (BCHD/PUF input)
+	wchd  *WCHD
+	fhw   *FHW
+	ones  *Ones
+}
+
+// NewDevice returns a device accumulator. ref is the device's enrollment
+// reference; pass nil to adopt the first measurement of the stream as the
+// reference (the month-0 convention of §IV-B1).
+func NewDevice(ref *bitvec.Vector) *Device {
+	d := &Device{fhw: NewFHW(), ones: NewOnes()}
+	if ref != nil {
+		d.ref = ref
+		d.wchd, _ = NewWCHD(ref)
+	}
+	return d
+}
+
+// Add folds one measurement. The vector is not retained (the first
+// measurement and an adopted reference are cloned).
+func (d *Device) Add(m *bitvec.Vector) error {
+	if d.first == nil {
+		d.first = m.Clone()
+		if d.ref == nil {
+			d.ref = d.first
+			var err error
+			if d.wchd, err = NewWCHD(d.ref); err != nil {
+				return err
+			}
+		}
+	}
+	if err := d.wchd.Add(m); err != nil {
+		return err
+	}
+	if err := d.fhw.Add(m); err != nil {
+		return err
+	}
+	return d.ones.Add(m)
+}
+
+// Count returns the number of measurements consumed.
+func (d *Device) Count() int { return d.fhw.Count() }
+
+// Ref returns the reference pattern in use (nil before the first
+// measurement when none was supplied).
+func (d *Device) Ref() *bitvec.Vector { return d.ref }
+
+// First returns the first measurement of the window (the BCHD/PUF-entropy
+// input of §IV-B2), or nil before any measurement.
+func (d *Device) First() *bitvec.Vector { return d.first }
+
+// Result finalises the window metrics.
+func (d *Device) Result() (DeviceResult, error) {
+	if d.Count() == 0 {
+		return DeviceResult{}, ErrNoMeasurements
+	}
+	mean, err := d.wchd.Mean()
+	if err != nil {
+		return DeviceResult{}, err
+	}
+	max, err := d.wchd.Max()
+	if err != nil {
+		return DeviceResult{}, err
+	}
+	fhw, err := d.fhw.Mean()
+	if err != nil {
+		return DeviceResult{}, err
+	}
+	noise, err := d.ones.NoiseMinEntropy()
+	if err != nil {
+		return DeviceResult{}, err
+	}
+	stable, err := d.ones.StableRatio()
+	if err != nil {
+		return DeviceResult{}, err
+	}
+	return DeviceResult{
+		WCHDMean:    mean,
+		WCHDMax:     max,
+		FHW:         fhw,
+		NoiseHmin:   noise,
+		StableRatio: stable,
+		Count:       d.Count(),
+	}, nil
+}
+
+// CrossResult carries the cross-device uniqueness metrics of one window.
+type CrossResult struct {
+	BCHDMean float64
+	BCHDMin  float64
+	BCHDMax  float64
+	PUFHmin  float64
+}
+
+// Cross accumulates the cross-device metrics: between-class Hamming
+// distance and PUF min-entropy over one pattern per device (§IV-B2,
+// §IV-B4). State is O(devices × array size) — one retained pattern per
+// device, independent of the window size; the final pairwise fold
+// delegates to the metrics/entropy oracles so the summation order (and
+// hence the result bits) matches the batch pipeline exactly.
+type Cross struct {
+	firsts []*bitvec.Vector
+}
+
+// NewCross returns an empty cross-device accumulator.
+func NewCross() *Cross { return &Cross{} }
+
+// Add records one device's window-first pattern. The vector is retained;
+// pass an owned copy (Device.First already returns one).
+func (c *Cross) Add(first *bitvec.Vector) error {
+	if first == nil {
+		return errors.New("stream: nil pattern")
+	}
+	c.firsts = append(c.firsts, first)
+	return nil
+}
+
+// Devices returns the number of patterns recorded.
+func (c *Cross) Devices() int { return len(c.firsts) }
+
+// Result finalises BCHD and PUF min-entropy. It needs >= 2 devices.
+func (c *Cross) Result() (CrossResult, error) {
+	bc, err := metrics.BetweenClassHD(c.firsts)
+	if err != nil {
+		return CrossResult{}, err
+	}
+	puf, err := entropy.PUFMinEntropy(c.firsts)
+	if err != nil {
+		return CrossResult{}, err
+	}
+	return CrossResult{BCHDMean: bc.Mean, BCHDMin: bc.Min, BCHDMax: bc.Max, PUFHmin: puf}, nil
+}

@@ -1,0 +1,49 @@
+package stream
+
+import (
+	"errors"
+	"sync"
+)
+
+// Pool is the campaign engine's shared scheduler: a bounded worker pool
+// that both execution paths submit their window jobs to. The direct path
+// submits one job per device; the rig path submits a single simulation
+// pump. One Pool per campaign makes Config.Workers govern all evaluation
+// parallelism regardless of path.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool running at most workers jobs concurrently.
+// workers <= 0 means one goroutine per submitted job (the historical
+// direct-path default).
+func NewPool(workers int) *Pool { return &Pool{workers: workers} }
+
+// Workers returns the configured concurrency bound (0 = unbounded).
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes the jobs, at most Workers at a time, waits for all of them
+// and returns the joined errors (nil when every job succeeded).
+func (p *Pool) Run(jobs ...func() error) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	limit := p.workers
+	if limit <= 0 || limit > len(jobs) {
+		limit = len(jobs)
+	}
+	sem := make(chan struct{}, limit)
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i, job := range jobs {
+		wg.Add(1)
+		go func(i int, job func() error) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = job()
+		}(i, job)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

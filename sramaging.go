@@ -45,13 +45,32 @@ type (
 // ATmega32u4 boards, 24 months, 1,000-measurement monthly windows.
 func DefaultCampaign() (CampaignConfig, error) { return core.DefaultConfig() }
 
-// RunCampaign executes a campaign and returns its results.
+// RunCampaign executes a campaign with the streaming engine and returns
+// its results. Every measurement is folded into one-pass accumulators the
+// moment it is produced, on both the direct-sampling and rig-simulation
+// paths, so a device-window costs O(array size) memory regardless of
+// CampaignConfig.WindowSize; CampaignConfig.Workers sizes the shared
+// scheduler. See DESIGN.md for the pipeline architecture.
 func RunCampaign(cfg CampaignConfig) (*CampaignResults, error) {
 	camp, err := core.NewCampaign(cfg)
 	if err != nil {
 		return nil, err
 	}
 	return camp.Run()
+}
+
+// RunCampaignBatch executes a campaign with the historical two-pass
+// engine: each evaluation window is materialised in memory and handed to
+// the batch metric functions. It produces bit-identical results to
+// RunCampaign on the same configuration (a property the tests assert) and
+// exists as the validation oracle for the streaming engine — prefer
+// RunCampaign everywhere else.
+func RunCampaignBatch(cfg CampaignConfig) (*CampaignResults, error) {
+	camp, err := core.NewCampaign(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return camp.RunBatch()
 }
 
 // ATmega32u4 returns the calibrated profile of the paper's device.

@@ -3,6 +3,7 @@ package sramaging
 import (
 	"bytes"
 	"io"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -24,6 +25,27 @@ func TestFacadeCampaign(t *testing.T) {
 	out := RenderTableI(res.Table)
 	if !strings.Contains(out, "WCHD") || !strings.Contains(out, "PUF entropy") {
 		t.Fatalf("table rendering:\n%s", out)
+	}
+}
+
+func TestFacadeStreamingAndBatchEnginesAgree(t *testing.T) {
+	cfg, err := DefaultCampaign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Devices = 3
+	cfg.Months = 1
+	cfg.WindowSize = 40
+	streamed, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := RunCampaignBatch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(streamed.Monthly, batch.Monthly) || !reflect.DeepEqual(streamed.Table, batch.Table) {
+		t.Fatal("streaming and batch engines disagree at the facade")
 	}
 }
 
