@@ -1,0 +1,69 @@
+package sramaging
+
+import (
+	"io"
+
+	"repro/internal/bitvec"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/sp80022"
+	"repro/internal/sp80090b"
+	"repro/internal/stats"
+)
+
+// Rand is the repository's deterministic splittable RNG; key-generation
+// enrollment takes one as its randomness source.
+type Rand = rng.Source
+
+// NewRand returns a deterministic RNG. The same seed always reproduces
+// the same stream.
+func NewRand(seed uint64) *Rand { return rng.New(seed) }
+
+// RenderLinePlot renders an ASCII line plot (one glyph per series) — the
+// Fig. 6 presentation used by the CLIs and examples.
+func RenderLinePlot(title string, series [][]float64, labels []string, height int) (string, error) {
+	return report.LinePlot(title, series, labels, height)
+}
+
+// MonthlyChange returns the geometric per-month rate of change between a
+// start and end value months apart — the paper's %/month figures.
+func MonthlyChange(start, end float64, months int) float64 {
+	return stats.MonthlyChange(start, end, months)
+}
+
+// WriteSeriesCSV writes labelled series as CSV, one row per x label — the
+// Fig. 6 export format of cmd/agingtest.
+func WriteSeriesCSV(w io.Writer, xHeader string, xs []string, headers []string, series [][]float64) error {
+	return report.WriteSeriesCSV(w, xHeader, xs, headers, series)
+}
+
+// EntropyAssessment carries the six SP 800-90B min-entropy estimates of a
+// sample (bits per bit) and their minimum.
+type EntropyAssessment = sp80090b.Assessment
+
+// AssessMinEntropy runs the SP 800-90B non-IID estimator track over a
+// byte sample (assessed bit by bit).
+func AssessMinEntropy(sample []byte) (EntropyAssessment, error) {
+	return sp80090b.Assess(sp80090b.BytesToBits(sample))
+}
+
+// RandomnessTest is one SP 800-22 battery result.
+type RandomnessTest = sp80022.Result
+
+// RandomnessAlpha is the battery's significance level.
+const RandomnessAlpha = sp80022.Alpha
+
+// RandomnessBattery runs the SP 800-22 randomness battery over a byte
+// sample.
+func RandomnessBattery(sample []byte) ([]RandomnessTest, error) {
+	v, err := bitvec.FromBytes(sample, len(sample)*8)
+	if err != nil {
+		return nil, err
+	}
+	return sp80022.Battery(v)
+}
+
+// RandomnessPassCount tallies a battery outcome.
+func RandomnessPassCount(results []RandomnessTest) (passed, total int) {
+	return sp80022.PassCount(results)
+}

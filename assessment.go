@@ -1,0 +1,296 @@
+package sramaging
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Re-exported assessment types and errors.
+type (
+	// Results is the complete outcome of an assessment: the monthly
+	// metric series, Table I, and the enrollment references.
+	Results = core.Results
+	// MonthEval is one evaluation window aggregated across devices,
+	// including any custom Metric values.
+	MonthEval = core.MonthEval
+)
+
+// Typed assessment errors, matchable with errors.Is. A cancelled Run
+// returns an error wrapping ctx.Err() (context.Canceled or
+// context.DeadlineExceeded) instead.
+var (
+	// ErrConfig reports an invalid assessment configuration.
+	ErrConfig = core.ErrConfig
+	// ErrShortWindow reports a source that delivered fewer measurements
+	// than the evaluation window size.
+	ErrShortWindow = core.ErrShortWindow
+	// ErrUnknownDevice reports a measurement outside the source's
+	// declared device range.
+	ErrUnknownDevice = core.ErrUnknownDevice
+	// ErrNoMonths reports an assessment with no months to evaluate.
+	ErrNoMonths = core.ErrNoMonths
+	// ErrAlreadyRun reports a second Run of a one-shot assessment.
+	ErrAlreadyRun = core.ErrAlreadyRun
+)
+
+// Assessment is the composable campaign builder: one Source (simulated,
+// rig or archive replay), the built-in Table I metrics, any number of
+// custom Metrics, and a month range — executed by Run in one streaming
+// pass per month with cancellation and incremental per-month emission.
+//
+//	a, _ := sramaging.NewAssessment(
+//	        sramaging.WithDevices(4),
+//	        sramaging.WithMonths(6),
+//	        sramaging.WithWindowSize(200),
+//	        sramaging.WithProgress(func(ev sramaging.MonthEval) { fmt.Println(ev.Label) }),
+//	)
+//	res, err := a.Run(ctx)
+//
+// An Assessment runs once: simulated sources are stateful (every power-up
+// draw advances the chips' RNG), so build a fresh Assessment per run.
+type Assessment struct {
+	src Source
+
+	profile    DeviceProfile
+	profileSet bool
+	devices    int
+	seed       uint64
+	useRig     bool
+	i2cErr     float64
+	simSet     bool // any simulation option given (exclusive with WithSource)
+
+	window       int
+	months       []int
+	workers      int
+	workersSet   bool
+	metrics      []Metric
+	crossMetrics []CrossMetric
+	progress     func(MonthEval)
+	ran          bool
+}
+
+// Option configures an Assessment.
+type Option func(*Assessment) error
+
+// WithSource supplies the measurement source directly — an
+// ArchiveSource, a pre-built SimulatedSource/RigSource, or any external
+// Source implementation. Exclusive with the simulation options
+// (WithProfile, WithDevices, WithSeed, WithHarness, WithI2CErrorRate).
+func WithSource(src Source) Option {
+	return func(a *Assessment) error {
+		if src == nil {
+			return fmt.Errorf("%w: nil source", ErrConfig)
+		}
+		a.src = src
+		return nil
+	}
+}
+
+// WithProfile selects the simulated device family (default: the paper's
+// ATmega32u4).
+func WithProfile(p DeviceProfile) Option {
+	return func(a *Assessment) error {
+		a.profile, a.profileSet, a.simSet = p, true, true
+		return nil
+	}
+}
+
+// WithDevices sets the number of boards under test (default 16, the
+// paper's campaign).
+func WithDevices(n int) Option {
+	return func(a *Assessment) error {
+		a.devices, a.simSet = n, true
+		return nil
+	}
+}
+
+// WithSeed sets the campaign seed (default 20170208). One seed derives
+// every per-device measurement stream deterministically.
+func WithSeed(seed uint64) Option {
+	return func(a *Assessment) error {
+		a.seed, a.simSet = seed, true
+		return nil
+	}
+}
+
+// WithHarness routes every window through the full measurement-rig
+// simulation instead of direct sampling. The measurement streams are
+// bit-identical; the rig adds fidelity (power switch, boot, I2C), not
+// different bits.
+func WithHarness() Option {
+	return func(a *Assessment) error {
+		a.useRig, a.simSet = true, true
+		return nil
+	}
+}
+
+// WithI2CErrorRate sets the rig's I2C byte-corruption rate (implies
+// nothing without WithHarness).
+func WithI2CErrorRate(rate float64) Option {
+	return func(a *Assessment) error {
+		if rate < 0 || rate > 1 {
+			return fmt.Errorf("%w: I2C error rate %v", ErrConfig, rate)
+		}
+		a.i2cErr, a.simSet = rate, true
+		return nil
+	}
+}
+
+// WithWindowSize sets the measurements per monthly evaluation window
+// (default 1,000, the paper's campaign). Validated here, not at Run, so
+// a bad window size fails before any side effect.
+func WithWindowSize(n int) Option {
+	return func(a *Assessment) error {
+		if n < 2 {
+			return fmt.Errorf("%w: need >= 2 measurements per window, got %d", ErrConfig, n)
+		}
+		a.window = n
+		return nil
+	}
+}
+
+// WithMonths sets the campaign length: evaluations run at months 0..n
+// inclusive (default 24, the paper's two years), so n >= 1 gives the two
+// evaluations Table I needs. Without WithMonths, a MonthLister source
+// (archive replay) is evaluated at exactly the months it holds. For
+// sparse evaluation schedules use WithMonthList.
+func WithMonths(n int) Option {
+	return func(a *Assessment) error {
+		if n < 1 {
+			return fmt.Errorf("%w: need a campaign length >= 1 month, got %d", ErrConfig, n)
+		}
+		a.months = core.MonthRange(n)
+		return nil
+	}
+}
+
+// WithMonthList sets an explicit ascending list of month indices to
+// evaluate — sparse campaigns, say quarterly re-evaluation of an aging
+// fleet. The silicon still ages analytically through the months between
+// evaluations; only the evaluation windows are skipped.
+func WithMonthList(months []int) Option {
+	return func(a *Assessment) error {
+		if len(months) == 0 {
+			// An empty list must not fall through to the default
+			// campaign: fail fast instead of silently running 25 months.
+			return fmt.Errorf("%w: empty month list", ErrConfig)
+		}
+		a.months = append([]int(nil), months...)
+		return nil
+	}
+}
+
+// WithWorkers bounds evaluation parallelism on sources that support it
+// (<= 0: one goroutine per device, the historical default).
+func WithWorkers(n int) Option {
+	return func(a *Assessment) error {
+		a.workers, a.workersSet = n, true
+		return nil
+	}
+}
+
+// WithMetrics registers custom per-device metrics; their values appear in
+// MonthEval.Custom keyed by Metric.Name. May be given multiple times.
+func WithMetrics(ms ...Metric) Option {
+	return func(a *Assessment) error {
+		a.metrics = append(a.metrics, ms...)
+		return nil
+	}
+}
+
+// WithCrossMetrics registers custom cross-device metrics over the
+// window-first patterns; their values appear in MonthEval.CrossCustom
+// keyed by CrossMetric.Name. May be given multiple times.
+func WithCrossMetrics(ms ...CrossMetric) Option {
+	return func(a *Assessment) error {
+		a.crossMetrics = append(a.crossMetrics, ms...)
+		return nil
+	}
+}
+
+// WithProgress installs the incremental result callback: every completed
+// month evaluation is delivered as soon as it finalises, before the next
+// month starts — streaming results for long campaigns, and the natural
+// place to drive cancellation from.
+func WithProgress(fn func(MonthEval)) Option {
+	return func(a *Assessment) error {
+		a.progress = fn
+		return nil
+	}
+}
+
+// NewAssessment builds an assessment from functional options. With no
+// options it is the paper's campaign: 16 simulated ATmega32u4 boards, 24
+// months, 1,000-measurement windows.
+func NewAssessment(opts ...Option) (*Assessment, error) {
+	a := &Assessment{devices: 16, seed: 20170208, window: 1000}
+	for _, opt := range opts {
+		if err := opt(a); err != nil {
+			return nil, err
+		}
+	}
+	if a.src != nil && a.simSet {
+		return nil, fmt.Errorf("%w: WithSource is exclusive with WithProfile/WithDevices/WithSeed/WithHarness/WithI2CErrorRate", ErrConfig)
+	}
+	return a, nil
+}
+
+// Run executes the assessment: one streaming pass per month, every
+// completed month emitted through WithProgress, the final Results
+// assembled at the end (Table I spans the first and last evaluation).
+// Cancelling ctx aborts between measurements and returns an error
+// wrapping ctx.Err(); months already emitted remain valid partial
+// results.
+func (a *Assessment) Run(ctx context.Context) (*Results, error) {
+	if a.ran {
+		return nil, ErrAlreadyRun
+	}
+	src := a.src
+	if src == nil {
+		profile := a.profile
+		if !a.profileSet {
+			var err error
+			if profile, err = ATmega32u4(); err != nil {
+				return nil, err
+			}
+		}
+		var err error
+		if a.useRig {
+			src, err = NewRigSource(profile, a.devices, a.seed, a.i2cErr)
+		} else {
+			src, err = NewSimulatedSource(profile, a.devices, a.seed)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if a.workersSet {
+		if ws, ok := src.(WorkerSetter); ok {
+			ws.SetWorkers(a.workers)
+		}
+	}
+	months := a.months
+	if months == nil {
+		if _, ok := src.(MonthLister); !ok {
+			// The paper's campaign length, matching DefaultCampaign.
+			months = core.MonthRange(24)
+		}
+	}
+	eng, err := core.NewAssessment(core.AssessmentConfig{
+		Source:       src,
+		WindowSize:   a.window,
+		Months:       months,
+		Metrics:      a.metrics,
+		CrossMetrics: a.crossMetrics,
+		Progress:     a.progress,
+	})
+	if err != nil {
+		// Nothing was measured: a retry after a configuration error must
+		// see the configuration error again, not ErrAlreadyRun.
+		return nil, err
+	}
+	a.ran = true
+	return eng.Run(ctx)
+}

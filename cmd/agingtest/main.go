@@ -1,6 +1,7 @@
 // Command agingtest runs the long-term SRAM PUF assessment campaign — the
 // simulated counterpart of the paper's two-year measurement — and prints
-// Table I plus the monthly metric series.
+// Table I plus the monthly metric series, through the composable
+// Source/Assessment API.
 //
 // The default configuration is a quick demonstration (4 devices, 6
 // months, 200-measurement windows, direct sampling). The paper's full
@@ -8,21 +9,21 @@
 //
 //	agingtest -devices 16 -months 24 -window 1000
 //
-// With -archive FILE the campaign runs through the full rig simulation
-// (masters, power switch, I2C, Raspberry Pi) and streams every archived
-// measurement record as JSON lines, the format cmd/evaluate consumes.
+// With -harness the campaign runs through the full rig simulation
+// (masters, power switch, I2C); with -archive FILE it additionally
+// streams every measurement record to a JSON-lines archive as it is
+// captured — the format cmd/evaluate replays — while the same pass
+// evaluates the campaign. -workers bounds evaluation parallelism.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 
-	"repro/internal/core"
-	"repro/internal/harness"
-	"repro/internal/report"
-	"repro/internal/silicon"
+	sramaging "repro"
 	"repro/internal/store"
 )
 
@@ -40,44 +41,103 @@ func run() error {
 	seed := flag.Uint64("seed", 20170208, "campaign seed")
 	useHarness := flag.Bool("harness", false, "route windows through the full rig simulation")
 	i2cErr := flag.Float64("i2c-error", 0, "I2C byte corruption rate (harness path)")
+	workers := flag.Int("workers", 0, "evaluation parallelism (0: one goroutine per device)")
 	csvDir := flag.String("csv", "", "directory for Fig. 6 series CSV export")
-	archive := flag.String("archive", "", "write a JSON-lines measurement archive (forces -harness)")
+	archive := flag.String("archive", "", "stream a JSON-lines measurement archive (forces -harness)")
 	flag.Parse()
 
-	profile, err := silicon.ATmega32u4()
+	profile, err := sramaging.ATmega32u4()
 	if err != nil {
 		return err
 	}
 
+	opts := []sramaging.Option{
+		sramaging.WithMonths(*months),
+		sramaging.WithWindowSize(*window),
+		sramaging.WithWorkers(*workers),
+	}
+	harnessPath := *useHarness || *archive != ""
+
+	var jw *store.JSONLWriter
+	var archiveFile *os.File
+	var archived int
+	var rig *sramaging.RigSource
 	if *archive != "" {
-		return collectArchive(profile, *devices, *months, *window, *seed, *i2cErr, *archive)
+		// The rig is built (and validated) here; its record tap and the
+		// output file are only wired up after the whole assessment has
+		// validated, so a bad configuration cannot truncate an existing
+		// archive.
+		var err error
+		rig, err = sramaging.NewRigSource(profile, *devices, *seed, *i2cErr)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, sramaging.WithSource(rig))
+	} else if harnessPath {
+		opts = append(opts,
+			sramaging.WithProfile(profile),
+			sramaging.WithDevices(*devices),
+			sramaging.WithSeed(*seed),
+			sramaging.WithHarness(),
+			sramaging.WithI2CErrorRate(*i2cErr))
+	} else {
+		opts = append(opts,
+			sramaging.WithProfile(profile),
+			sramaging.WithDevices(*devices),
+			sramaging.WithSeed(*seed))
 	}
+	prevArchived := 0
+	opts = append(opts, sramaging.WithProgress(func(ev sramaging.MonthEval) {
+		line := fmt.Sprintf("month %2d (%s): WCHD %.3f%%", ev.Month, ev.Label,
+			100*ev.Avg(func(d sramaging.DeviceMonth) float64 { return d.WCHD }))
+		if jw != nil {
+			line += fmt.Sprintf(", %d records archived", archived-prevArchived)
+			prevArchived = archived
+		}
+		fmt.Println(line)
+	}))
 
-	cfg := core.Config{
-		Profile:      profile,
-		Devices:      *devices,
-		Months:       *months,
-		WindowSize:   *window,
-		Seed:         *seed,
-		UseHarness:   *useHarness,
-		I2CErrorRate: *i2cErr,
-	}
-	camp, err := core.NewCampaign(cfg)
+	a, err := sramaging.NewAssessment(opts...)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("running campaign: %d devices, %d months, %d-measurement windows (harness=%v)\n",
-		cfg.Devices, cfg.Months, cfg.WindowSize, cfg.UseHarness)
-	res, err := camp.Run()
+	if rig != nil {
+		// Every configuration knob has validated: now it is safe to
+		// create (or truncate) the archive file and install the tap.
+		f, err := os.Create(*archive)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		archiveFile = f
+		jw = store.NewJSONLWriter(f)
+		rig.SetTap(func(rec sramaging.Record) error {
+			archived++
+			return jw.Write(rec)
+		})
+	}
+	fmt.Printf("running campaign: %d devices, %d months, %d-measurement windows (harness=%v, workers=%d)\n",
+		*devices, *months, *window, harnessPath, *workers)
+	res, err := a.Run(context.Background())
 	if err != nil {
 		return err
 	}
+	if jw != nil {
+		if err := jw.Flush(); err != nil {
+			return err
+		}
+		if err := archiveFile.Close(); err != nil {
+			return err
+		}
+		fmt.Println("archive written to", *archive)
+	}
 	fmt.Println()
-	fmt.Print(report.RenderTableI(res.Table))
+	fmt.Print(sramaging.RenderTableI(res.Table))
 	fmt.Println()
 
-	wchd := res.Series(func(d core.DeviceMonth) float64 { return d.WCHD })
-	plot, err := report.LinePlot("Fig. 6a — WCHD development (one line per device)", wchd, res.MonthLabels(), 12)
+	wchd := res.Series(func(d sramaging.DeviceMonth) float64 { return d.WCHD })
+	plot, err := sramaging.RenderLinePlot("Fig. 6a — WCHD development (one line per device)",
+		wchd, res.MonthLabels(), 12)
 	if err != nil {
 		return err
 	}
@@ -92,7 +152,7 @@ func run() error {
 	return nil
 }
 
-func exportCSVs(res *core.Results, dir string) error {
+func exportCSVs(res *sramaging.Results, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -102,10 +162,10 @@ func exportCSVs(res *core.Results, dir string) error {
 		headers[d] = fmt.Sprintf("board%d", d)
 	}
 	series := map[string][][]float64{
-		"fig6a_wchd.csv":          res.Series(func(d core.DeviceMonth) float64 { return d.WCHD }),
-		"fig6b_hw.csv":            res.Series(func(d core.DeviceMonth) float64 { return d.FHW }),
-		"fig6c_noise_entropy.csv": res.Series(func(d core.DeviceMonth) float64 { return d.NoiseHmin }),
-		"stable_cells.csv":        res.Series(func(d core.DeviceMonth) float64 { return d.StableRatio }),
+		"fig6a_wchd.csv":          res.Series(func(d sramaging.DeviceMonth) float64 { return d.WCHD }),
+		"fig6b_hw.csv":            res.Series(func(d sramaging.DeviceMonth) float64 { return d.FHW }),
+		"fig6c_noise_entropy.csv": res.Series(func(d sramaging.DeviceMonth) float64 { return d.NoiseHmin }),
+		"stable_cells.csv":        res.Series(func(d sramaging.DeviceMonth) float64 { return d.StableRatio }),
 	}
 	for name, s := range series {
 		if err := writeCSV(filepath.Join(dir, name), labels, headers, s); err != nil {
@@ -122,57 +182,8 @@ func writeCSV(path string, labels, headers []string, series [][]float64) error {
 		return err
 	}
 	defer f.Close()
-	if err := report.WriteSeriesCSV(f, "month", labels, headers, series); err != nil {
+	if err := sramaging.WriteSeriesCSV(f, "month", labels, headers, series); err != nil {
 		return err
 	}
 	return f.Close()
-}
-
-// collectArchive runs monthly windows through the full rig and streams
-// every record straight to a JSON-lines file as it is captured — no
-// window is ever buffered in memory.
-func collectArchive(profile silicon.DeviceProfile, devices, months, window int, seed uint64, i2cErr float64, path string) error {
-	if devices%2 != 0 {
-		return fmt.Errorf("harness path needs an even device count, got %d", devices)
-	}
-	hcfg := harness.DefaultConfig(profile, seed)
-	hcfg.SlavesPerLayer = devices / 2
-	hcfg.I2CErrorRate = i2cErr
-	rig, err := harness.New(hcfg)
-	if err != nil {
-		return err
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	jw := store.NewJSONLWriter(f)
-	const cyclesPerMonth = uint64(30.44 * 24 * 3600 / 5.4)
-	for m := 0; m <= months; m++ {
-		for _, a := range rig.Arrays() {
-			if err := a.AgeTo(float64(m)); err != nil {
-				return err
-			}
-		}
-		rig.SetCycleBase(uint64(m) * cyclesPerMonth)
-		rig.SetSeqBase(uint64(m) * cyclesPerMonth)
-		archived := 0
-		err := rig.StreamWindow(window, store.MonthlyWindowStart(m), func(rec store.Record) error {
-			archived++
-			return jw.Write(rec)
-		})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("month %2d (%s): %d records archived\n", m, store.MonthLabel(m), archived)
-	}
-	if err := jw.Flush(); err != nil {
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Println("archive written to", path)
-	return nil
 }

@@ -1,21 +1,18 @@
 // Command evaluate replays the paper's offline analysis: it reads a
 // JSON-lines measurement archive (as produced by agingtest -archive, or
-// by a real Raspberry-Pi-backed rig using the same schema), selects the
-// monthly evaluation windows, and computes every Table I metric through
-// the same streaming accumulators the campaign engine uses.
+// by a real Raspberry-Pi-backed rig using the same schema) and runs the
+// exact same Assessment the live campaign runs — archive replay is a
+// first-class Source, so the monthly window selection, the streaming
+// accumulators and the Table I assembly are one code path.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
-	"repro/internal/bitvec"
-	"repro/internal/core"
-	"repro/internal/report"
-	"repro/internal/store"
-	"repro/internal/stream"
+	sramaging "repro"
 )
 
 func main() {
@@ -38,94 +35,40 @@ func run() error {
 		return err
 	}
 	defer f.Close()
-	archive, err := store.ReadJSONL(f)
+	src, err := sramaging.NewArchiveSource(f)
 	if err != nil {
 		return err
 	}
-	boards := archive.Boards()
-	if len(boards) < 2 {
-		return fmt.Errorf("archive has %d boards; need >= 2 for uniqueness metrics", len(boards))
-	}
-	fmt.Printf("archive: %d records from %d boards\n\n", archive.Len(), len(boards))
+	fmt.Printf("archive: %d boards %v\n\n", src.Devices(), src.Boards())
 
-	// Discover which monthly windows are present.
-	var monthsPresent []int
-	for m := 0; m <= 600; m++ {
-		start := store.MonthlyWindowStart(m)
-		if start.After(lastWall(archive, boards)) {
-			break
-		}
-		if _, err := archive.Window(boards[0], start, *window); err == nil {
-			monthsPresent = append(monthsPresent, m)
-		}
+	// No WithMonths: the archive source lists the months it holds
+	// complete windows for, and the assessment evaluates exactly those.
+	a, err := sramaging.NewAssessment(
+		sramaging.WithSource(src),
+		sramaging.WithWindowSize(*window),
+		sramaging.WithProgress(func(ev sramaging.MonthEval) {
+			fmt.Printf("%s: WCHD %.3f%%  HW %.2f%%  stable %.2f%%  Hnoise %.3f%%  BCHD %.2f%%  Hpuf %.2f%%\n",
+				ev.Label,
+				100*ev.Avg(func(d sramaging.DeviceMonth) float64 { return d.WCHD }),
+				100*ev.Avg(func(d sramaging.DeviceMonth) float64 { return d.FHW }),
+				100*ev.Avg(func(d sramaging.DeviceMonth) float64 { return d.StableRatio }),
+				100*ev.Avg(func(d sramaging.DeviceMonth) float64 { return d.NoiseHmin }),
+				100*ev.BCHDMean, 100*ev.PUFHmin)
+		}),
+	)
+	if err != nil {
+		return err
 	}
-	if len(monthsPresent) == 0 {
-		return fmt.Errorf("no complete %d-measurement monthly window found", *window)
-	}
-
-	refs := make(map[int]*bitvec.Vector)
-	var evals []core.MonthEval
-	for _, m := range monthsPresent {
-		start := store.MonthlyWindowStart(m)
-		eval := core.MonthEval{Month: m, Label: store.MonthLabel(m)}
-		cross := stream.NewCross()
-		for _, b := range boards {
-			recs, err := archive.Window(b, start, *window)
-			if err != nil {
-				return fmt.Errorf("board %d month %d: %w", b, m, err)
-			}
-			acc := stream.NewDevice(refs[b])
-			if _, err := stream.Drain(stream.Slice(store.Patterns(recs)), acc); err != nil {
-				return fmt.Errorf("board %d month %d: %w", b, m, err)
-			}
-			if refs[b] == nil {
-				refs[b] = acc.Ref()
-			}
-			r, err := acc.Result()
-			if err != nil {
-				return err
-			}
-			eval.Devices = append(eval.Devices, core.DeviceMonth{
-				WCHD: r.WCHDMean, FHW: r.FHW, NoiseHmin: r.NoiseHmin, StableRatio: r.StableRatio,
-			})
-			if err := cross.Add(acc.First()); err != nil {
-				return err
-			}
-		}
-		cr, err := cross.Result()
-		if err != nil {
-			return err
-		}
-		eval.BCHDMean, eval.BCHDMin, eval.BCHDMax = cr.BCHDMean, cr.BCHDMin, cr.BCHDMax
-		eval.PUFHmin = cr.PUFHmin
-		evals = append(evals, eval)
-
-		fmt.Printf("%s: WCHD %.3f%%  HW %.2f%%  stable %.2f%%  Hnoise %.3f%%  BCHD %.2f%%  Hpuf %.2f%%\n",
-			eval.Label,
-			100*eval.Avg(func(d core.DeviceMonth) float64 { return d.WCHD }),
-			100*eval.Avg(func(d core.DeviceMonth) float64 { return d.FHW }),
-			100*eval.Avg(func(d core.DeviceMonth) float64 { return d.StableRatio }),
-			100*eval.Avg(func(d core.DeviceMonth) float64 { return d.NoiseHmin }),
-			100*eval.BCHDMean, 100*eval.PUFHmin)
+	res, err := a.Run(context.Background())
+	if err != nil {
+		return err
 	}
 
-	if len(evals) >= 2 {
-		first, last := evals[0], evals[len(evals)-1]
-		span := last.Month - first.Month
+	if len(res.Monthly) >= 2 {
+		first, last := res.Monthly[0], res.Monthly[len(res.Monthly)-1]
 		fmt.Println()
 		fmt.Printf("Table I summary over months %d..%d:\n\n", first.Month, last.Month)
-		fmt.Print(report.RenderTableI(core.BuildTable(first, last, span)))
+		fmt.Print(sramaging.RenderTableI(res.Table))
 	}
 	return nil
-}
-
-func lastWall(a *store.Archive, boards []int) time.Time {
-	var last time.Time
-	for _, b := range boards {
-		recs := a.Records(b)
-		if len(recs) > 0 && recs[len(recs)-1].Wall.After(last) {
-			last = recs[len(recs)-1].Wall
-		}
-	}
-	return last
 }

@@ -13,19 +13,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 
-	"repro/internal/core"
+	sramaging "repro"
 	"repro/internal/desim"
 	"repro/internal/device"
 	"repro/internal/harness"
 	"repro/internal/report"
-	"repro/internal/rng"
 	"repro/internal/silicon"
-	"repro/internal/sram"
 	"repro/internal/stats"
 	"repro/internal/store"
 )
@@ -57,17 +56,20 @@ func run() error {
 	}
 
 	needCampaign := map[string]bool{"5": true, "6a": true, "6b": true, "6c": true, "6d": true, "all": true}
-	var res *core.Results
+	var res *sramaging.Results
 	if needCampaign[*fig] {
-		cfg := core.Config{Profile: profile, Devices: *devices, Months: *months,
-			WindowSize: *window, Seed: *seed}
-		camp, err := core.NewCampaign(cfg)
+		a, err := sramaging.NewAssessment(
+			sramaging.WithProfile(profile),
+			sramaging.WithDevices(*devices),
+			sramaging.WithMonths(*months),
+			sramaging.WithWindowSize(*window),
+			sramaging.WithSeed(*seed))
 		if err != nil {
 			return err
 		}
 		fmt.Printf("running campaign for figures: %d devices, %d months, %d-measurement windows...\n\n",
 			*devices, *months, *window)
-		if res, err = camp.Run(); err != nil {
+		if res, err = a.Run(context.Background()); err != nil {
 			return err
 		}
 	}
@@ -90,11 +92,11 @@ func run() error {
 	}
 	for _, sub := range []struct {
 		name, title string
-		get         func(core.DeviceMonth) float64
+		get         func(sramaging.DeviceMonth) float64
 	}{
-		{"6a", "Fig. 6a — Average within-class Hamming distance", func(d core.DeviceMonth) float64 { return d.WCHD }},
-		{"6b", "Fig. 6b — Average Hamming weight", func(d core.DeviceMonth) float64 { return d.FHW }},
-		{"6c", "Fig. 6c — Noise entropy", func(d core.DeviceMonth) float64 { return d.NoiseHmin }},
+		{"6a", "Fig. 6a — Average within-class Hamming distance", func(d sramaging.DeviceMonth) float64 { return d.WCHD }},
+		{"6b", "Fig. 6b — Average Hamming weight", func(d sramaging.DeviceMonth) float64 { return d.FHW }},
+		{"6c", "Fig. 6c — Noise entropy", func(d sramaging.DeviceMonth) float64 { return d.NoiseHmin }},
 	} {
 		if want(sub.name) {
 			plot, err := report.LinePlot(sub.title, res.Series(sub.get), res.MonthLabels(), 14)
@@ -156,11 +158,11 @@ func fig3(profile silicon.DeviceProfile, seed uint64) error {
 
 // fig4 renders the first power-up pattern of board 0 as a 128-wide bitmap.
 func fig4(profile silicon.DeviceProfile, seed uint64, outdir string) error {
-	root := rng.New(seed)
-	chip, err := sram.New(profile, root.Derive(1)) // board 0's stream
+	src, err := sramaging.NewSimulatedSource(profile, 1, seed)
 	if err != nil {
 		return err
 	}
+	chip := src.Arrays()[0] // board 0's stream
 	w, err := chip.PowerUpWindow()
 	if err != nil {
 		return err
@@ -186,7 +188,7 @@ func fig4(profile silicon.DeviceProfile, seed uint64, outdir string) error {
 }
 
 // fig5 renders the month-0 WCHD/BCHD/FHW histograms.
-func fig5(res *core.Results) error {
+func fig5(res *sramaging.Results) error {
 	m0 := res.Monthly[0]
 	wchd, _ := stats.NewHistogram(0, 1, 200)
 	fhw, _ := stats.NewHistogram(0, 1, 200)
@@ -211,11 +213,11 @@ func accelComparison(nominal silicon.DeviceProfile, months int) error {
 	if err != nil {
 		return err
 	}
-	tn, err := core.PredictedWCHDTrajectory(nominal, months)
+	tn, err := sramaging.PredictedWCHDTrajectory(nominal, months)
 	if err != nil {
 		return err
 	}
-	ta, err := core.PredictedWCHDTrajectory(accel, months)
+	ta, err := sramaging.PredictedWCHDTrajectory(accel, months)
 	if err != nil {
 		return err
 	}

@@ -10,13 +10,8 @@ import (
 	"io"
 	"os"
 
-	"repro/internal/bitvec"
-	"repro/internal/rng"
-	"repro/internal/silicon"
-	"repro/internal/sp80022"
+	sramaging "repro"
 	"repro/internal/sp80090b"
-	"repro/internal/sram"
-	"repro/internal/trng"
 )
 
 func main() {
@@ -38,15 +33,15 @@ func run() error {
 		return fmt.Errorf("need -bytes >= 1")
 	}
 
-	profile, err := silicon.ATmega32u4()
+	profile, err := sramaging.ATmega32u4()
 	if err != nil {
 		return err
 	}
-	chip, err := sram.New(profile, rng.New(*seed))
+	chip, err := sramaging.NewChip(profile, *seed)
 	if err != nil {
 		return err
 	}
-	gen, err := trng.New(chip.PowerUpWindow, trng.DefaultConfig())
+	gen, err := sramaging.NewTRNG(chip)
 	if err != nil {
 		return err
 	}
@@ -73,7 +68,7 @@ func run() error {
 			return err
 		}
 		if *assess {
-			a, err := sp80090b.Assess(sp80090b.BytesToBits(sample))
+			a, err := sramaging.AssessMinEntropy(sample)
 			if err != nil {
 				return err
 			}
@@ -83,15 +78,11 @@ func run() error {
 			fmt.Fprintf(os.Stderr, "  overall: %.3f\n", a.Min)
 		}
 		if *battery {
-			v, err := bitvec.FromBytes(sample, len(sample)*8)
+			results, err := sramaging.RandomnessBattery(sample)
 			if err != nil {
 				return err
 			}
-			results, err := sp80022.Battery(v)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(os.Stderr, "\nSP 800-22 battery (alpha = %.2f):\n", sp80022.Alpha)
+			fmt.Fprintf(os.Stderr, "\nSP 800-22 battery (alpha = %.2f):\n", sramaging.RandomnessAlpha)
 			for _, r := range results {
 				status := "PASS"
 				if !r.Pass {
@@ -99,7 +90,7 @@ func run() error {
 				}
 				fmt.Fprintf(os.Stderr, "  %-28s p=%.4f  %s\n", r.Name, r.PValue, status)
 			}
-			passed, total := sp80022.PassCount(results)
+			passed, total := sramaging.RandomnessPassCount(results)
 			fmt.Fprintf(os.Stderr, "  %d/%d passed\n", passed, total)
 		}
 	}
@@ -110,7 +101,7 @@ func run() error {
 		// (and heavy bias), demonstrating WHY conditioning is mandatory.
 		// The stream is folded into (ones, total) counts as it is sampled —
 		// one reused scratch vector instead of a 200,000-entry bit slice.
-		scratch := bitvec.New(profile.ReadWindowBits())
+		scratch := sramaging.NewPattern(profile.ReadWindowBits())
 		ones, total := 0, 0
 		for total < 200000 {
 			if err := chip.PowerUpWindowInto(scratch); err != nil {

@@ -1,6 +1,7 @@
 package sramaging_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,8 +31,39 @@ func ExampleNewChip() {
 	// cells on chip: 20480
 }
 
-// ExampleRunCampaign runs a miniature assessment campaign and reports the
-// direction of the reliability trend, the paper's §IV-D1 observation.
+// ExampleNewAssessment runs a miniature campaign on the composable API:
+// functional options, incremental per-month emission through
+// WithProgress, and a cancellable Run.
+func ExampleNewAssessment() {
+	a, err := sramaging.NewAssessment(
+		sramaging.WithDevices(2),
+		sramaging.WithMonths(3),
+		sramaging.WithWindowSize(60),
+		sramaging.WithProgress(func(ev sramaging.MonthEval) {
+			fmt.Println("evaluated", ev.Label)
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := a.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Table.WCHD.Avg.End > res.Table.WCHD.Avg.Start {
+		fmt.Println("reliability degrades with aging: WCHD increased")
+	}
+	// Output:
+	// evaluated 17-Feb
+	// evaluated 17-Mar
+	// evaluated 17-Apr
+	// evaluated 17-May
+	// reliability degrades with aging: WCHD increased
+}
+
+// ExampleRunCampaign runs a miniature assessment campaign through the
+// deprecated Config shim and reports the direction of the reliability
+// trend, the paper's §IV-D1 observation.
 func ExampleRunCampaign() {
 	cfg, err := sramaging.DefaultCampaign()
 	if err != nil {

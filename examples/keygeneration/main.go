@@ -13,7 +13,6 @@ import (
 	"log"
 
 	sramaging "repro"
-	"repro/internal/rng"
 )
 
 func main() {
@@ -37,7 +36,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	key, helper, err := extractor.Enroll(enrollPattern.Slice(0, n), rng.New(99))
+	key, helper, err := extractor.Enroll(enrollPattern.Slice(0, n), sramaging.NewRand(99))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,15 +1,15 @@
 // Quickstart: simulate one ATmega32u4 SRAM chip, read its power-up
-// pattern like the paper's rig does, and compute the three §IV-A quality
-// metrics over a handful of measurements.
+// pattern like the paper's rig does, then run a two-device, two-window
+// micro-assessment through the public Source/Assessment API to get the
+// §IV quality metrics (reliability, bias, uniqueness).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	sramaging "repro"
-	"repro/internal/bitvec"
-	"repro/internal/metrics"
 )
 
 func main() {
@@ -20,51 +20,37 @@ func main() {
 	fmt.Printf("device: %s (%d B SRAM, %d B read window, %.1f V)\n",
 		profile.Name, profile.SRAMBytes, profile.ReadWindowBytes, profile.OperatingVoltage)
 
+	// Chip-level view: the raw power-up pattern the metrics are built on.
 	chip, err := sramaging.NewChip(profile, 42)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// First read-out is the reference (the paper's enrollment pattern).
 	ref, err := chip.PowerUpWindow()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("reference pattern: %d bits, FHW %.2f%%\n", ref.Len(), 100*ref.FractionalHammingWeight())
+	fmt.Printf("one power-up pattern: %d bits, FHW %.2f%%\n\n", ref.Len(), 100*ref.FractionalHammingWeight())
 
-	// 100 further power-ups: reliability and bias.
-	var window []*bitvec.Vector
-	for i := 0; i < 100; i++ {
-		w, err := chip.PowerUpWindow()
-		if err != nil {
-			log.Fatal(err)
-		}
-		window = append(window, w)
-	}
-	wc, err := metrics.WithinClassHD(ref, window)
+	// Campaign-level view: the same metrics over proper evaluation
+	// windows, computed by the assessment engine. Two devices, a
+	// 100-measurement window at enrollment and one a month later.
+	a, err := sramaging.NewAssessment(
+		sramaging.WithDevices(2),
+		sramaging.WithMonths(1),
+		sramaging.WithWindowSize(100),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fw, err := metrics.FractionalHW(window)
+	res, err := a.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("within-class HD over 100 power-ups: mean %.2f%% (paper: ~2.49%%), max %.2f%%\n",
-		100*wc.Mean, 100*wc.Max)
-	fmt.Printf("fractional HW: mean %.2f%% (paper: ~62.7%%)\n", 100*fw.Mean)
-
-	// A second chip shows uniqueness.
-	other, err := sramaging.NewChip(profile, 43)
-	if err != nil {
-		log.Fatal(err)
-	}
-	ref2, err := other.PowerUpWindow()
-	if err != nil {
-		log.Fatal(err)
-	}
-	bc, err := metrics.BetweenClassHD([]*bitvec.Vector{ref, ref2})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("between-class HD vs a second chip: %.2f%% (paper: ~46.8%%)\n", 100*bc.Mean)
+	m0 := res.Monthly[0]
+	wchd := m0.Avg(func(d sramaging.DeviceMonth) float64 { return d.WCHD })
+	fhw := m0.Avg(func(d sramaging.DeviceMonth) float64 { return d.FHW })
+	fmt.Printf("within-class HD over 100 power-ups: mean %.2f%% (paper: ~2.49%%)\n", 100*wchd)
+	fmt.Printf("fractional HW: mean %.2f%% (paper: ~62.7%%)\n", 100*fhw)
+	fmt.Printf("between-class HD across the two chips: %.2f%% (paper: ~46.8%%)\n", 100*m0.BCHDMean)
+	fmt.Printf("stable cells: %.1f%% (paper: ~85.9%%)\n", 100*m0.Avg(func(d sramaging.DeviceMonth) float64 { return d.StableRatio }))
 }

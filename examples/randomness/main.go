@@ -1,24 +1,53 @@
 // Randomness: the paper's §II-A2 application. The unstable SRAM cells
 // supply ~3% noise min-entropy per power-up bit (Table I); a conditioned
-// TRNG built on them must produce full-entropy output. This example
-// generates random bytes before and after two years of aging and verifies
-// that the aged source is, as the paper concludes, a slightly BETTER
-// entropy source.
+// TRNG built on them must produce full-entropy output. This example runs
+// a two-year assessment to read the noise entropy fresh and aged — the
+// paper concludes the aged source is a slightly BETTER entropy source —
+// then assesses the conditioned TRNG output with the NIST batteries, all
+// through the public API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
 
 	sramaging "repro"
-	"repro/internal/bitvec"
-	"repro/internal/entropy"
-	"repro/internal/sp80022"
-	"repro/internal/sp80090b"
 )
 
 func main() {
+	// A sparse campaign: evaluate the entropy metrics at month 0 and
+	// month 24 only (the silicon still ages through the months between).
+	a, err := sramaging.NewAssessment(
+		sramaging.WithDevices(2),
+		sramaging.WithSeed(7),
+		sramaging.WithMonthList([]int{0, 24}),
+		sramaging.WithWindowSize(200),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := a.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	noise := func(ev sramaging.MonthEval) float64 {
+		return ev.Avg(func(d sramaging.DeviceMonth) float64 { return d.NoiseHmin })
+	}
+	stable := func(ev sramaging.MonthEval) float64 {
+		return ev.Avg(func(d sramaging.DeviceMonth) float64 { return d.StableRatio })
+	}
+	fresh, aged := res.Monthly[0], res.Monthly[1]
+	fmt.Printf("fresh chips     : noise min-entropy %.3f%% per bit, stable cells %.1f%%\n",
+		100*noise(fresh), 100*stable(fresh))
+	fmt.Printf("after 24 months : noise min-entropy %.3f%% per bit, stable cells %.1f%%\n",
+		100*noise(aged), 100*stable(aged))
+	if noise(aged) > noise(fresh) {
+		fmt.Println("-> aging improved the entropy source, as the paper reports (+19.3%)")
+	}
+
+	// Conditioned TRNG output assessment on an aged chip.
 	profile, err := sramaging.ATmega32u4()
 	if err != nil {
 		log.Fatal(err)
@@ -27,42 +56,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	measureNoise := func(label string) float64 {
-		var window []*bitvec.Vector
-		for i := 0; i < 200; i++ {
-			w, err := chip.PowerUpWindow()
-			if err != nil {
-				log.Fatal(err)
-			}
-			window = append(window, w)
-		}
-		probs, err := entropy.OneProbabilities(window)
-		if err != nil {
-			log.Fatal(err)
-		}
-		h, err := entropy.NoiseMinEntropy(probs)
-		if err != nil {
-			log.Fatal(err)
-		}
-		stable, err := entropy.StableCellRatio(probs)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%s: noise min-entropy %.3f%% per bit, stable cells %.1f%%\n", label, 100*h, 100*stable)
-		return h
-	}
-
-	fresh := measureNoise("fresh chip      ")
 	if err := chip.AgeTo(24); err != nil {
 		log.Fatal(err)
 	}
-	aged := measureNoise("after 24 months ")
-	if aged > fresh {
-		fmt.Println("-> aging improved the entropy source, as the paper reports (+19.3%)")
-	}
-
-	// Conditioned TRNG output assessment.
 	gen, err := sramaging.NewTRNG(chip)
 	if err != nil {
 		log.Fatal(err)
@@ -71,21 +67,17 @@ func main() {
 	if _, err := io.ReadFull(gen, sample); err != nil {
 		log.Fatal(err)
 	}
-	a, err := sp80090b.Assess(sp80090b.BytesToBits(sample))
+	ea, err := sramaging.AssessMinEntropy(sample)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nconditioned output SP 800-90B min-entropy: %.3f bits/bit (min over 6 estimators)\n", a.Min)
+	fmt.Printf("\nconditioned output SP 800-90B min-entropy: %.3f bits/bit (min over 6 estimators)\n", ea.Min)
 
-	v, err := bitvec.FromBytes(sample, len(sample)*8)
+	results, err := sramaging.RandomnessBattery(sample)
 	if err != nil {
 		log.Fatal(err)
 	}
-	results, err := sp80022.Battery(v)
-	if err != nil {
-		log.Fatal(err)
-	}
-	passed, total := sp80022.PassCount(results)
+	passed, total := sramaging.RandomnessPassCount(results)
 	fmt.Printf("SP 800-22 battery: %d/%d tests passed\n", passed, total)
 	for _, r := range results {
 		fmt.Printf("  %-28s p=%.4f\n", r.Name, r.PValue)

@@ -73,11 +73,11 @@ func TestIntegrationArchivePipeline(t *testing.T) {
 			t.Fatal(err)
 		}
 		offlineWCHD[d] = wc.Mean
-		probs, err := entropy.OneProbabilities(patterns)
+		counts, n, err := entropy.OneCounts(patterns)
 		if err != nil {
 			t.Fatal(err)
 		}
-		stable, err := entropy.StableCellRatio(probs)
+		stable, err := entropy.StableCellRatio(counts, n)
 		if err != nil {
 			t.Fatal(err)
 		}

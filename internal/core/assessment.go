@@ -1,0 +1,344 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/store"
+	"repro/internal/stream"
+)
+
+// Typed assessment errors, matchable with errors.Is. Engine failures wrap
+// one of these (or the context error on cancellation) with positional
+// detail.
+var (
+	// ErrConfig reports an invalid assessment configuration.
+	ErrConfig = errors.New("assessment: invalid configuration")
+	// ErrShortWindow reports a source that delivered fewer measurements
+	// than the evaluation window size.
+	ErrShortWindow = errors.New("assessment: incomplete evaluation window")
+	// ErrUnknownDevice reports a measurement for a device index outside
+	// the source's declared range.
+	ErrUnknownDevice = errors.New("assessment: measurement for unknown device")
+	// ErrNoMonths reports an assessment with no months to evaluate.
+	ErrNoMonths = errors.New("assessment: no evaluation months")
+	// ErrAlreadyRun reports a second Run on a one-shot assessment.
+	ErrAlreadyRun = errors.New("assessment: already run (sources are stateful; build a fresh assessment per run)")
+)
+
+// MetricAccumulator folds the measurements of one device-window into one
+// custom statistic, one-pass like the built-in stream accumulators. One
+// accumulator only ever sees its own device's measurements sequentially,
+// but accumulators of DISTINCT devices run concurrently (sources deliver
+// devices in parallel) — accumulators must not share mutable state, and
+// NewAccumulator must return an independent value per device.
+type MetricAccumulator interface {
+	// Add folds one measurement. The vector may be reused by the source;
+	// clone it to retain.
+	Add(m *bitvec.Vector) error
+	// Value finalises the window statistic.
+	Value() (float64, error)
+}
+
+// Metric derives a custom per-device statistic from the measurement
+// stream of every device-window — externally registered instrumentation
+// (e.g. a condition-sweep WCHD variant) that rides the engine's single
+// pass without touching it. See MetricAccumulator for the concurrency
+// contract.
+type Metric interface {
+	// Name keys the metric's values in MonthEval.Custom; it must be
+	// unique within one assessment.
+	Name() string
+	// NewAccumulator returns the accumulator for one device-window. ref
+	// is the device's enrollment reference, or nil on the enrollment
+	// window itself (adopt the first measurement, as the engine does).
+	NewAccumulator(month, device int, ref *bitvec.Vector) (MetricAccumulator, error)
+}
+
+// CrossMetric derives one custom CROSS-device statistic per evaluation
+// window from the window-first pattern of every device — the same input
+// the built-in BCHD / PUF min-entropy metrics consume (§IV-B2: "the
+// first SRAM read-out data of the 1,000 consecutive measurements").
+// Values land in MonthEval.CrossCustom keyed by Name.
+type CrossMetric interface {
+	// Name keys the metric's values in MonthEval.CrossCustom; it must be
+	// unique among the assessment's cross metrics.
+	Name() string
+	// Compute receives one pattern per device, in device order. The
+	// patterns are owned by the engine; clone to retain.
+	Compute(month int, firsts []*bitvec.Vector) (float64, error)
+}
+
+// crossMetricFunc adapts a compute closure to the CrossMetric interface.
+type crossMetricFunc struct {
+	name string
+	fn   func(month int, firsts []*bitvec.Vector) (float64, error)
+}
+
+func (m crossMetricFunc) Name() string { return m.name }
+func (m crossMetricFunc) Compute(month int, firsts []*bitvec.Vector) (float64, error) {
+	return m.fn(month, firsts)
+}
+
+// NewCrossMetricFunc builds a CrossMetric from a name and a compute
+// function.
+func NewCrossMetricFunc(name string, fn func(month int, firsts []*bitvec.Vector) (float64, error)) CrossMetric {
+	return crossMetricFunc{name: name, fn: fn}
+}
+
+// metricFunc adapts a factory closure to the Metric interface.
+type metricFunc struct {
+	name string
+	fn   func(month, device int, ref *bitvec.Vector) (MetricAccumulator, error)
+}
+
+func (m metricFunc) Name() string { return m.name }
+func (m metricFunc) NewAccumulator(month, device int, ref *bitvec.Vector) (MetricAccumulator, error) {
+	return m.fn(month, device, ref)
+}
+
+// NewMetricFunc builds a Metric from a name and an accumulator factory.
+func NewMetricFunc(name string, fn func(month, device int, ref *bitvec.Vector) (MetricAccumulator, error)) Metric {
+	return metricFunc{name: name, fn: fn}
+}
+
+// MonthRange returns the contiguous evaluation schedule 0..last
+// inclusive — the shape of a classic campaign of `last` months.
+func MonthRange(last int) []int {
+	months := make([]int, last+1)
+	for m := range months {
+		months[m] = m
+	}
+	return months
+}
+
+// AssessmentConfig parameterises the engine. The facade's builder
+// assembles it from functional options.
+type AssessmentConfig struct {
+	// Source supplies the measurement windows.
+	Source Source
+	// WindowSize is the number of measurements per evaluation window.
+	WindowSize int
+	// Months lists the month indices to evaluate, ascending. Nil asks a
+	// MonthLister source for its available months; a source that is not
+	// a MonthLister then fails with ErrNoMonths.
+	Months []int
+	// Metrics are custom per-device accumulators; their values land in
+	// MonthEval.Custom keyed by Metric.Name.
+	Metrics []Metric
+	// CrossMetrics are custom cross-device statistics over the
+	// window-first patterns; their values land in MonthEval.CrossCustom.
+	CrossMetrics []CrossMetric
+	// Progress, when non-nil, receives every completed month evaluation
+	// as soon as it finalises, in addition to its inclusion in the final
+	// Results — incremental delivery for long campaigns, not a drain.
+	Progress func(MonthEval)
+}
+
+// Assessment is the campaign engine behind the composable public API:
+// one source, the built-in Table I accumulators, any number of custom
+// metrics, one streaming pass per month. An Assessment runs once.
+type Assessment struct {
+	cfg  AssessmentConfig
+	refs []*bitvec.Vector
+	ran  bool
+}
+
+// NewAssessment validates the configuration and resolves the month list.
+func NewAssessment(cfg AssessmentConfig) (*Assessment, error) {
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("%w: nil source", ErrConfig)
+	}
+	if d := cfg.Source.Devices(); d < 2 {
+		return nil, fmt.Errorf("%w: need >= 2 devices for uniqueness metrics, got %d", ErrConfig, d)
+	}
+	if cfg.WindowSize < 2 {
+		return nil, fmt.Errorf("%w: need >= 2 measurements per window, got %d", ErrConfig, cfg.WindowSize)
+	}
+	seen := map[string]bool{}
+	for _, m := range cfg.Metrics {
+		name := m.Name()
+		if name == "" {
+			return nil, fmt.Errorf("%w: metric with empty name", ErrConfig)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("%w: duplicate metric %q", ErrConfig, name)
+		}
+		seen[name] = true
+	}
+	seenCross := map[string]bool{}
+	for _, m := range cfg.CrossMetrics {
+		name := m.Name()
+		if name == "" {
+			return nil, fmt.Errorf("%w: cross metric with empty name", ErrConfig)
+		}
+		if seenCross[name] {
+			return nil, fmt.Errorf("%w: duplicate cross metric %q", ErrConfig, name)
+		}
+		seenCross[name] = true
+	}
+	if cfg.Months == nil {
+		if ml, ok := cfg.Source.(MonthLister); ok {
+			months, err := ml.AvailableMonths(cfg.WindowSize)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Months = months
+		}
+	}
+	if len(cfg.Months) == 0 {
+		return nil, fmt.Errorf("%w (source %T lists none for window size %d)", ErrNoMonths, cfg.Source, cfg.WindowSize)
+	}
+	for i, m := range cfg.Months {
+		if m < 0 || (i > 0 && m <= cfg.Months[i-1]) {
+			return nil, fmt.Errorf("%w: months must be ascending and non-negative, got %v", ErrConfig, cfg.Months)
+		}
+	}
+	return &Assessment{cfg: cfg}, nil
+}
+
+// Run executes the assessment: every configured month is evaluated in one
+// streaming pass, emitted through Progress as it completes, and assembled
+// into the final Results (Table I spans the first and last evaluation
+// when there are at least two). Run honours ctx — cancellation aborts
+// between measurements and returns an error wrapping ctx.Err(); months
+// already emitted through Progress remain valid partial results.
+func (a *Assessment) Run(ctx context.Context) (*Results, error) {
+	if a.ran {
+		return nil, ErrAlreadyRun
+	}
+	a.ran = true
+	res := &Results{}
+	for _, m := range a.cfg.Months {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("assessment: month %d: %w", m, err)
+		}
+		eval, err := a.evaluateMonth(ctx, m)
+		if err != nil {
+			return nil, fmt.Errorf("assessment: month %d: %w", m, err)
+		}
+		res.Monthly = append(res.Monthly, *eval)
+		if a.cfg.Progress != nil {
+			a.cfg.Progress(*eval)
+		}
+	}
+	if len(res.Monthly) >= 2 {
+		first, last := res.Monthly[0], res.Monthly[len(res.Monthly)-1]
+		res.Table = BuildTable(first, last, last.Month-first.Month)
+	}
+	res.References = a.refs
+	return res, nil
+}
+
+// evaluateMonth streams one evaluation window from the source through the
+// per-device accumulators (built-in and custom) and finalises the month.
+func (a *Assessment) evaluateMonth(ctx context.Context, month int) (*MonthEval, error) {
+	devices := a.cfg.Source.Devices()
+	accs := make([]*stream.Device, devices)
+	custom := make([][]MetricAccumulator, len(a.cfg.Metrics))
+	for mi := range custom {
+		custom[mi] = make([]MetricAccumulator, devices)
+	}
+	for d := range accs {
+		var ref *bitvec.Vector
+		if a.refs != nil {
+			ref = a.refs[d]
+		}
+		accs[d] = stream.NewDevice(ref)
+		for mi, m := range a.cfg.Metrics {
+			acc, err := m.NewAccumulator(month, d, ref)
+			if err != nil {
+				return nil, fmt.Errorf("metric %q device %d: %w", m.Name(), d, err)
+			}
+			custom[mi][d] = acc
+		}
+	}
+
+	sink := Sink(func(d int, m *bitvec.Vector) error {
+		if d < 0 || d >= devices {
+			return fmt.Errorf("%w: device %d of %d", ErrUnknownDevice, d, devices)
+		}
+		if err := accs[d].Add(m); err != nil {
+			return err
+		}
+		for mi := range custom {
+			if err := custom[mi][d].Add(m); err != nil {
+				return fmt.Errorf("metric %q device %d: %w", a.cfg.Metrics[mi].Name(), d, err)
+			}
+		}
+		return nil
+	})
+	if err := a.cfg.Source.Measure(ctx, month, a.cfg.WindowSize, sink); err != nil {
+		return nil, err
+	}
+
+	// The first evaluated month is enrollment: adopt each device's first
+	// read-out as its reference pattern (§IV-B1).
+	if a.refs == nil {
+		a.refs = make([]*bitvec.Vector, devices)
+		for d := range accs {
+			if accs[d].Ref() == nil {
+				return nil, fmt.Errorf("%w: device %d delivered no measurements", ErrShortWindow, d)
+			}
+			a.refs[d] = accs[d].Ref()
+		}
+	}
+
+	eval := &MonthEval{Month: month, Label: store.MonthLabel(month)}
+	eval.Devices = make([]DeviceMonth, devices)
+	cross := stream.NewCross()
+	firsts := make([]*bitvec.Vector, 0, devices)
+	for d, acc := range accs {
+		r, err := acc.Result()
+		if err != nil {
+			return nil, fmt.Errorf("device %d: %w", d, err)
+		}
+		if r.Count != a.cfg.WindowSize {
+			return nil, fmt.Errorf("%w: device %d delivered %d of %d measurements",
+				ErrShortWindow, d, r.Count, a.cfg.WindowSize)
+		}
+		eval.Devices[d] = DeviceMonth{WCHD: r.WCHDMean, FHW: r.FHW, NoiseHmin: r.NoiseHmin, StableRatio: r.StableRatio}
+		// Uniqueness metrics use the first measurement of each device's
+		// window (§IV-B2: "the first SRAM read-out data of the 1,000
+		// consecutive measurements ... is used to calculate BCHD").
+		if err := cross.Add(acc.First()); err != nil {
+			return nil, err
+		}
+		firsts = append(firsts, acc.First())
+	}
+	cr, err := cross.Result()
+	if err != nil {
+		return nil, err
+	}
+	eval.BCHDMean, eval.BCHDMin, eval.BCHDMax = cr.BCHDMean, cr.BCHDMin, cr.BCHDMax
+	eval.PUFHmin = cr.PUFHmin
+
+	if len(a.cfg.CrossMetrics) > 0 {
+		eval.CrossCustom = make(map[string]float64, len(a.cfg.CrossMetrics))
+		for _, m := range a.cfg.CrossMetrics {
+			v, err := m.Compute(month, firsts)
+			if err != nil {
+				return nil, fmt.Errorf("cross metric %q: %w", m.Name(), err)
+			}
+			eval.CrossCustom[m.Name()] = v
+		}
+	}
+
+	if len(a.cfg.Metrics) > 0 {
+		eval.Custom = make(map[string][]float64, len(a.cfg.Metrics))
+		for mi, m := range a.cfg.Metrics {
+			vals := make([]float64, devices)
+			for d, acc := range custom[mi] {
+				v, err := acc.Value()
+				if err != nil {
+					return nil, fmt.Errorf("metric %q device %d: %w", m.Name(), d, err)
+				}
+				vals[d] = v
+			}
+			eval.Custom[m.Name()] = vals
+		}
+	}
+	return eval, nil
+}

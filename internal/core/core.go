@@ -20,15 +20,22 @@
 // measurement either way, and aging between windows is advanced
 // analytically in both paths.
 //
-// Evaluation is a streaming pipeline (package stream): both paths are
-// measurement Sources feeding the same one-pass accumulators, so a
+// Evaluation is a streaming pipeline (package stream): every execution
+// path is a Source feeding the same one-pass accumulators, so a
 // device-window costs O(array size) memory instead of materialising
-// WindowSize patterns. The historical collect-then-evaluate flow survives
-// as RunBatch, the oracle the equivalence tests hold Run to — the two
-// engines are bit-identical on the same Config.
+// WindowSize patterns. The engine proper is Assessment (assessment.go):
+// one Source — direct sampling, rig simulation or archive replay
+// (source.go) — a registry of custom Metrics, a month list, cancellation
+// and incremental per-month emission. Campaign is the legacy
+// Config-driven surface, now a thin shim that translates its Config into
+// a Source plus month range and runs the same engine. The historical
+// collect-then-evaluate flow survives as RunBatch, the oracle the
+// equivalence tests hold the engine to — the two are bit-identical on
+// the same Config.
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -39,7 +46,6 @@ import (
 	"repro/internal/entropy"
 	"repro/internal/harness"
 	"repro/internal/metrics"
-	"repro/internal/rng"
 	"repro/internal/silicon"
 	"repro/internal/sram"
 	"repro/internal/stats"
@@ -120,6 +126,15 @@ type MonthEval struct {
 	BCHDMin  float64
 	BCHDMax  float64
 	PUFHmin  float64
+
+	// Custom holds the values of externally registered Metrics, keyed by
+	// Metric.Name, one value per device. Nil when no metrics were
+	// registered.
+	Custom map[string][]float64
+	// CrossCustom holds the values of externally registered CrossMetrics
+	// (one cross-device value per window), keyed by CrossMetric.Name.
+	// Nil when no cross metrics were registered.
+	CrossCustom map[string]float64
 }
 
 // Avg returns the device average of a per-device metric. An evaluation
@@ -212,27 +227,22 @@ func NewCampaign(cfg Config) (*Campaign, error) {
 		return nil, err
 	}
 	c := &Campaign{cfg: cfg, sched: stream.NewPool(cfg.Workers)}
+	// Build the boards through the Source constructors so the seed
+	// derivation (and hence the bit-identical equivalence of every
+	// execution path) has a single definition.
 	if cfg.UseHarness {
-		hcfg := harness.DefaultConfig(cfg.Profile, cfg.Seed)
-		hcfg.SlavesPerLayer = cfg.Devices / 2
-		hcfg.I2CErrorRate = cfg.I2CErrorRate
-		rig, err := harness.New(hcfg)
+		src, err := NewRigSource(cfg.Profile, cfg.Devices, cfg.Seed, cfg.I2CErrorRate)
 		if err != nil {
 			return nil, err
 		}
-		c.rig = rig
-		c.arrays = rig.Arrays()
+		c.rig = src.Rig()
+		c.arrays = c.rig.Arrays()
 	} else {
-		// Mirror the harness's seed derivation exactly so both paths
-		// produce identical chips and measurement streams.
-		root := rng.New(cfg.Seed)
-		for d := 0; d < cfg.Devices; d++ {
-			a, err := sram.New(cfg.Profile, root.Derive(uint64(d)+1))
-			if err != nil {
-				return nil, err
-			}
-			c.arrays = append(c.arrays, a)
+		src, err := NewSimSource(cfg.Profile, cfg.Devices, cfg.Seed)
+		if err != nil {
+			return nil, err
 		}
+		c.arrays = src.Arrays()
 	}
 	return c, nil
 }
@@ -243,8 +253,35 @@ func (c *Campaign) Arrays() []*sram.Array { return c.arrays }
 // Run executes the full campaign with the streaming engine and assembles
 // Table I. A Campaign instance runs once: every power-up draw advances the
 // simulated chips' RNG state, so build a fresh Campaign per run.
+//
+// Run is a thin shim over the Source/Assessment engine: the campaign's
+// chips (or rig) become a Source and the month range becomes the
+// assessment's month list, so legacy Config-driven campaigns and the
+// composable public API execute the exact same code path.
 func (c *Campaign) Run() (*Results, error) {
-	return c.run(c.evaluateMonthStreaming)
+	return c.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: it aborts between measurements
+// when ctx is done and returns an error wrapping ctx.Err().
+func (c *Campaign) RunContext(ctx context.Context) (*Results, error) {
+	var src Source
+	if c.rig != nil {
+		src = newRigSource(c.rig)
+	} else {
+		src = newSimSource(c.arrays, c.cfg.Profile.ReadWindowBits(), c.sched)
+	}
+	a, err := NewAssessment(AssessmentConfig{Source: src, WindowSize: c.cfg.WindowSize, Months: MonthRange(c.cfg.Months)})
+	if err != nil {
+		return nil, err
+	}
+	res, err := a.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res.Config = c.cfg
+	c.refs = res.References
+	return res, nil
 }
 
 // RunBatch executes the campaign with the historical two-pass engine:
@@ -271,10 +308,6 @@ func (c *Campaign) run(evaluate func(int) (*MonthEval, error)) (*Results, error)
 	return res, nil
 }
 
-// cyclesPerMonth approximates the power cycles a board accumulates per
-// month at the rig's 5.4 s period.
-const cyclesPerMonth = uint64(30.44 * 24 * 3600 / 5.4)
-
 // age advances every board to the month boundary.
 func (c *Campaign) age(month int) error {
 	for _, a := range c.arrays {
@@ -286,97 +319,10 @@ func (c *Campaign) age(month int) error {
 }
 
 // positionRig points the rig's cycle and sequence counters at the month's
-// window and returns the window's wall-clock start.
+// window and returns the window's wall-clock start — the same mapping the
+// streaming RigSource uses.
 func (c *Campaign) positionRig(month int) time.Time {
-	base := uint64(month) * cyclesPerMonth
-	c.rig.SetCycleBase(base)
-	c.rig.SetSeqBase(base)
-	return store.MonthlyWindowStart(month)
-}
-
-// evaluateMonthStreaming ages every board to the month boundary and folds
-// one window of measurements per board through the stream accumulators as
-// the measurements are produced — nothing is buffered. Both paths submit
-// their window jobs to the campaign's single scheduler: the direct path
-// one Sampler job per device, the rig path one simulation pump whose
-// record tap dispatches to the per-device accumulators.
-func (c *Campaign) evaluateMonthStreaming(month int) (*MonthEval, error) {
-	if err := c.age(month); err != nil {
-		return nil, err
-	}
-	accs := make([]*stream.Device, c.cfg.Devices)
-	for d := range accs {
-		var ref *bitvec.Vector
-		if month > 0 {
-			ref = c.refs[d]
-		}
-		accs[d] = stream.NewDevice(ref)
-	}
-
-	if c.rig != nil {
-		pump := func() error {
-			return c.rig.StreamWindow(c.cfg.WindowSize, c.positionRig(month), func(rec store.Record) error {
-				if rec.Board < 0 || rec.Board >= len(accs) {
-					return fmt.Errorf("core: record for unknown board %d", rec.Board)
-				}
-				return accs[rec.Board].Add(rec.Data)
-			})
-		}
-		if err := c.sched.Run(pump); err != nil {
-			return nil, err
-		}
-	} else {
-		jobs := make([]func() error, c.cfg.Devices)
-		bits := c.cfg.Profile.ReadWindowBits()
-		for d := range jobs {
-			d := d
-			jobs[d] = func() error {
-				src := stream.Sampler(bits, c.cfg.WindowSize, c.arrays[d].PowerUpWindowInto)
-				_, err := stream.Drain(src, accs[d])
-				return err
-			}
-		}
-		if err := c.sched.Run(jobs...); err != nil {
-			return nil, err
-		}
-	}
-
-	if month == 0 {
-		c.refs = make([]*bitvec.Vector, len(accs))
-		for d := range accs {
-			if accs[d].Ref() == nil {
-				return nil, errors.New("core: empty window")
-			}
-			c.refs[d] = accs[d].Ref()
-		}
-	}
-
-	eval := &MonthEval{Month: month, Label: store.MonthLabel(month)}
-	eval.Devices = make([]DeviceMonth, len(accs))
-	cross := stream.NewCross()
-	for d, acc := range accs {
-		r, err := acc.Result()
-		if err != nil {
-			return nil, fmt.Errorf("core: device %d: %w", d, err)
-		}
-		if r.Count != c.cfg.WindowSize {
-			return nil, fmt.Errorf("core: device %d produced %d of %d measurements", d, r.Count, c.cfg.WindowSize)
-		}
-		eval.Devices[d] = DeviceMonth{WCHD: r.WCHDMean, FHW: r.FHW, NoiseHmin: r.NoiseHmin, StableRatio: r.StableRatio}
-		// Uniqueness metrics use the first measurement of each device's
-		// window (§IV-B2: "the first SRAM read-out data of the 1,000
-		// consecutive measurements ... is used to calculate BCHD").
-		if err := cross.Add(acc.First()); err != nil {
-			return nil, err
-		}
-	}
-	cr, err := cross.Result()
-	if err != nil {
-		return nil, err
-	}
-	eval.BCHDMean, eval.BCHDMin, eval.BCHDMax = cr.BCHDMean, cr.BCHDMin, cr.BCHDMax
-	eval.PUFHmin = cr.PUFHmin
-	return eval, nil
+	return pointRigAtMonth(c.rig, month)
 }
 
 // evaluateMonthBatch is the two-pass oracle: it collects every window in
@@ -489,7 +435,11 @@ func evaluateDevice(ref *bitvec.Vector, window []*bitvec.Vector) (DeviceMonth, e
 	if err != nil {
 		return DeviceMonth{}, err
 	}
-	probs, err := entropy.OneProbabilities(window)
+	counts, n, err := entropy.OneCounts(window)
+	if err != nil {
+		return DeviceMonth{}, err
+	}
+	probs, err := entropy.ProbabilitiesFromCounts(counts, n)
 	if err != nil {
 		return DeviceMonth{}, err
 	}
@@ -497,7 +447,7 @@ func evaluateDevice(ref *bitvec.Vector, window []*bitvec.Vector) (DeviceMonth, e
 	if err != nil {
 		return DeviceMonth{}, err
 	}
-	stable, err := entropy.StableCellRatio(probs)
+	stable, err := entropy.StableCellRatio(counts, n)
 	if err != nil {
 		return DeviceMonth{}, err
 	}
@@ -540,6 +490,41 @@ func (r *Results) Series(f func(DeviceMonth) float64) [][]float64 {
 			s[m] = f(r.Monthly[m].Devices[d])
 		}
 		out[d] = s
+	}
+	return out
+}
+
+// CustomSeries extracts a registered Metric's per-device time series,
+// shaped like Series (one slice per device, indexed by evaluation). It
+// returns nil when no evaluation carries the metric.
+func (r *Results) CustomSeries(name string) [][]float64 {
+	if len(r.Monthly) == 0 || r.Monthly[0].Custom[name] == nil {
+		return nil
+	}
+	out := make([][]float64, len(r.Monthly[0].Custom[name]))
+	for d := range out {
+		s := make([]float64, len(r.Monthly))
+		for m := range r.Monthly {
+			s[m] = r.Monthly[m].Custom[name][d]
+		}
+		out[d] = s
+	}
+	return out
+}
+
+// CrossCustomSeries extracts a registered CrossMetric's time series (one
+// value per evaluation), shaped like PUFEntropySeries. It returns nil
+// when no evaluation carries the metric.
+func (r *Results) CrossCustomSeries(name string) []float64 {
+	if len(r.Monthly) == 0 {
+		return nil
+	}
+	if _, ok := r.Monthly[0].CrossCustom[name]; !ok {
+		return nil
+	}
+	out := make([]float64, len(r.Monthly))
+	for m := range r.Monthly {
+		out[m] = r.Monthly[m].CrossCustom[name]
 	}
 	return out
 }

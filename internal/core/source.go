@@ -1,0 +1,319 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/bitvec"
+	"repro/internal/harness"
+	"repro/internal/rng"
+	"repro/internal/silicon"
+	"repro/internal/sram"
+	"repro/internal/store"
+	"repro/internal/stream"
+)
+
+// Sink receives the measurements of one evaluation window: the device
+// index (0-based, dense) and the power-up pattern. Pattern storage may be
+// reused between deliveries to the same device; sinks that retain a
+// pattern must Clone it. Sinks must be safe for concurrent use across
+// DISTINCT devices — sources are free to deliver devices in parallel or
+// interleaved, but each device's measurements arrive in capture order.
+type Sink func(device int, m *bitvec.Vector) error
+
+// Source is where an assessment's measurements come from. The three
+// built-in implementations — SimSource (direct sampling), RigSource (full
+// measurement-rig simulation) and ArchiveSource (JSONL archive replay) —
+// make offline evaluation and live campaigns the same call; external
+// implementations (sharded, networked, condition-sweep) plug into the
+// same engine.
+type Source interface {
+	// Devices returns the number of boards the source measures.
+	Devices() int
+	// Measure streams one evaluation window: exactly size measurements
+	// per device at the given month, delivered to sink. The engine
+	// visits months in ascending order; stateful sources (simulated
+	// silicon ages monotonically) may rely on that. Measure must honour
+	// ctx cancellation between measurements and return an error wrapping
+	// ctx.Err() when interrupted.
+	Measure(ctx context.Context, month, size int, sink Sink) error
+}
+
+// MonthLister is implemented by bounded sources (archive replay) that
+// know which month indices they can serve. The engine consults it when no
+// explicit month list is configured.
+type MonthLister interface {
+	// AvailableMonths returns the ascending month indices for which the
+	// source holds a complete window of the given size on every device.
+	AvailableMonths(windowSize int) ([]int, error)
+}
+
+// WorkerSetter is implemented by sources whose window delivery can be
+// parallelised; the assessment builder forwards its worker bound here.
+type WorkerSetter interface {
+	// SetWorkers bounds delivery parallelism (<= 0: one goroutine per
+	// device).
+	SetWorkers(n int)
+}
+
+// SimSource is the direct-sampling source: simulated SRAM arrays read
+// without the measurement rig in between. It produces measurement streams
+// bit-identical to RigSource on the same profile/devices/seed (the rig
+// adds fidelity — power switch, boot, I2C — not different bits).
+type SimSource struct {
+	arrays []*sram.Array
+	bits   int
+	pool   *stream.Pool
+}
+
+// NewSimSource builds devices simulated chips of the profile, with the
+// same per-device seed derivation the rig uses, so both sources yield
+// identical streams for one campaign seed.
+func NewSimSource(profile silicon.DeviceProfile, devices int, seed uint64) (*SimSource, error) {
+	if devices < 1 {
+		return nil, fmt.Errorf("%w: need >= 1 device, got %d", ErrConfig, devices)
+	}
+	if err := profile.Validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(seed)
+	arrays := make([]*sram.Array, devices)
+	for d := range arrays {
+		a, err := sram.New(profile, root.Derive(uint64(d)+1))
+		if err != nil {
+			return nil, err
+		}
+		arrays[d] = a
+	}
+	return newSimSource(arrays, profile.ReadWindowBits(), stream.NewPool(0)), nil
+}
+
+// newSimSource wraps existing arrays (the legacy Campaign path).
+func newSimSource(arrays []*sram.Array, bits int, pool *stream.Pool) *SimSource {
+	if pool == nil {
+		pool = stream.NewPool(0)
+	}
+	return &SimSource{arrays: arrays, bits: bits, pool: pool}
+}
+
+// Devices returns the number of simulated chips.
+func (s *SimSource) Devices() int { return len(s.arrays) }
+
+// Arrays exposes the simulated chips (for extension experiments).
+func (s *SimSource) Arrays() []*sram.Array { return s.arrays }
+
+// SetWorkers bounds the per-device sampling parallelism.
+func (s *SimSource) SetWorkers(n int) { s.pool = stream.NewPool(n) }
+
+// deviceSink adapts a campaign Sink to a stream.Sink for one device.
+type deviceSink struct {
+	d    int
+	sink Sink
+}
+
+func (s deviceSink) Add(m *bitvec.Vector) error { return s.sink(s.d, m) }
+
+// Measure ages every chip to the month boundary and samples size power-up
+// windows per device, one stream.Sampler job per device on the source's
+// pool. Each sampler reuses a single scratch vector, so a window costs
+// O(array size) memory; cancellation is checked before every draw.
+func (s *SimSource) Measure(ctx context.Context, month, size int, sink Sink) error {
+	for _, a := range s.arrays {
+		if err := a.AgeTo(float64(month)); err != nil {
+			return err
+		}
+	}
+	jobs := make([]func() error, len(s.arrays))
+	for d := range jobs {
+		d := d
+		jobs[d] = func() error {
+			n := 0
+			src := stream.Sampler(s.bits, size, func(dst *bitvec.Vector) error {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("core: device %d measurement %d: %w", d, n, err)
+				}
+				n++
+				return s.arrays[d].PowerUpWindowInto(dst)
+			})
+			_, err := stream.Drain(src, deviceSink{d, sink})
+			return err
+		}
+	}
+	return s.pool.Run(jobs...)
+}
+
+// cyclesPerMonth approximates the power cycles a board accumulates per
+// month at the rig's 5.4 s period.
+const cyclesPerMonth = uint64(30.44 * 24 * 3600 / 5.4)
+
+// RigSource routes every evaluation window through the full measurement
+// rig simulation (masters, power switch, boot, I2C, record forwarding).
+// The record tap may additionally be copied to a Tap — the archive
+// collection path of cmd/agingtest, which writes JSONL while the
+// assessment evaluates the same stream.
+type RigSource struct {
+	rig *harness.Rig
+	tap func(store.Record) error
+}
+
+// NewRigSource builds the two-layer rig with devices boards (an even
+// count) and the given I2C byte-corruption rate.
+func NewRigSource(profile silicon.DeviceProfile, devices int, seed uint64, i2cErrorRate float64) (*RigSource, error) {
+	if devices < 2 || devices%2 != 0 {
+		return nil, fmt.Errorf("%w: rig needs an even device count >= 2 (two layers), got %d", ErrConfig, devices)
+	}
+	hcfg := harness.DefaultConfig(profile, seed)
+	hcfg.SlavesPerLayer = devices / 2
+	hcfg.I2CErrorRate = i2cErrorRate
+	rig, err := harness.New(hcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &RigSource{rig: rig}, nil
+}
+
+// newRigSource wraps an existing rig (the legacy Campaign path).
+func newRigSource(rig *harness.Rig) *RigSource { return &RigSource{rig: rig} }
+
+// Devices returns the number of boards on the rig.
+func (s *RigSource) Devices() int { return len(s.rig.Arrays()) }
+
+// Rig exposes the underlying rig (waveform tracing, archive access).
+func (s *RigSource) Rig() *harness.Rig { return s.rig }
+
+// SetTap installs a callback that receives every record in capture order,
+// in addition to the assessment's own accumulators — e.g. a
+// store.JSONLWriter archiving the campaign to disk as it runs.
+func (s *RigSource) SetTap(tap func(store.Record) error) { s.tap = tap }
+
+// pointRigAtMonth aims the rig's cycle and sequence counters at a month's
+// evaluation window and returns the window's wall-clock start. It is the
+// single definition of the month-to-cycle mapping, shared by the
+// streaming source and the batch oracle so the two cannot diverge.
+func pointRigAtMonth(rig *harness.Rig, month int) time.Time {
+	base := uint64(month) * cyclesPerMonth
+	rig.SetCycleBase(base)
+	rig.SetSeqBase(base)
+	return store.MonthlyWindowStart(month)
+}
+
+// Measure ages every board to the month boundary, points the rig's cycle
+// and sequence counters at the month's window and pumps one full rig
+// window through the record tap — nothing is buffered in the Pi archive.
+func (s *RigSource) Measure(ctx context.Context, month, size int, sink Sink) error {
+	for _, a := range s.rig.Arrays() {
+		if err := a.AgeTo(float64(month)); err != nil {
+			return err
+		}
+	}
+	return s.rig.StreamWindow(size, pointRigAtMonth(s.rig, month), func(rec store.Record) error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: board %d: %w", rec.Board, err)
+		}
+		if s.tap != nil {
+			if err := s.tap(rec); err != nil {
+				return err
+			}
+		}
+		return sink(rec.Board, rec.Data)
+	})
+}
+
+// ArchiveSource replays a measurement archive — the offline-evaluation
+// path of cmd/evaluate, promoted to a first-class source so archive
+// replay and live campaigns are the same Assessment call. Device index d
+// is the d-th board present in the archive (board IDs may be sparse).
+type ArchiveSource struct {
+	archive *store.Archive
+	boards  []int
+}
+
+// NewArchiveSource wraps an in-memory archive.
+func NewArchiveSource(a *store.Archive) (*ArchiveSource, error) {
+	if a == nil || a.Len() == 0 {
+		return nil, fmt.Errorf("%w: empty archive", ErrConfig)
+	}
+	return &ArchiveSource{archive: a, boards: a.Boards()}, nil
+}
+
+// Devices returns the number of boards present in the archive.
+func (s *ArchiveSource) Devices() int { return len(s.boards) }
+
+// Boards returns the archive's board IDs in device-index order.
+func (s *ArchiveSource) Boards() []int { return append([]int(nil), s.boards...) }
+
+// AvailableMonths returns the ascending month indices at which EVERY
+// board holds a complete window of the given size — the paper's "first
+// 1,000 consecutive measurements after midnight on the 8th" selection,
+// bounded to the month so a collection gap can never borrow the next
+// month's records. A month with too few records on every board (the rig
+// was off) is simply not evaluated, and a partial month at the tail of
+// the archive (collection interrupted mid-window) is dropped; but a
+// month complete on SOME boards and short on others while later months
+// are complete is a data defect (lost records) and is reported as an
+// error naming the month and boards, never silently skipped.
+func (s *ArchiveSource) AvailableMonths(windowSize int) ([]int, error) {
+	var last time.Time
+	for _, b := range s.boards {
+		recs := s.archive.Records(b)
+		if len(recs) > 0 && recs[len(recs)-1].Wall.After(last) {
+			last = recs[len(recs)-1].Wall
+		}
+	}
+	var months []int
+	partialMonth, partialBoards := -1, []int(nil)
+	// Archives are external input: a single corrupt far-future timestamp
+	// must not turn discovery into a ~100k-iteration scan, so the month
+	// walk is capped at 50 years past the campaign epoch.
+	const maxArchiveMonths = 600
+	for m := 0; m <= maxArchiveMonths; m++ {
+		start := store.MonthlyWindowStart(m)
+		if start.After(last) {
+			break
+		}
+		var missing []int
+		for _, b := range s.boards {
+			if _, err := s.archive.WindowBounded(b, start, store.MonthlyWindowStart(m+1), windowSize); err != nil {
+				missing = append(missing, b)
+			}
+		}
+		switch {
+		case len(missing) == 0:
+			if partialMonth >= 0 {
+				return nil, fmt.Errorf("%w: month %d is short on boards %v (want %d records) but month %d is complete — records were lost mid-archive",
+					ErrShortWindow, partialMonth, partialBoards, windowSize, m)
+			}
+			months = append(months, m)
+		case len(missing) < len(s.boards):
+			// Remember the first partial month; it is an error only if a
+			// complete month follows it (otherwise it is the archive's
+			// interrupted tail).
+			if partialMonth < 0 {
+				partialMonth, partialBoards = m, missing
+			}
+		}
+	}
+	return months, nil
+}
+
+// Measure replays the month's window board by board, bounded to the
+// month's records like AvailableMonths.
+func (s *ArchiveSource) Measure(ctx context.Context, month, size int, sink Sink) error {
+	start := store.MonthlyWindowStart(month)
+	for d, b := range s.boards {
+		recs, err := s.archive.WindowBounded(b, start, store.MonthlyWindowStart(month+1), size)
+		if err != nil {
+			return fmt.Errorf("%w: board %d month %d: %v", ErrShortWindow, b, month, err)
+		}
+		for i := range recs {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("core: board %d measurement %d: %w", b, i, err)
+			}
+			if err := sink(d, recs[i].Data); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/bitvec"
+	"repro/internal/store"
+)
+
+// syntheticArchive builds an archive where board b holds `counts[b][m]`
+// records in month m, timestamped one second apart from the month start.
+func syntheticArchive(t *testing.T, counts map[int]map[int]int) *store.Archive {
+	t.Helper()
+	a := store.NewArchive()
+	var seq uint64
+	for b := 0; b < 8; b++ {
+		perMonth, ok := counts[b]
+		if !ok {
+			continue
+		}
+		for m := 0; m <= 64; m++ {
+			n := perMonth[m]
+			start := store.MonthlyWindowStart(m)
+			for i := 0; i < n; i++ {
+				v := bitvec.New(64)
+				v.SetWord(0, uint64(b)<<32|uint64(m)<<16|uint64(i))
+				seq++
+				rec := store.Record{Board: b, Seq: seq, Wall: start.Add(time.Duration(i) * time.Second), Data: v}
+				if err := a.Append(rec); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return a
+}
+
+// TestArchiveSourceSkipsGapMonthWithoutBorrowing: a month with no records
+// on any board (the rig was off) is not evaluated and — crucially — the
+// next month's records are not borrowed to fake a window for it.
+func TestArchiveSourceSkipsGapMonthWithoutBorrowing(t *testing.T) {
+	src, err := NewArchiveSource(syntheticArchive(t, map[int]map[int]int{
+		0: {0: 5, 2: 5},
+		1: {0: 5, 2: 5},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	months, err := src.AvailableMonths(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(months) != 2 || months[0] != 0 || months[1] != 2 {
+		t.Fatalf("months = %v, want [0 2]", months)
+	}
+	// Forcing the gap month must fail typed, not silently replay month
+	// 2's records under month 1's label.
+	sink := func(d int, m *bitvec.Vector) error { return nil }
+	if err := src.Measure(context.Background(), 1, 5, sink); !errors.Is(err, ErrShortWindow) {
+		t.Fatalf("gap month measure: err = %v, want ErrShortWindow", err)
+	}
+}
+
+// TestArchiveSourceReportsMidArchiveLoss: a month short on one board
+// while later months are complete is lost data, reported with the month
+// and board, never skipped.
+func TestArchiveSourceReportsMidArchiveLoss(t *testing.T) {
+	src, err := NewArchiveSource(syntheticArchive(t, map[int]map[int]int{
+		0: {0: 5, 1: 5, 2: 5},
+		1: {0: 5, 1: 2, 2: 5},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.AvailableMonths(5); !errors.Is(err, ErrShortWindow) {
+		t.Fatalf("mid-archive loss: err = %v, want ErrShortWindow", err)
+	}
+}
+
+// TestArchiveSourceDropsInterruptedTail: a partial month at the end of
+// the archive (collection killed mid-window) is dropped; the complete
+// months still replay.
+func TestArchiveSourceDropsInterruptedTail(t *testing.T) {
+	src, err := NewArchiveSource(syntheticArchive(t, map[int]map[int]int{
+		0: {0: 5, 1: 5, 2: 5},
+		1: {0: 5, 1: 5, 2: 3},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	months, err := src.AvailableMonths(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(months) != 2 || months[0] != 0 || months[1] != 1 {
+		t.Fatalf("months = %v, want [0 1]", months)
+	}
+}

@@ -20,18 +20,18 @@ import (
 // ErrNoMeasurements is returned for empty measurement sets.
 var ErrNoMeasurements = errors.New("entropy: no measurements")
 
-// OneProbabilities returns, for every bit position, the fraction of
-// measurements in which that bit was 1 (the empirical one-probability
-// p_i = Pr[R_i = 1] of §IV-C1).
-func OneProbabilities(measurements []*bitvec.Vector) ([]float64, error) {
+// OneCounts returns, for every bit position, the number of measurements
+// in which that bit was 1, plus the measurement count — the exact integer
+// layer every probability-based estimator derives from.
+func OneCounts(measurements []*bitvec.Vector) ([]int, int, error) {
 	if len(measurements) == 0 {
-		return nil, ErrNoMeasurements
+		return nil, 0, ErrNoMeasurements
 	}
 	n := measurements[0].Len()
 	counts := make([]int, n)
 	for mi, m := range measurements {
 		if m.Len() != n {
-			return nil, fmt.Errorf("entropy: measurement %d has %d bits, want %d", mi, m.Len(), n)
+			return nil, 0, fmt.Errorf("entropy: measurement %d has %d bits, want %d", mi, m.Len(), n)
 		}
 		for wi, w := range m.Words() {
 			base := wi * 64
@@ -40,39 +40,65 @@ func OneProbabilities(measurements []*bitvec.Vector) ([]float64, error) {
 			}
 		}
 	}
-	probs := make([]float64, n)
-	inv := 1 / float64(len(measurements))
+	return counts, len(measurements), nil
+}
+
+// ProbabilitiesFromCounts converts per-cell one-counts over n measurements
+// into empirical one-probabilities, with the pipeline's canonical rounding
+// (count times reciprocal) that the streaming accumulators replicate.
+func ProbabilitiesFromCounts(counts []int, n int) ([]float64, error) {
+	if n <= 0 {
+		return nil, ErrNoMeasurements
+	}
+	probs := make([]float64, len(counts))
+	inv := 1 / float64(n)
 	for i, c := range counts {
 		probs[i] = float64(c) * inv
 	}
 	return probs, nil
 }
 
-// StableCells returns the indices of cells whose empirical one-probability
-// is exactly 0 or 1 — the paper's definition of a stable cell over one
-// evaluation window (§IV-C1).
-func StableCells(oneProbs []float64) []int {
+// OneProbabilities returns, for every bit position, the fraction of
+// measurements in which that bit was 1 (the empirical one-probability
+// p_i = Pr[R_i = 1] of §IV-C1).
+func OneProbabilities(measurements []*bitvec.Vector) ([]float64, error) {
+	counts, n, err := OneCounts(measurements)
+	if err != nil {
+		return nil, err
+	}
+	return ProbabilitiesFromCounts(counts, n)
+}
+
+// StableCells returns the indices of cells that took the same value in
+// every one of the n measurements — the paper's definition of a stable
+// cell over one evaluation window (§IV-C1). The comparison is count-based
+// (one-count exactly 0 or exactly n): the historical float test
+// `p == 0 || p == 1` missed fully-stable cells for window sizes n where
+// float64(n)*(1/float64(n)) != 1 (e.g. n = 49).
+func StableCells(counts []int, n int) []int {
 	var out []int
-	for i, p := range oneProbs {
-		if p == 0 || p == 1 {
+	for i, c := range counts {
+		if c == 0 || c == n {
 			out = append(out, i)
 		}
 	}
 	return out
 }
 
-// StableCellRatio returns the fraction of stable cells.
-func StableCellRatio(oneProbs []float64) (float64, error) {
-	if len(oneProbs) == 0 {
+// StableCellRatio returns the fraction of stable cells: cells whose
+// one-count over the n-measurement window is exactly 0 or exactly n. Like
+// StableCells it compares integer counts, never rounded probabilities.
+func StableCellRatio(counts []int, n int) (float64, error) {
+	if len(counts) == 0 || n <= 0 {
 		return 0, ErrNoMeasurements
 	}
 	stable := 0
-	for _, p := range oneProbs {
-		if p == 0 || p == 1 {
+	for _, c := range counts {
+		if c == 0 || c == n {
 			stable++
 		}
 	}
-	return float64(stable) / float64(len(oneProbs)), nil
+	return float64(stable) / float64(len(counts)), nil
 }
 
 // NoiseMinEntropy returns the average per-bit noise min-entropy

@@ -70,8 +70,10 @@ func TestOneProbabilitiesWideVector(t *testing.T) {
 }
 
 func TestStableCells(t *testing.T) {
-	probs := []float64{0, 1, 0.5, 0.999, 0.001, 1, 0}
-	idx := StableCells(probs)
+	// Over 1000 measurements: counts 0 and 1000 are stable; 500, 999 and 1
+	// are not.
+	counts := []int{0, 1000, 500, 999, 1, 1000, 0}
+	idx := StableCells(counts, 1000)
 	want := []int{0, 1, 5, 6}
 	if len(idx) != len(want) {
 		t.Fatalf("stable indices = %v, want %v", idx, want)
@@ -81,15 +83,53 @@ func TestStableCells(t *testing.T) {
 			t.Fatalf("stable indices = %v, want %v", idx, want)
 		}
 	}
-	r, err := StableCellRatio(probs)
+	r, err := StableCellRatio(counts, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if math.Abs(r-4.0/7.0) > 1e-12 {
 		t.Fatalf("ratio = %v, want 4/7", r)
 	}
-	if _, err := StableCellRatio(nil); err == nil {
-		t.Error("empty probs accepted")
+	if _, err := StableCellRatio(nil, 0); err == nil {
+		t.Error("empty counts accepted")
+	}
+}
+
+// TestStableCellsCountBasedRegression is the ROADMAP p == 1 bug as a test:
+// for n = 49, float64(49)*(1/float64(49)) != 1, so the historical
+// probability comparison classified a fully-stable one-cell as unstable.
+// The count-based comparison must not.
+func TestStableCellsCountBasedRegression(t *testing.T) {
+	const n = 49
+	if float64(n)*(1/float64(n)) == 1 {
+		t.Fatalf("n = %d no longer exhibits the rounding the regression guards", n)
+	}
+	// One measurement set: a cell stuck at one, a cell stuck at zero, and
+	// a cell that flipped once.
+	ms := make([]*bitvec.Vector, n)
+	for k := range ms {
+		v := bitvec.New(3)
+		v.Set(0, true)
+		v.Set(2, k == 7)
+		ms[k] = v
+	}
+	counts, got, err := OneCounts(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("measurement count = %d, want %d", got, n)
+	}
+	idx := StableCells(counts, n)
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 1 {
+		t.Fatalf("stable indices = %v, want [0 1]", idx)
+	}
+	r, err := StableCellRatio(counts, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 2.0/3.0 {
+		t.Fatalf("ratio = %v, want 2/3", r)
 	}
 }
 

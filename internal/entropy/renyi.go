@@ -69,8 +69,15 @@ type Profile struct {
 	Stable    float64 // stable-cell ratio
 }
 
-// ProfileFromOneProbs computes all entropy measures of a window.
-func ProfileFromOneProbs(oneProbs []float64) (Profile, error) {
+// ProfileFromCounts computes all entropy measures of a window from
+// per-cell one-counts over n measurements. The entropy family works on
+// the derived probabilities; the stable-cell ratio uses the exact integer
+// counts (see StableCellRatio).
+func ProfileFromCounts(counts []int, n int) (Profile, error) {
+	oneProbs, err := ProbabilitiesFromCounts(counts, n)
+	if err != nil {
+		return Profile{}, err
+	}
 	min, err := NoiseMinEntropy(oneProbs)
 	if err != nil {
 		return Profile{}, err
@@ -87,7 +94,7 @@ func ProfileFromOneProbs(oneProbs []float64) (Profile, error) {
 	if err != nil {
 		return Profile{}, err
 	}
-	stable, err := StableCellRatio(oneProbs)
+	stable, err := StableCellRatio(counts, n)
 	if err != nil {
 		return Profile{}, err
 	}

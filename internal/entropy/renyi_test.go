@@ -75,9 +75,11 @@ func TestEntropyOrdering(t *testing.T) {
 	}
 }
 
-func TestProfileFromOneProbs(t *testing.T) {
-	probs := []float64{0, 1, 0.5, 0.9, 0.1}
-	p, err := ProfileFromOneProbs(probs)
+func TestProfileFromCounts(t *testing.T) {
+	// Over 10 measurements: cells with counts {0, 10} are stable; {5, 9, 1}
+	// are not — probabilities {0, 1, 0.5, 0.9, 0.1}.
+	counts := []int{0, 10, 5, 9, 1}
+	p, err := ProfileFromCounts(counts, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +92,20 @@ func TestProfileFromOneProbs(t *testing.T) {
 	if p.Guessing < 1 || p.Guessing > 1.5 {
 		t.Fatalf("guessing = %v", p.Guessing)
 	}
-	if _, err := ProfileFromOneProbs(nil); err == nil {
+	if _, err := ProfileFromCounts(nil, 0); err == nil {
 		t.Fatal("empty accepted")
+	}
+}
+
+// TestProfileStableCountBased pins the p == 1 regression at the Profile
+// level: with n = 49, a fully-stable cell's rounded probability is not
+// exactly 1, but the count-based classification must still see it.
+func TestProfileStableCountBased(t *testing.T) {
+	p, err := ProfileFromCounts([]int{49, 0, 24}, 49)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stable != 2.0/3.0 {
+		t.Fatalf("stable = %v, want 2/3", p.Stable)
 	}
 }

@@ -115,6 +115,11 @@ type Rig struct {
 	// buffered in the rig). tapErr records the first sink failure.
 	tap    func(store.Record) error
 	tapErr error
+	// aborted poisons the rig after a window stopped mid-cycle (sink
+	// failure, typically cancellation): stale simulator events from the
+	// aborted cycle would fire into any later window, so further windows
+	// are refused rather than silently corrupted.
+	aborted bool
 }
 
 // master is one master Arduino board driving the slaves of its layer
@@ -235,8 +240,10 @@ func (r *Rig) RunWindow(measurements int, wallStart time.Time) error {
 // rig-path Source of the streaming pipeline. The rig buffers nothing; the
 // measurement chain (power switch, boot, I2C, master forwarding) is
 // identical to RunWindow's, so the record streams are bit-identical.
-// The window runs to completion even if sink fails; the first sink error
-// is returned.
+// A sink failure aborts the window at the next event boundary (so a
+// cancelled campaign returns promptly); the first sink error is returned
+// and the rig is poisoned — it refuses further windows, since its event
+// queue still holds the aborted cycle.
 func (r *Rig) StreamWindow(measurements int, wallStart time.Time, sink func(store.Record) error) error {
 	if sink == nil {
 		return errors.New("harness: nil stream sink")
@@ -253,6 +260,9 @@ func (r *Rig) runWindow(measurements int, wallStart time.Time) error {
 	if measurements <= 0 {
 		return fmt.Errorf("harness: non-positive window size %d", measurements)
 	}
+	if r.aborted {
+		return errors.New("harness: rig stopped mid-cycle by an earlier aborted window; build a fresh rig")
+	}
 	r.wallBase = wallStart
 	r.windowStartSim = r.sim.Now()
 	for i, m := range r.masters {
@@ -267,6 +277,13 @@ func (r *Rig) runWindow(measurements int, wallStart time.Time) error {
 		}
 	}
 	for anyRunning(r.masters) {
+		if r.tapErr != nil {
+			// The stream sink failed (typically campaign cancellation):
+			// stop pumping events instead of completing the window, and
+			// poison the rig — its event queue still holds this cycle.
+			r.aborted = true
+			return nil
+		}
 		if !r.sim.Step() {
 			return errors.New("harness: deadlock — masters running but no events pending")
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"time"
@@ -256,4 +257,22 @@ func TestWindowTimestampsSpacing(t *testing.T) {
 		}
 	}
 	_ = time.Second
+}
+
+// TestStreamWindowAbortPoisonsRig: a window stopped mid-cycle by a sink
+// failure leaves stale events in the simulator queue, so the rig must
+// refuse further windows instead of silently corrupting them.
+func TestStreamWindowAbortPoisonsRig(t *testing.T) {
+	r := smallRig(t, 1)
+	boom := errors.New("boom")
+	err := r.StreamWindow(20, store.Epoch, func(store.Record) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("aborted window: err = %v, want boom", err)
+	}
+	if err := r.RunWindow(2, store.Epoch.Add(time.Hour)); err == nil {
+		t.Fatal("poisoned rig accepted another window")
+	}
+	if err := r.StreamWindow(2, store.Epoch.Add(time.Hour), func(store.Record) error { return nil }); err == nil {
+		t.Fatal("poisoned rig accepted another stream window")
+	}
 }

@@ -150,6 +150,21 @@ func (a *Archive) Window(board int, after time.Time, count int) ([]Record, error
 	return recs[i : i+count], nil
 }
 
+// WindowBounded returns the first count records of a board captured in
+// [after, before) — Window with an exclusive upper time bound, so one
+// evaluation window can never borrow the next period's records when a
+// collection gap leaves the current period short.
+func (a *Archive) WindowBounded(board int, after, before time.Time, count int) ([]Record, error) {
+	recs := a.byBoard[board]
+	i := sort.Search(len(recs), func(k int) bool { return !recs[k].Wall.Before(after) })
+	j := i + sort.Search(len(recs)-i, func(k int) bool { return !recs[i+k].Wall.Before(before) })
+	if j-i < count {
+		return nil, fmt.Errorf("store: board %d has %d records in [%v, %v), want %d",
+			board, j-i, after, before, count)
+	}
+	return recs[i : i+count], nil
+}
+
 // Patterns extracts the payload vectors of a record slice.
 func Patterns(recs []Record) []*bitvec.Vector {
 	out := make([]*bitvec.Vector, len(recs))

@@ -137,12 +137,7 @@ func (a *Ones) Probabilities() ([]float64, error) {
 	if a.count == 0 {
 		return nil, ErrNoMeasurements
 	}
-	probs := make([]float64, len(a.counts))
-	inv := 1 / float64(a.count)
-	for i, c := range a.counts {
-		probs[i] = float64(c) * inv
-	}
-	return probs, nil
+	return entropy.ProbabilitiesFromCounts(a.counts, a.count)
 }
 
 // NoiseMinEntropy returns the window's average per-bit noise min-entropy,
@@ -156,26 +151,26 @@ func (a *Ones) NoiseMinEntropy() (float64, error) {
 	return entropy.NoiseMinEntropy(probs)
 }
 
-// StableRatio returns the fraction of cells with an empirical
-// one-probability of exactly 0 or 1.
+// StableRatio returns the fraction of stable cells: cells whose one-count
+// is exactly 0 or exactly the measurement count. The comparison is
+// count-based, in lockstep with entropy.StableCellRatio — the historical
+// probability comparison missed fully-stable cells for window sizes n
+// where float64(n)*(1/float64(n)) != 1 (e.g. n = 49).
 func (a *Ones) StableRatio() (float64, error) {
-	probs, err := a.Probabilities()
-	if err != nil {
-		return 0, err
+	if a.count == 0 {
+		return 0, ErrNoMeasurements
 	}
-	return entropy.StableCellRatio(probs)
+	return entropy.StableCellRatio(a.counts, a.count)
 }
 
 // Flips tracks, per cell, whether the cell ever changed value across the
 // stream: a one-word-per-64-cells bitmap updated with one XOR-OR pass per
 // measurement. A cell is stable over a window exactly when it never flips,
 // so the bitmap yields the stable-cell tally (§IV-C1) as an exact integer
-// count. Note that StableRatio can differ from entropy.StableCellRatio in
-// the last ulp for window sizes n where float64(n)*(1/float64(n)) != 1
-// (the oracle's p == 0 || p == 1 test on rounded probabilities then
-// misses fully-stable cells); the Table I pipeline therefore uses
-// Ones.StableRatio, which reproduces the oracle's rounding exactly, and
-// keeps Flips as a standalone flip-location diagnostic.
+// count. Since the stable-cell oracle became count-based (a cell is stable
+// iff its one-count is 0 or n, which holds iff it never flips),
+// Flips.StableRatio and Ones.StableRatio agree exactly for every window
+// size; Flips additionally locates the flipping cells.
 type Flips struct {
 	prev    *bitvec.Vector
 	changed *bitvec.Vector

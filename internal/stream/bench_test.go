@@ -68,14 +68,18 @@ func benchBatch(b *testing.B, window int) {
 		if _, err := metrics.FractionalHW(ws); err != nil {
 			b.Fatal(err)
 		}
-		probs, err := entropy.OneProbabilities(ws)
+		counts, n, err := entropy.OneCounts(ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+		probs, err := entropy.ProbabilitiesFromCounts(counts, n)
 		if err != nil {
 			b.Fatal(err)
 		}
 		if _, err := entropy.NoiseMinEntropy(probs); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := entropy.StableCellRatio(probs); err != nil {
+		if _, err := entropy.StableCellRatio(counts, n); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -51,10 +51,9 @@ func TestAccumulatorsMatchBatchOracle(t *testing.T) {
 		{3, 8192, 40, 0.005},
 		{4, 64, 500, 0.1},
 		{5, 130, 3, 0.3},
-		// Regression: n where float64(n)*(1/float64(n)) != 1, so the
-		// oracle's p == 1 stable-cell test rounds differently from an
-		// exact integer tally — the streaming ratio must follow the
-		// oracle's rounding, not the tally.
+		// Regression: n where float64(n)*(1/float64(n)) != 1 — the
+		// count-based stable-cell comparison must classify fully-stable
+		// cells identically in the oracle and the accumulator.
 		{6, 512, 49, 0.02},
 	}
 	for _, tc := range cases {
@@ -70,7 +69,11 @@ func TestAccumulatorsMatchBatchOracle(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		probs, err := entropy.OneProbabilities(window)
+		counts, n, err := entropy.OneCounts(window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probs, err := entropy.ProbabilitiesFromCounts(counts, n)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -78,7 +81,7 @@ func TestAccumulatorsMatchBatchOracle(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		stable, err := entropy.StableCellRatio(probs)
+		stable, err := entropy.StableCellRatio(counts, n)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -130,9 +133,10 @@ func TestAccumulatorsMatchBatchOracle(t *testing.T) {
 }
 
 // TestFlipsAgreesWithOnesStableCount pins the two stable-cell definitions
-// (never flips vs one-count in {0, n}) to each other at the integer-tally
-// level, including window sizes like 49 where the float ratios may differ
-// in the last ulp (see the Flips doc comment).
+// (never flips vs one-count in {0, n}) to each other, both at the
+// integer-tally level and — now that the oracle compares counts — at the
+// exact float-ratio level, including window sizes like 49 where the
+// historical probability comparison went wrong.
 func TestFlipsAgreesWithOnesStableCount(t *testing.T) {
 	for seed := uint64(1); seed <= 8; seed++ {
 		for _, n := range []int{49, 64} {
@@ -154,6 +158,17 @@ func TestFlipsAgreesWithOnesStableCount(t *testing.T) {
 			fromFlips := changed.Len() - changed.HammingWeight()
 			if fromOnes != fromFlips {
 				t.Fatalf("seed %d n %d: ones stable count %d != flips stable count %d", seed, n, fromOnes, fromFlips)
+			}
+			ro, err := ones.StableRatio()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rf, err := flips.StableRatio()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ro != rf {
+				t.Fatalf("seed %d n %d: ones stable ratio %v != flips stable ratio %v", seed, n, ro, rf)
 			}
 		}
 	}

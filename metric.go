@@ -1,0 +1,42 @@
+package sramaging
+
+import "repro/internal/core"
+
+// Re-exported metric types. A Metric is an externally registered,
+// one-pass per-device accumulator that rides the assessment engine's
+// single measurement pass — custom statistics (a condition-sweep WCHD, a
+// flip-location tally, ...) without touching the engine.
+type (
+	// Metric derives one custom per-device statistic per window; its
+	// values land in MonthEval.Custom keyed by Name.
+	Metric = core.Metric
+	// MetricAccumulator folds one device-window measurement by
+	// measurement and finalises to a float64. Each accumulator sees its
+	// own device's measurements sequentially, but accumulators of
+	// distinct devices run CONCURRENTLY (sources deliver devices in
+	// parallel): NewAccumulator must return an independent value per
+	// device, and accumulators must not share mutable state.
+	MetricAccumulator = core.MetricAccumulator
+	// CrossMetric derives one custom CROSS-device statistic per window
+	// from each device's window-first pattern — the same input the
+	// built-in BCHD / PUF min-entropy metrics consume. Values land in
+	// MonthEval.CrossCustom keyed by Name.
+	CrossMetric = core.CrossMetric
+)
+
+// NewMetric builds a Metric from a name and an accumulator factory: for
+// every device-window the engine calls fn(month, device, ref) — ref is
+// the device's enrollment reference, nil on the enrollment window itself
+// — and feeds every measurement of the window to the returned
+// accumulator. See examples/custommetric for a full implementation of the
+// Metric interface instead.
+func NewMetric(name string, fn func(month, device int, ref *Pattern) (MetricAccumulator, error)) Metric {
+	return core.NewMetricFunc(name, fn)
+}
+
+// NewCrossMetric builds a CrossMetric from a name and a compute function
+// that receives one window-first pattern per device (in device order,
+// engine-owned — clone to retain).
+func NewCrossMetric(name string, fn func(month int, firsts []*Pattern) (float64, error)) CrossMetric {
+	return core.NewCrossMetricFunc(name, fn)
+}

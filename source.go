@@ -1,0 +1,75 @@
+package sramaging
+
+import (
+	"io"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// Re-exported measurement and source types. A Source is where an
+// assessment's measurements come from; the three built-in implementations
+// make offline archive replay and live (simulated) campaigns the same
+// Assessment call, and external implementations of the Source interface
+// plug into the same engine.
+type (
+	// Pattern is one SRAM power-up read-out: a packed bit vector with
+	// Hamming-space primitives (Clone, Xor, HammingWeight, ...).
+	Pattern = bitvec.Vector
+	// Record is one archived measurement: a Pattern plus board, sequence
+	// and wall-clock capture metadata (the rig's JSONL schema).
+	Record = store.Record
+	// Source supplies the monthly evaluation windows of an Assessment.
+	Source = core.Source
+	// Sink receives a window's measurements: device index plus Pattern.
+	Sink = core.Sink
+	// MonthLister is implemented by bounded sources (archive replay)
+	// that know which month indices they can serve.
+	MonthLister = core.MonthLister
+	// WorkerSetter is implemented by sources with parallelisable
+	// delivery; WithWorkers forwards the bound here.
+	WorkerSetter = core.WorkerSetter
+	// SimulatedSource samples simulated SRAM chips directly — the fast
+	// campaign path.
+	SimulatedSource = core.SimSource
+	// RigSource routes every window through the full measurement-rig
+	// simulation (power switch, boot, I2C, record forwarding) and can
+	// tap the record stream to an archive writer.
+	RigSource = core.RigSource
+	// ArchiveSource replays a recorded measurement archive.
+	ArchiveSource = core.ArchiveSource
+)
+
+// NewPattern returns an all-zero pattern of the given bit width — the
+// scratch space custom Metric accumulators build on.
+func NewPattern(bits int) *Pattern { return bitvec.New(bits) }
+
+// NewSimulatedSource builds a direct-sampling source: devices simulated
+// chips of the profile, seeded with the campaign seed (the same
+// per-device derivation the rig uses, so both sources produce
+// bit-identical measurement streams).
+func NewSimulatedSource(profile DeviceProfile, devices int, seed uint64) (*SimulatedSource, error) {
+	return core.NewSimSource(profile, devices, seed)
+}
+
+// NewRigSource builds a full-fidelity source: the paper's two-layer
+// measurement rig with devices boards (an even count) and the given I2C
+// byte-corruption rate. Use (*RigSource).SetTap to archive the record
+// stream (e.g. through a store JSONL writer) while the assessment runs.
+func NewRigSource(profile DeviceProfile, devices int, seed uint64, i2cErrorRate float64) (*RigSource, error) {
+	return core.NewRigSource(profile, devices, seed, i2cErrorRate)
+}
+
+// NewArchiveSource parses a JSON-lines measurement archive (as written by
+// agingtest -archive, a tapped RigSource, or a real rig using the same
+// schema) into a replay source. The source implements MonthLister, so an
+// Assessment without WithMonths evaluates exactly the months the archive
+// holds complete windows for.
+func NewArchiveSource(r io.Reader) (*ArchiveSource, error) {
+	a, err := store.ReadJSONL(r)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewArchiveSource(a)
+}

@@ -2,15 +2,40 @@
 // "Long-term Continuous Assessment of SRAM PUF and Source of Random
 // Numbers" (Wang, Selimis, Maes, Goossens — DATE 2020).
 //
-// It re-exports the campaign API (internal/core), the calibrated device
-// profiles (internal/silicon), the measurement rig (internal/harness) and
-// the application substrates (key generation, TRNG) behind a small
-// surface:
+// The API is built from three composable abstractions:
 //
-//	cfg, _ := sramaging.DefaultCampaign()
-//	cfg.Devices, cfg.Months, cfg.WindowSize = 4, 6, 200
-//	res, _ := sramaging.RunCampaign(cfg)
+//   - Source — where measurements come from. NewSimulatedSource (direct
+//     sampling), NewRigSource (the full measurement-rig simulation) and
+//     NewArchiveSource (JSONL archive replay) are interchangeable, so an
+//     offline evaluation and a live campaign are the same call; external
+//     Source implementations (sharded, networked, condition sweeps) plug
+//     into the same engine.
+//
+//   - Metric — externally registered one-pass accumulators that ride the
+//     engine's single measurement pass next to the built-in Table I
+//     metrics (per-device Metric, cross-device CrossMetric); see
+//     NewMetric, NewCrossMetric and examples/custommetric.
+//
+//   - Assessment — the campaign builder: functional options
+//     (WithDevices, WithMonths, WithWindowSize, WithWorkers, WithHarness,
+//     WithMetrics, WithProgress, ...), a context-cancellable Run, and
+//     incremental per-month emission.
+//
+// A reduced campaign:
+//
+//	a, _ := sramaging.NewAssessment(
+//	        sramaging.WithDevices(4),
+//	        sramaging.WithMonths(6),
+//	        sramaging.WithWindowSize(200),
+//	)
+//	res, _ := a.Run(context.Background())
 //	fmt.Print(sramaging.RenderTableI(res.Table))
+//
+// The historical flat surface (DefaultCampaign, RunCampaign,
+// RunCampaignBatch) remains as a deprecated shim over the same engine.
+// The facade also exposes the calibrated device profiles
+// (internal/silicon), simulated chips, and the application substrates
+// (key generation, TRNG, randomness assessment).
 //
 // See the examples/ directory for runnable programs and DESIGN.md for the
 // system inventory.
@@ -30,8 +55,13 @@ import (
 // Re-exported core types.
 type (
 	// CampaignConfig parameterises a long-term assessment campaign.
+	//
+	// Deprecated: build an Assessment with functional options instead;
+	// CampaignConfig remains for the RunCampaign shim.
 	CampaignConfig = core.Config
 	// CampaignResults carries the monthly metric series and Table I.
+	//
+	// Deprecated: use the identical Results alias.
 	CampaignResults = core.Results
 	// TableI is the paper's summary table.
 	TableI = core.TableI
@@ -43,14 +73,20 @@ type (
 
 // DefaultCampaign returns the paper's campaign configuration: 16
 // ATmega32u4 boards, 24 months, 1,000-measurement monthly windows.
+//
+// Deprecated: NewAssessment() with no options is the same campaign on
+// the composable API.
 func DefaultCampaign() (CampaignConfig, error) { return core.DefaultConfig() }
 
 // RunCampaign executes a campaign with the streaming engine and returns
-// its results. Every measurement is folded into one-pass accumulators the
-// moment it is produced, on both the direct-sampling and rig-simulation
-// paths, so a device-window costs O(array size) memory regardless of
-// CampaignConfig.WindowSize; CampaignConfig.Workers sizes the shared
-// scheduler. See DESIGN.md for the pipeline architecture.
+// its results. It is a thin shim over the Source/Metric/Assessment API —
+// the Config is translated into a simulated or rig Source and a month
+// range, and the same engine runs it — kept for compatibility and
+// verified bit-identical to the historical engine by the equivalence
+// tests.
+//
+// Deprecated: use NewAssessment, which adds cancellation, incremental
+// per-month results, custom metrics and replayable sources.
 func RunCampaign(cfg CampaignConfig) (*CampaignResults, error) {
 	camp, err := core.NewCampaign(cfg)
 	if err != nil {
@@ -64,7 +100,9 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResults, error) {
 // the batch metric functions. It produces bit-identical results to
 // RunCampaign on the same configuration (a property the tests assert) and
 // exists as the validation oracle for the streaming engine — prefer
-// RunCampaign everywhere else.
+// RunCampaign (or an Assessment) everywhere else.
+//
+// Deprecated: oracle use only; applications should run an Assessment.
 func RunCampaignBatch(cfg CampaignConfig) (*CampaignResults, error) {
 	camp, err := core.NewCampaign(cfg)
 	if err != nil {
