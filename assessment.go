@@ -69,6 +69,11 @@ type Assessment struct {
 	crossMetrics []CrossMetric
 	progress     func(MonthEval)
 	ran          bool
+
+	// Condition-sweep state (RunSweep; see sweep.go).
+	conditions    []Scenario
+	sweepProgress func(SweepProgress)
+	pointParallel int
 }
 
 // Option configures an Assessment.
@@ -234,6 +239,9 @@ func NewAssessment(opts ...Option) (*Assessment, error) {
 	if a.src != nil && a.simSet {
 		return nil, fmt.Errorf("%w: WithSource is exclusive with WithProfile/WithDevices/WithSeed/WithHarness/WithI2CErrorRate", ErrConfig)
 	}
+	if a.src != nil && len(a.conditions) > 0 {
+		return nil, fmt.Errorf("%w: WithConditions is exclusive with WithSource (the sweep builds one source per condition)", ErrConfig)
+	}
 	return a, nil
 }
 
@@ -246,6 +254,9 @@ func NewAssessment(opts ...Option) (*Assessment, error) {
 func (a *Assessment) Run(ctx context.Context) (*Results, error) {
 	if a.ran {
 		return nil, ErrAlreadyRun
+	}
+	if len(a.conditions) > 0 {
+		return nil, fmt.Errorf("%w: an assessment with WithConditions runs through RunSweep", ErrConfig)
 	}
 	src := a.src
 	if src == nil {

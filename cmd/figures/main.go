@@ -9,6 +9,7 @@
 //	-fig 6c   noise-entropy development
 //	-fig 6d   PUF-entropy development
 //	-fig accel  nominal vs accelerated WCHD trajectories (§IV-D/§V)
+//	-fig corners  cross-condition corner-comparison table (sweep)
 //	-fig all  everything above
 package main
 
@@ -37,7 +38,7 @@ func main() {
 }
 
 func run() error {
-	fig := flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6a, 6b, 6c, 6d, accel, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6a, 6b, 6c, 6d, accel, corners, all")
 	devices := flag.Int("devices", 4, "boards for campaign figures (paper: 16)")
 	months := flag.Int("months", 6, "months for campaign figures (paper: 24)")
 	window := flag.Int("window", 200, "measurements per window (paper: 1000)")
@@ -119,6 +120,41 @@ func run() error {
 			return err
 		}
 	}
+	if want("corners") {
+		if err := cornerTable(*devices, *months, *window, *seed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cornerTable sweeps a reduced campaign across the screening corners and
+// prints the cross-condition comparison — the operating-corner companion
+// of Table I (worst-corner WCHD/FHW, stable-cell intersection,
+// temperature-sensitivity slopes).
+func cornerTable(devices, months, window int, seed uint64) error {
+	a, err := sramaging.NewAssessment(
+		sramaging.WithDevices(devices),
+		sramaging.WithMonths(months),
+		sramaging.WithWindowSize(window),
+		sramaging.WithSeed(seed),
+		sramaging.WithConditions(
+			sramaging.ColdCorner,
+			sramaging.NominalRoomTemp,
+			sramaging.HotCorner,
+			sramaging.HotHighVoltage,
+		),
+	)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("running corner sweep: 4 corners, %d devices, %d months, %d-measurement windows...\n\n",
+		devices, months, window)
+	res, err := a.RunSweep(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Println(sramaging.RenderCornerTable(res.Comparison))
 	return nil
 }
 

@@ -1,0 +1,141 @@
+// Command sweep runs a condition-sweep campaign: one full assessment per
+// point of a temperature × voltage grid over the same simulated silicon
+// population, then prints each corner's Table I headline and the
+// cross-condition corner-comparison table (worst-corner WCHD/FHW, the
+// stable-cell intersection across corners, temperature-sensitivity
+// slopes).
+//
+// The default configuration is a quick demonstration: 4 devices, 6
+// months, 200-measurement windows over the industrial-temperature grid
+// at nominal and ±10 % supply. A pre-deployment screening run in the
+// paper's shape is:
+//
+//	sweep -devices 16 -months 24 -window 1000 -temps -40,25,85 -volts 4.5,5,5.5
+//
+// -workers bounds the TOTAL sampling parallelism shared across all
+// concurrent grid points; -points bounds how many points run at once.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	sramaging "repro"
+	"repro/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	devices := flag.Int("devices", 4, "boards under test per grid point (paper: 16)")
+	months := flag.Int("months", 6, "campaign length in months (paper: 24)")
+	window := flag.Int("window", 200, "measurements per monthly window (paper: 1000)")
+	seed := flag.Uint64("seed", 20170208, "campaign seed (all points measure the same chips)")
+	temps := flag.String("temps", "-40,25,85", "comma-separated grid temperatures, deg C")
+	volts := flag.String("volts", "4.5,5,5.5", "comma-separated grid supply voltages")
+	useHarness := flag.Bool("harness", false, "route every point through the full rig simulation")
+	i2cErr := flag.Float64("i2c-error", 0, "I2C byte corruption rate (harness path)")
+	workers := flag.Int("workers", 0, "total sampling parallelism shared across points (0: unbounded)")
+	points := flag.Int("points", 0, "grid points in flight at once (0: all)")
+	csvPath := flag.String("csv", "", "file for the cross-condition comparison CSV")
+	verbose := flag.Bool("v", false, "print every completed point-month as it finalises")
+	flag.Parse()
+
+	tempsC, err := parseFloats(*temps)
+	if err != nil {
+		return fmt.Errorf("-temps: %w", err)
+	}
+	voltsV, err := parseFloats(*volts)
+	if err != nil {
+		return fmt.Errorf("-volts: %w", err)
+	}
+
+	opts := []sramaging.Option{
+		sramaging.WithDevices(*devices),
+		sramaging.WithMonths(*months),
+		sramaging.WithWindowSize(*window),
+		sramaging.WithSeed(*seed),
+		sramaging.WithWorkers(*workers),
+		sramaging.WithPointConcurrency(*points),
+		sramaging.WithConditionGrid(tempsC, voltsV),
+	}
+	if *useHarness {
+		opts = append(opts, sramaging.WithHarness(), sramaging.WithI2CErrorRate(*i2cErr))
+	}
+	if *verbose {
+		opts = append(opts, sramaging.WithSweepProgress(func(p sramaging.SweepProgress) {
+			fmt.Printf("  %-12s %s done\n", p.Scenario.Name, p.Eval.Label)
+		}))
+	}
+	a, err := sramaging.NewAssessment(opts...)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("condition sweep: %d×%d grid, %d devices, %d months, %d-measurement windows\n\n",
+		len(tempsC), len(voltsV), *devices, *months, *window)
+	res, err := a.RunSweep(context.Background())
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("PER-CORNER END-OF-TEST SUMMARY")
+	fmt.Printf("%-14s %10s %10s %10s %12s\n", "Corner", "WCHD(avg)", "WCHD(wc)", "HW(avg)", "Stable(avg)")
+	for _, pt := range res.Points {
+		last := pt.Results.Monthly[len(pt.Results.Monthly)-1]
+		fmt.Printf("%-14s %9.2f%% %9.2f%% %9.2f%% %11.2f%%\n",
+			pt.Scenario.Name,
+			100*last.Avg(func(d sramaging.DeviceMonth) float64 { return d.WCHD }),
+			100*last.Worst(func(d sramaging.DeviceMonth) float64 { return d.WCHD }, false),
+			100*last.Avg(func(d sramaging.DeviceMonth) float64 { return d.FHW }),
+			100*last.Avg(func(d sramaging.DeviceMonth) float64 { return d.StableRatio }))
+	}
+	fmt.Println()
+	fmt.Print(sramaging.RenderCornerTable(res.Comparison))
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		c := res.Comparison
+		if err := report.WriteSeriesCSV(f, "month",
+			c.Labels,
+			[]string{"worst_wchd", "worst_fhw", "stable_intersection"},
+			[][]float64{c.WorstWCHD, c.WorstFHW, c.StableIntersect}); err != nil {
+			return err
+		}
+		fmt.Printf("\ncomparison series written to %s\n", *csvPath)
+	}
+	return nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

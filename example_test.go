@@ -61,6 +61,42 @@ func ExampleNewAssessment() {
 	// reliability degrades with aging: WCHD increased
 }
 
+// ExampleAssessment_RunSweep screens the same chips across operating
+// corners: one full assessment per condition over a temperature grid,
+// with the cross-condition comparison answering what a corner-aware
+// deployment needs — the worst corner's reliability and the cells stable
+// at every corner.
+func ExampleAssessment_RunSweep() {
+	a, err := sramaging.NewAssessment(
+		sramaging.WithDevices(2),
+		sramaging.WithMonths(2),
+		sramaging.WithWindowSize(40),
+		sramaging.WithConditions(
+			sramaging.NominalRoomTemp,
+			sramaging.HotCorner,
+		),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := a.RunSweep(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := res.Comparison
+	end := len(c.Months) - 1
+	fmt.Println("corners swept:", len(res.Points))
+	fmt.Println("worst corner at end of test:", c.WorstWCHDCorner[end])
+	if c.StableIntersect[end] < res.Points[0].Results.Monthly[end].Avg(
+		func(d sramaging.DeviceMonth) float64 { return d.StableRatio }) {
+		fmt.Println("fewer cells are stable across all corners than at nominal alone")
+	}
+	// Output:
+	// corners swept: 2
+	// worst corner at end of test: hot-corner
+	// fewer cells are stable across all corners than at nominal alone
+}
+
 // ExampleRunCampaign runs a miniature assessment campaign through the
 // deprecated Config shim and reports the direction of the reliability
 // trend, the paper's §IV-D1 observation.

@@ -1,0 +1,52 @@
+// Example tempsweep screens an SRAM PUF design across operating corners
+// before deployment: the same chips (same profile, same seed) are swept
+// over a temperature grid, and the cross-condition comparison answers the
+// two questions a key-storage design must settle up front — how bad does
+// reliability get at the worst corner, and how many cells stay stable at
+// EVERY corner (the enrollment budget of a stable-cell scheme).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	sramaging "repro"
+)
+
+func main() {
+	a, err := sramaging.NewAssessment(
+		sramaging.WithDevices(2),
+		sramaging.WithMonths(3),
+		sramaging.WithWindowSize(60),
+		// Cold corner, the paper's room-temperature test, hot corner.
+		sramaging.WithConditions(
+			sramaging.ColdCorner,
+			sramaging.NominalRoomTemp,
+			sramaging.HotCorner,
+		),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := a.RunSweep(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, pt := range res.Points {
+		last := pt.Results.Monthly[len(pt.Results.Monthly)-1]
+		fmt.Printf("%-18s end-of-test WCHD %.2f%%, stable cells %.2f%%\n",
+			pt.Scenario.Name,
+			100*last.Avg(func(d sramaging.DeviceMonth) float64 { return d.WCHD }),
+			100*last.Avg(func(d sramaging.DeviceMonth) float64 { return d.StableRatio }))
+	}
+
+	c := res.Comparison
+	end := len(c.Months) - 1
+	fmt.Printf("\nworst corner at end of test: %s (WCHD %.2f%%)\n",
+		c.WorstWCHDCorner[end], 100*c.WorstWCHD[end])
+	fmt.Printf("cells stable at every corner: %.2f%%\n", 100*c.StableIntersect[end])
+	fmt.Printf("WCHD temperature sensitivity: %+.4f%%/degC\n",
+		100*c.TempSlope[sramaging.SlopeWCHD])
+}

@@ -207,6 +207,25 @@ type Scenario struct {
 	Voltage float64
 }
 
+// Validate checks the scenario for physical plausibility. Conditions are
+// external input on the sweep surface, so the checks mirror the kinetics
+// environment checks exactly.
+func (s Scenario) Validate() error {
+	switch {
+	case s.TempC <= -273.15:
+		return fmt.Errorf("aging: scenario %q: temperature %v C below absolute zero", s.Name, s.TempC)
+	case s.Voltage <= 0:
+		return fmt.Errorf("aging: scenario %q: non-positive voltage %v", s.Name, s.Voltage)
+	}
+	return nil
+}
+
+// Condition returns an ad-hoc scenario named after its grid coordinates
+// ("85C-5.5V") — the condition-sweep grid's point constructor.
+func Condition(tempC, voltage float64) Scenario {
+	return Scenario{Name: fmt.Sprintf("%gC-%gV", tempC, voltage), TempC: tempC, Voltage: voltage}
+}
+
 // Standard scenarios.
 var (
 	// NominalRoomTemp matches the paper's two-year test: room temperature,
@@ -217,6 +236,16 @@ var (
 	// accelerated aging test in the style of Maes & van der Leest
 	// (HOST 2014, ref [5]): elevated temperature and +10% overvoltage.
 	AcceleratedHighTemp = Scenario{Name: "accelerated-high-temp", TempC: 125, Voltage: 5.5}
+
+	// Sweep corners: the screening grid of a pre-deployment condition
+	// sweep ("PUF for the Commons" style operating-corner screening)
+	// around the ATmega32u4's 5 V nominal point. Industrial temperature
+	// range, ±10% supply.
+	ColdCorner     = Scenario{Name: "cold-corner", TempC: -40, Voltage: 5.0}
+	HotCorner      = Scenario{Name: "hot-corner", TempC: 85, Voltage: 5.0}
+	LowVoltage     = Scenario{Name: "low-voltage", TempC: 25, Voltage: 4.5}
+	HighVoltage    = Scenario{Name: "high-voltage", TempC: 25, Voltage: 5.5}
+	HotHighVoltage = Scenario{Name: "hot-high-voltage", TempC: 85, Voltage: 5.5}
 )
 
 // WithScenario returns a copy of k operating under the given scenario.
@@ -224,4 +253,20 @@ func (k Kinetics) WithScenario(s Scenario) Kinetics {
 	k.TempC = s.TempC
 	k.Voltage = s.Voltage
 	return k
+}
+
+// NoiseScale returns the power-up noise sigma at the kinetics' conditions
+// relative to its reference conditions. The model combines the two
+// first-order effects of the operating point on the power-up decision:
+// thermal (Johnson–Nyquist) noise voltage grows with sqrt(T_K), while the
+// mismatch-induced skew voltage that the noise competes against scales
+// roughly with the supply overdrive (∝ V). In the simulator's
+// skew-per-noise-sigma units the effective noise scale is therefore
+// sqrt(T/Tref) · (Vref/V): hotter or starved cells are noisier (more
+// flips, higher noise entropy), cold or overdriven cells are quieter. At
+// reference conditions the scale is exactly 1.
+func (k Kinetics) NoiseScale() float64 {
+	t := k.TempC + 273.15
+	tRef := k.RefTempC + 273.15
+	return math.Sqrt(t/tRef) * (k.RefVoltage / k.Voltage)
 }

@@ -54,6 +54,72 @@ func TestAccelerationFactorReference(t *testing.T) {
 	}
 }
 
+// TestScenarioGoldenFactors pins every predefined scenario's acceleration
+// factor and noise scale, applied to the reference kinetics shape
+// (Ea = 0.15 eV, γ = 3, calibrated at 25 °C / 5 V), to golden values:
+// AF = exp(Ea/kB·(1/298.15 − 1/T))·(V/5)³ and NS = sqrt(T/298.15)·(5/V)
+// evaluated analytically. The pure-voltage corners are exact cubes.
+func TestScenarioGoldenFactors(t *testing.T) {
+	cases := []struct {
+		scenario Scenario
+		af       float64
+		noise    float64
+	}{
+		{NominalRoomTemp, 1, 1},
+		{AcceleratedHighTemp, 5.76772553169, 1.05054163262},
+		{ColdCorner, 0.196390203571, 0.884301380608},
+		{HotCorner, 2.65931828064, 1.0960113987},
+		{LowVoltage, 0.729, 1.11111111111},
+		{HighVoltage, 1.331, 0.909090909091},
+		{HotHighVoltage, 3.53955263153, 0.996373998818},
+	}
+	for _, tc := range cases {
+		t.Run(tc.scenario.Name, func(t *testing.T) {
+			if err := tc.scenario.Validate(); err != nil {
+				t.Fatalf("predefined scenario invalid: %v", err)
+			}
+			k := validKinetics().WithScenario(tc.scenario)
+			if err := k.Validate(); err != nil {
+				t.Fatalf("kinetics under scenario invalid: %v", err)
+			}
+			if af := k.AccelerationFactor(); math.Abs(af-tc.af) > 1e-9*tc.af {
+				t.Errorf("AccelerationFactor = %.12g, want %.12g", af, tc.af)
+			}
+			if ns := k.NoiseScale(); math.Abs(ns-tc.noise) > 1e-9*tc.noise {
+				t.Errorf("NoiseScale = %.12g, want %.12g", ns, tc.noise)
+			}
+		})
+	}
+	// The nominal point is the exact identity, not just within tolerance.
+	nom := validKinetics().WithScenario(NominalRoomTemp)
+	if nom.AccelerationFactor() != 1 || nom.NoiseScale() != 1 {
+		t.Errorf("nominal point AF/NS = %v/%v, want exactly 1/1",
+			nom.AccelerationFactor(), nom.NoiseScale())
+	}
+}
+
+// TestScenarioValidate: conditions are external input on the sweep
+// surface; non-physical ones must be rejected.
+func TestScenarioValidate(t *testing.T) {
+	bad := []Scenario{
+		{Name: "below-zero-kelvin", TempC: -273.15, Voltage: 5},
+		{Name: "frozen", TempC: -300, Voltage: 5},
+		{Name: "unpowered", TempC: 25, Voltage: 0},
+		{Name: "negative-volt", TempC: 25, Voltage: -1},
+	}
+	for _, sc := range bad {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("scenario %q accepted", sc.Name)
+		}
+	}
+	if err := Condition(85, 5.5).Validate(); err != nil {
+		t.Errorf("valid condition rejected: %v", err)
+	}
+	if name := Condition(85, 5.5).Name; name != "85C-5.5V" {
+		t.Errorf("condition name = %q, want 85C-5.5V", name)
+	}
+}
+
 func TestAccelerationFactorIncreasesWithStress(t *testing.T) {
 	k := validKinetics()
 	hot := k.WithScenario(AcceleratedHighTemp)

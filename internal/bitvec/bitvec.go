@@ -248,6 +248,18 @@ func (v *Vector) Or(u *Vector) (*Vector, error) {
 	return out, nil
 }
 
+// AndInPlace sets v = v AND u without allocating — the mask-intersection
+// update of the cross-condition stable-cell fold.
+func (v *Vector) AndInPlace(u *Vector) error {
+	if v.n != u.n {
+		return fmt.Errorf("%w: %d vs %d bits", ErrLengthMismatch, v.n, u.n)
+	}
+	for i := range v.words {
+		v.words[i] &= u.words[i]
+	}
+	return nil
+}
+
 // OrDiffInPlace sets v |= a XOR b without allocating — the streaming
 // flip-bitmap update: every position where a and b disagree is marked in v.
 func (v *Vector) OrDiffInPlace(a, b *Vector) error {

@@ -135,6 +135,13 @@ type AssessmentConfig struct {
 	// as soon as it finalises, in addition to its inclusion in the final
 	// Results — incremental delivery for long campaigns, not a drain.
 	Progress func(MonthEval)
+	// WindowDone, when non-nil, receives every finalised per-device
+	// window accumulator after the built-in metrics are extracted and
+	// before the month is assembled — engine-side instrumentation (the
+	// condition sweep harvests per-cell stable masks here) that leaves
+	// the emitted Results untouched. The accumulator is engine-owned:
+	// inspect it synchronously, do not retain it.
+	WindowDone func(month, device int, dev *stream.Device)
 }
 
 // Assessment is the campaign engine behind the composable public API:
@@ -300,6 +307,9 @@ func (a *Assessment) evaluateMonth(ctx context.Context, month int) (*MonthEval, 
 				ErrShortWindow, d, r.Count, a.cfg.WindowSize)
 		}
 		eval.Devices[d] = DeviceMonth{WCHD: r.WCHDMean, FHW: r.FHW, NoiseHmin: r.NoiseHmin, StableRatio: r.StableRatio}
+		if a.cfg.WindowDone != nil {
+			a.cfg.WindowDone(month, d, acc)
+		}
 		// Uniqueness metrics use the first measurement of each device's
 		// window (§IV-B2: "the first SRAM read-out data of the 1,000
 		// consecutive measurements ... is used to calculate BCHD").

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/aging"
 	"repro/internal/bitvec"
 	"repro/internal/harness"
 	"repro/internal/rng"
@@ -62,19 +63,33 @@ type WorkerSetter interface {
 // bit-identical to RigSource on the same profile/devices/seed (the rig
 // adds fidelity — power switch, boot, I2C — not different bits).
 type SimSource struct {
-	arrays []*sram.Array
-	bits   int
-	pool   *stream.Pool
+	arrays   []*sram.Array
+	bits     int
+	pool     *stream.Pool
+	scenario aging.Scenario
 }
 
 // NewSimSource builds devices simulated chips of the profile, with the
 // same per-device seed derivation the rig uses, so both sources yield
-// identical streams for one campaign seed.
+// identical streams for one campaign seed. The chips operate at the
+// profile's nominal condition.
 func NewSimSource(profile silicon.DeviceProfile, devices int, seed uint64) (*SimSource, error) {
+	return NewSimSourceAt(profile, devices, seed, profile.NominalScenario())
+}
+
+// NewSimSourceAt builds a direct-sampling source whose chips operate at
+// the given environmental scenario: the profile's BTI kinetics run at the
+// scenario's temperature and voltage (Arrhenius + voltage-exponent
+// acceleration) and the power-up noise sigma follows the condition
+// (aging.Kinetics.NoiseScale). The profile's nominal scenario reproduces
+// NewSimSource bit for bit — acceleration factor and noise scale are both
+// exactly 1 there.
+func NewSimSourceAt(profile silicon.DeviceProfile, devices int, seed uint64, sc aging.Scenario) (*SimSource, error) {
 	if devices < 1 {
 		return nil, fmt.Errorf("%w: need >= 1 device, got %d", ErrConfig, devices)
 	}
-	if err := profile.Validate(); err != nil {
+	profile, err := conditionedProfile(profile, sc)
+	if err != nil {
 		return nil, err
 	}
 	root := rng.New(seed)
@@ -84,9 +99,25 @@ func NewSimSource(profile silicon.DeviceProfile, devices int, seed uint64) (*Sim
 		if err != nil {
 			return nil, err
 		}
+		if err := a.SetNoiseScale(profile.Kinetics.NoiseScale()); err != nil {
+			return nil, err
+		}
 		arrays[d] = a
 	}
-	return newSimSource(arrays, profile.ReadWindowBits(), stream.NewPool(0)), nil
+	src := newSimSource(arrays, profile.ReadWindowBits(), stream.NewPool(0))
+	src.scenario = sc
+	return src, nil
+}
+
+// conditionedProfile applies a sweep scenario to a device profile,
+// mapping scenario validation failures to the assessment's typed
+// configuration error (conditions are external input on the sweep
+// surface).
+func conditionedProfile(profile silicon.DeviceProfile, sc aging.Scenario) (silicon.DeviceProfile, error) {
+	if err := sc.Validate(); err != nil {
+		return silicon.DeviceProfile{}, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	return profile.At(sc)
 }
 
 // newSimSource wraps existing arrays (the legacy Campaign path).
@@ -105,6 +136,18 @@ func (s *SimSource) Arrays() []*sram.Array { return s.arrays }
 
 // SetWorkers bounds the per-device sampling parallelism.
 func (s *SimSource) SetWorkers(n int) { s.pool = stream.NewPool(n) }
+
+// SetPool replaces the source's job scheduler with a shared one — the
+// condition sweep hands every grid point's source the same Pool so the
+// total sampling parallelism across concurrent points stays at one bound.
+func (s *SimSource) SetPool(p *stream.Pool) {
+	if p != nil {
+		s.pool = p
+	}
+}
+
+// Scenario returns the environmental condition the chips operate at.
+func (s *SimSource) Scenario() aging.Scenario { return s.scenario }
 
 // deviceSink adapts a campaign Sink to a stream.Sink for one device.
 type deviceSink struct {
@@ -153,15 +196,29 @@ const cyclesPerMonth = uint64(30.44 * 24 * 3600 / 5.4)
 // collection path of cmd/agingtest, which writes JSONL while the
 // assessment evaluates the same stream.
 type RigSource struct {
-	rig *harness.Rig
-	tap func(store.Record) error
+	rig      *harness.Rig
+	tap      func(store.Record) error
+	scenario aging.Scenario
 }
 
 // NewRigSource builds the two-layer rig with devices boards (an even
-// count) and the given I2C byte-corruption rate.
+// count) and the given I2C byte-corruption rate, operating at the
+// profile's nominal condition.
 func NewRigSource(profile silicon.DeviceProfile, devices int, seed uint64, i2cErrorRate float64) (*RigSource, error) {
+	return NewRigSourceAt(profile, devices, seed, i2cErrorRate, profile.NominalScenario())
+}
+
+// NewRigSourceAt builds the full rig with every board's silicon operating
+// at the given environmental scenario — the oven (or cold chamber) the
+// whole rig sits in during a condition-sweep corner. The profile's
+// nominal scenario reproduces NewRigSource bit for bit.
+func NewRigSourceAt(profile silicon.DeviceProfile, devices int, seed uint64, i2cErrorRate float64, sc aging.Scenario) (*RigSource, error) {
 	if devices < 2 || devices%2 != 0 {
 		return nil, fmt.Errorf("%w: rig needs an even device count >= 2 (two layers), got %d", ErrConfig, devices)
+	}
+	profile, err := conditionedProfile(profile, sc)
+	if err != nil {
+		return nil, err
 	}
 	hcfg := harness.DefaultConfig(profile, seed)
 	hcfg.SlavesPerLayer = devices / 2
@@ -170,8 +227,16 @@ func NewRigSource(profile silicon.DeviceProfile, devices int, seed uint64, i2cEr
 	if err != nil {
 		return nil, err
 	}
-	return &RigSource{rig: rig}, nil
+	for _, a := range rig.Arrays() {
+		if err := a.SetNoiseScale(profile.Kinetics.NoiseScale()); err != nil {
+			return nil, err
+		}
+	}
+	return &RigSource{rig: rig, scenario: sc}, nil
 }
+
+// Scenario returns the environmental condition the rig operates at.
+func (s *RigSource) Scenario() aging.Scenario { return s.scenario }
 
 // newRigSource wraps an existing rig (the legacy Campaign path).
 func newRigSource(rig *harness.Rig) *RigSource { return &RigSource{rig: rig} }

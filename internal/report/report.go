@@ -16,6 +16,7 @@ import (
 	"repro/internal/desim"
 	"repro/internal/device"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // RenderTableI formats a campaign's Table I like the paper's layout.
@@ -38,6 +39,36 @@ func RenderTableI(t core.TableI) string {
 	pair("Noise entropy", t.NoiseEntropy)
 	pair("BCHD", t.BCHD)
 	row("PUF entropy", "", t.PUFEntropy)
+	return sb.String()
+}
+
+// RenderCornerTable formats a condition sweep's cross-condition series:
+// one row per evaluated month with the worst-corner WCHD/FHW (and the
+// corner that set each), the stable-cell intersection across all corners,
+// and a footer with the temperature-sensitivity slopes.
+func RenderCornerTable(c sweep.Comparison) string {
+	var sb strings.Builder
+	sb.WriteString("CROSS-CONDITION CORNER COMPARISON\n")
+	sb.WriteString(fmt.Sprintf("%-8s %9s %-16s %9s %-16s %12s\n",
+		"Month", "WC.WCHD", "(corner)", "WC.HW", "(corner)", "Stable-int"))
+	for i := range c.Months {
+		sb.WriteString(fmt.Sprintf("%-8s %8.2f%% %-16s %8.2f%% %-16s %11.2f%%\n",
+			c.Labels[i],
+			100*c.WorstWCHD[i], c.WorstWCHDCorner[i],
+			100*c.WorstFHW[i], c.WorstFHWCorner[i],
+			100*c.StableIntersect[i]))
+	}
+	if c.TempSlope != nil {
+		sb.WriteString("Temperature sensitivity at end of test (per °C):\n")
+		for _, key := range []string{
+			sweep.SlopeWCHD, sweep.SlopeFHW, sweep.SlopeStable,
+			sweep.SlopeNoiseHmin, sweep.SlopeBCHDMean, sweep.SlopePUFHmin,
+		} {
+			if v, ok := c.TempSlope[key]; ok {
+				sb.WriteString(fmt.Sprintf("  %-12s %+.4f%%/°C\n", key, 100*v))
+			}
+		}
+	}
 	return sb.String()
 }
 

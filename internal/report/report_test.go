@@ -10,7 +10,32 @@ import (
 	"repro/internal/desim"
 	"repro/internal/device"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
+
+func TestRenderCornerTable(t *testing.T) {
+	c := sweep.Comparison{
+		Months:          []int{0, 24},
+		Labels:          []string{"17-Feb", "19-Feb"},
+		WorstWCHD:       []float64{0.0281, 0.0355},
+		WorstWCHDCorner: []string{"hot-corner", "hot-corner"},
+		WorstFHW:        []float64{0.6439, 0.6445},
+		WorstFHWCorner:  []string{"cold-corner", "hot-corner"},
+		StableIntersect: []float64{0.8989, 0.8875},
+		TempSlope:       map[string]float64{sweep.SlopeWCHD: 0.000045, sweep.SlopeStable: -0.000153},
+	}
+	out := RenderCornerTable(c)
+	for _, want := range []string{"17-Feb", "19-Feb", "3.55%", "hot-corner", "88.75%", "wchd", "+0.0045%/°C", "stable-ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("corner table missing %q:\n%s", want, out)
+		}
+	}
+	// Without a temperature spread there is no slope footer.
+	c.TempSlope = nil
+	if out := RenderCornerTable(c); strings.Contains(out, "sensitivity") {
+		t.Errorf("slope footer rendered without slopes:\n%s", out)
+	}
+}
 
 func TestRenderTableI(t *testing.T) {
 	var tab core.TableI

@@ -75,6 +75,26 @@ func (p DeviceProfile) Validate() error {
 // Cells returns the number of SRAM bits on the device.
 func (p DeviceProfile) Cells() int { return p.SRAMBytes * 8 }
 
+// NominalScenario returns the profile's reference operating condition —
+// the point at which its kinetics and noise model are calibrated.
+// Applying it to the profile is the identity: AccelerationFactor and
+// NoiseScale are both exactly 1.
+func (p DeviceProfile) NominalScenario() aging.Scenario {
+	return aging.Scenario{Name: "nominal", TempC: p.NominalTempC, Voltage: p.OperatingVoltage}
+}
+
+// At returns a copy of the profile operating under the given scenario:
+// the kinetics run at the scenario's temperature and voltage (Arrhenius +
+// voltage-exponent acceleration relative to the calibrated reference).
+// The profile's nominal scenario leaves it unchanged.
+func (p DeviceProfile) At(s aging.Scenario) (DeviceProfile, error) {
+	if err := s.Validate(); err != nil {
+		return DeviceProfile{}, err
+	}
+	p.Kinetics = p.Kinetics.WithScenario(s)
+	return p, p.Validate()
+}
+
 // ReadWindowBits returns the number of bits read out per power-up.
 func (p DeviceProfile) ReadWindowBits() int { return p.ReadWindowBytes * 8 }
 

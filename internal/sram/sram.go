@@ -39,8 +39,9 @@ type Array struct {
 	dDisp  []float64 // accumulated aging-rate dispersion drift
 	gamma  []float64 // per-cell dispersion coefficient draw ~ N(0,1)
 
-	ageMonths float64
-	noise     *rng.Source
+	ageMonths  float64
+	noise      *rng.Source
+	noiseScale float64 // relative power-up noise sigma (1 at nominal conditions)
 
 	// pcache holds the per-cell one-probability at the current age; it is
 	// invalidated by aging and rebuilt lazily.
@@ -59,17 +60,18 @@ func New(profile silicon.DeviceProfile, seed *rng.Source) (*Array, error) {
 	}
 	n := profile.Cells()
 	a := &Array{
-		profile: profile,
-		params:  silicon.SampleDeviceParams(profile, seed.Derive(0)),
-		static:  make([]float64, n),
-		dP1:     make([]float64, n),
-		dP2:     make([]float64, n),
-		dN1:     make([]float64, n),
-		dN2:     make([]float64, n),
-		dDisp:   make([]float64, n),
-		gamma:   make([]float64, n),
-		noise:   seed.Derive(2),
-		pcache:  make([]float64, n),
+		profile:    profile,
+		params:     silicon.SampleDeviceParams(profile, seed.Derive(0)),
+		static:     make([]float64, n),
+		dP1:        make([]float64, n),
+		dP2:        make([]float64, n),
+		dN1:        make([]float64, n),
+		dN2:        make([]float64, n),
+		dDisp:      make([]float64, n),
+		gamma:      make([]float64, n),
+		noise:      seed.Derive(2),
+		noiseScale: 1,
+		pcache:     make([]float64, n),
 	}
 	mfg := seed.Derive(1) // manufacturing variation stream
 	for i := 0; i < n; i++ {
@@ -102,7 +104,27 @@ func (a *Array) Skew(i int) float64 {
 // OneProbability returns the current probability that cell i powers up
 // to 1.
 func (a *Array) OneProbability(i int) float64 {
-	return stats.PhiFast(a.Skew(i))
+	return stats.PhiFast(a.Skew(i) / a.noiseScale)
+}
+
+// NoiseScale returns the chip's relative power-up noise sigma.
+func (a *Array) NoiseScale() float64 { return a.noiseScale }
+
+// SetNoiseScale sets the relative power-up noise sigma of the chip's
+// operating condition. All skews are expressed in units of the NOMINAL
+// noise sigma, so a hotter (noisier) condition divides the effective skew:
+// p = Phi(skew/scale). Scale 1 — the nominal point — leaves the power-up
+// distribution bit-identical to a chip that never had its scale set
+// (x/1.0 == x exactly in IEEE 754).
+func (a *Array) SetNoiseScale(scale float64) error {
+	if scale <= 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+		return fmt.Errorf("sram: noise scale must be positive and finite, got %v", scale)
+	}
+	if scale != a.noiseScale {
+		a.noiseScale = scale
+		a.pcacheValid = false
+	}
+	return nil
 }
 
 // TransistorShifts returns the accumulated BTI threshold shifts of the
@@ -134,7 +156,7 @@ func (a *Array) AgeTo(months float64) error {
 		b := a.profile.AgingDispersion
 		for s := 0; s < steps; s++ {
 			for i := range a.static {
-				q := stats.PhiFast(a.Skew(i))
+				q := stats.PhiFast(a.Skew(i) / a.noiseScale)
 				inc := k.Resolve(q, h)
 				a.dP1[i] += inc.P1
 				a.dP2[i] += inc.P2
@@ -154,7 +176,7 @@ func (a *Array) AgeTo(months float64) error {
 func (a *Array) probabilities() []float64 {
 	if !a.pcacheValid {
 		for i := range a.pcache {
-			a.pcache[i] = stats.PhiFast(a.Skew(i))
+			a.pcache[i] = stats.PhiFast(a.Skew(i) / a.noiseScale)
 		}
 		a.pcacheValid = true
 	}

@@ -22,6 +22,48 @@ func testArray(t *testing.T, seed uint64) *Array {
 	return a
 }
 
+// TestSetNoiseScale: scale 1 is the exact identity (same probabilities,
+// same sampled bits), larger scales pull every cell toward metastability,
+// and non-physical scales are rejected.
+func TestSetNoiseScale(t *testing.T) {
+	plain := testArray(t, 7)
+	scaled := testArray(t, 7)
+	if err := scaled.SetNoiseScale(1); err != nil {
+		t.Fatal(err)
+	}
+	if scaled.NoiseScale() != 1 {
+		t.Fatalf("NoiseScale = %v, want 1", scaled.NoiseScale())
+	}
+	w1, err := plain.PowerUpWindow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := scaled.PowerUpWindow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w1.Equal(w2) {
+		t.Fatal("noise scale 1 changed the sampled pattern")
+	}
+
+	hot := testArray(t, 7)
+	if err := hot.SetNoiseScale(1.1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < hot.Cells(); i += 97 {
+		p0, p1 := plain.OneProbability(i), hot.OneProbability(i)
+		if math.Abs(p1-0.5) > math.Abs(p0-0.5)+1e-15 {
+			t.Fatalf("cell %d: scale 1.1 moved p from %v to %v, away from 0.5", i, p0, p1)
+		}
+	}
+
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if err := plain.SetNoiseScale(bad); err == nil {
+			t.Errorf("noise scale %v accepted", bad)
+		}
+	}
+}
+
 func TestNewArrayGeometry(t *testing.T) {
 	a := testArray(t, 1)
 	if a.Cells() != 20480 {

@@ -163,6 +163,24 @@ func (a *Ones) StableRatio() (float64, error) {
 	return entropy.StableCellRatio(a.counts, a.count)
 }
 
+// StableMask returns a fresh bitmap marking the stable cells — cells
+// whose one-count is exactly 0 or exactly the measurement count, the same
+// count-based classification as StableRatio. The condition sweep
+// intersects these masks across operating corners to find the cells that
+// are stable everywhere.
+func (a *Ones) StableMask() (*bitvec.Vector, error) {
+	if a.count == 0 {
+		return nil, ErrNoMeasurements
+	}
+	mask := bitvec.New(len(a.counts))
+	for i, c := range a.counts {
+		if c == 0 || c == a.count {
+			mask.Set(i, true)
+		}
+	}
+	return mask, nil
+}
+
 // Flips tracks, per cell, whether the cell ever changed value across the
 // stream: a one-word-per-64-cells bitmap updated with one XOR-OR pass per
 // measurement. A cell is stable over a window exactly when it never flips,
@@ -287,6 +305,10 @@ func (d *Device) Ref() *bitvec.Vector { return d.ref }
 // First returns the first measurement of the window (the BCHD/PUF-entropy
 // input of §IV-B2), or nil before any measurement.
 func (d *Device) First() *bitvec.Vector { return d.first }
+
+// StableMask returns a fresh bitmap of the window's stable cells (see
+// Ones.StableMask).
+func (d *Device) StableMask() (*bitvec.Vector, error) { return d.ones.StableMask() }
 
 // Result finalises the window metrics.
 func (d *Device) Result() (DeviceResult, error) {

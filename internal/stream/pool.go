@@ -10,37 +10,47 @@ import (
 // submits one job per device; the rig path submits a single simulation
 // pump. One Pool per campaign makes Config.Workers govern all evaluation
 // parallelism regardless of path.
+//
+// The bound is held by one semaphore owned by the Pool, not per Run call:
+// concurrent Run calls on the same Pool share the worker budget. That is
+// what lets a condition sweep run many grid points at once while the
+// total sampling parallelism stays at the configured bound.
 type Pool struct {
 	workers int
+	sem     chan struct{} // nil when unbounded
 }
 
-// NewPool returns a pool running at most workers jobs concurrently.
-// workers <= 0 means one goroutine per submitted job (the historical
-// direct-path default).
-func NewPool(workers int) *Pool { return &Pool{workers: workers} }
+// NewPool returns a pool running at most workers jobs concurrently across
+// all Run calls. workers <= 0 means one goroutine per submitted job (the
+// historical direct-path default).
+func NewPool(workers int) *Pool {
+	p := &Pool{workers: workers}
+	if workers > 0 {
+		p.sem = make(chan struct{}, workers)
+	}
+	return p
+}
 
 // Workers returns the configured concurrency bound (0 = unbounded).
 func (p *Pool) Workers() int { return p.workers }
 
-// Run executes the jobs, at most Workers at a time, waits for all of them
-// and returns the joined errors (nil when every job succeeded).
+// Run executes the jobs, at most Workers at a time (shared with any
+// concurrent Run on the same Pool), waits for all of them and returns the
+// joined errors (nil when every job succeeded).
 func (p *Pool) Run(jobs ...func() error) error {
 	if len(jobs) == 0 {
 		return nil
 	}
-	limit := p.workers
-	if limit <= 0 || limit > len(jobs) {
-		limit = len(jobs)
-	}
-	sem := make(chan struct{}, limit)
 	errs := make([]error, len(jobs))
 	var wg sync.WaitGroup
 	for i, job := range jobs {
 		wg.Add(1)
 		go func(i int, job func() error) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+			if p.sem != nil {
+				p.sem <- struct{}{}
+				defer func() { <-p.sem }()
+			}
 			errs[i] = job()
 		}(i, job)
 	}

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"io"
 	"math"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/bitvec"
 	"repro/internal/entropy"
@@ -292,6 +294,79 @@ func TestPoolRunsAllJobsAndJoinsErrors(t *testing.T) {
 		if err := p.Run(); err != nil {
 			t.Fatalf("workers=%d: empty run: %v", workers, err)
 		}
+	}
+}
+
+// TestPoolSharesBoundAcrossConcurrentRuns: the worker semaphore lives on
+// the Pool, so two Run calls in flight at once (a condition sweep's grid
+// points) together never exceed the configured bound.
+func TestPoolSharesBoundAcrossConcurrentRuns(t *testing.T) {
+	const bound = 2
+	p := NewPool(bound)
+	var active, peak int32
+	var mu sync.Mutex
+	job := func() error {
+		mu.Lock()
+		active++
+		if active > peak {
+			peak = active
+		}
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		mu.Lock()
+		active--
+		mu.Unlock()
+		return nil
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			jobs := make([]func() error, 5)
+			for i := range jobs {
+				jobs[i] = job
+			}
+			if err := p.Run(jobs...); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if peak > bound {
+		t.Fatalf("concurrent Runs reached %d jobs in flight, bound is %d", peak, bound)
+	}
+}
+
+// TestStableMaskAgreesWithRatioAndFlips: the mask classifies exactly the
+// cells the count-based ratio counts, and is the complement of the Flips
+// changed bitmap.
+func TestStableMaskAgreesWithRatioAndFlips(t *testing.T) {
+	window := noisyWindow(3, 512, 49, 0.05)
+	ones, flips := NewOnes(), NewFlips()
+	if _, err := Drain(Slice(window), ones, flips); err != nil {
+		t.Fatal(err)
+	}
+	mask, err := ones.StableMask()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio, err := ones.StableRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(mask.HammingWeight()) / float64(mask.Len()); got != ratio {
+		t.Fatalf("mask ratio %v != StableRatio %v", got, ratio)
+	}
+	changed, err := flips.Changed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mask.Equal(changed.Not()) {
+		t.Fatal("stable mask is not the complement of the flip bitmap")
+	}
+	if _, err := NewOnes().StableMask(); !errors.Is(err, ErrNoMeasurements) {
+		t.Fatalf("empty accumulator: err = %v, want ErrNoMeasurements", err)
 	}
 }
 

@@ -1,0 +1,185 @@
+package sweep
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+)
+
+// Comparison holds the cross-condition series of a sweep: for every
+// evaluated month, the application-worst value across all corners, and
+// the cells that stay stable in every corner — the screening numbers a
+// deployment decision reads off a corner sweep.
+type Comparison struct {
+	// Months / Labels index every series below (shared by all points).
+	Months []int
+	Labels []string
+
+	// WorstWCHD[i] is the highest worst-device WCHD across all corners at
+	// Months[i]; WorstWCHDCorner names the corner that set it. It is the
+	// reliability number an error-correcting code must be sized for when
+	// the device may operate anywhere on the grid.
+	WorstWCHD       []float64
+	WorstWCHDCorner []string
+
+	// WorstFHW[i] is the most biased (highest) worst-device fractional
+	// Hamming weight across corners, with the corner that set it.
+	WorstFHW       []float64
+	WorstFHWCorner []string
+
+	// StableIntersect[i] is the device-averaged fraction of cells that
+	// are stable in EVERY corner at Months[i] — the cell budget of a
+	// stable-cell enrollment scheme that must survive all corners. It is
+	// never above any single corner's stable ratio.
+	StableIntersect []float64
+
+	// TempSlope is the least-squares temperature sensitivity d(metric)/dC
+	// of each device-averaged metric at the final evaluated month,
+	// regressed across all grid points. Nil when the sweep spans fewer
+	// than two distinct temperatures.
+	TempSlope map[string]float64
+}
+
+// Slope-metric keys of Comparison.TempSlope.
+const (
+	SlopeWCHD      = "wchd"
+	SlopeFHW       = "fhw"
+	SlopeStable    = "stable-ratio"
+	SlopeNoiseHmin = "noise-hmin"
+	SlopeBCHDMean  = "bchd-mean"
+	SlopePUFHmin   = "puf-hmin"
+)
+
+// buildComparison assembles the cross-condition series. All points must
+// have evaluated the same month list (guaranteed when Config.Months is
+// set; archive-backed factories must agree among themselves).
+func buildComparison(points []PointResult, masks []*maskStore) (Comparison, error) {
+	ref := points[0].Results.Monthly
+	for _, pt := range points[1:] {
+		if err := sameMonths(ref, pt.Results.Monthly); err != nil {
+			return Comparison{}, fmt.Errorf("%w: point %q: %v", core.ErrConfig, pt.Scenario.Name, err)
+		}
+	}
+	c := Comparison{
+		Months:          make([]int, len(ref)),
+		Labels:          make([]string, len(ref)),
+		WorstWCHD:       make([]float64, len(ref)),
+		WorstWCHDCorner: make([]string, len(ref)),
+		WorstFHW:        make([]float64, len(ref)),
+		WorstFHWCorner:  make([]string, len(ref)),
+		StableIntersect: make([]float64, len(ref)),
+	}
+	wchd := func(d core.DeviceMonth) float64 { return d.WCHD }
+	fhw := func(d core.DeviceMonth) float64 { return d.FHW }
+	for mi := range ref {
+		c.Months[mi] = ref[mi].Month
+		c.Labels[mi] = ref[mi].Label
+		for pi, pt := range points {
+			ev := pt.Results.Monthly[mi]
+			if v := ev.Worst(wchd, false); pi == 0 || v > c.WorstWCHD[mi] {
+				c.WorstWCHD[mi], c.WorstWCHDCorner[mi] = v, pt.Scenario.Name
+			}
+			if v := ev.Worst(fhw, false); pi == 0 || v > c.WorstFHW[mi] {
+				c.WorstFHW[mi], c.WorstFHWCorner[mi] = v, pt.Scenario.Name
+			}
+		}
+		inter, err := stableIntersection(masks, ref[mi].Month)
+		if err != nil {
+			return Comparison{}, err
+		}
+		c.StableIntersect[mi] = inter
+	}
+	c.TempSlope = tempSlopes(points)
+	return c, nil
+}
+
+func sameMonths(a, b []core.MonthEval) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("evaluated %d months, want %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i].Month != b[i].Month {
+			return fmt.Errorf("evaluated month %d at index %d, want %d", b[i].Month, i, a[i].Month)
+		}
+	}
+	return nil
+}
+
+// stableIntersection returns the device-averaged ratio of cells stable in
+// every point's window of the given month.
+func stableIntersection(masks []*maskStore, month int) (float64, error) {
+	devices := masks[0].devices
+	sum := 0.0
+	for d := 0; d < devices; d++ {
+		var inter *bitvec.Vector
+		for _, ms := range masks {
+			row := ms.byMonth[month]
+			if row == nil || d >= len(row) || row[d] == nil {
+				return 0, fmt.Errorf("sweep: missing stable mask for month %d device %d", month, d)
+			}
+			if inter == nil {
+				inter = row[d].Clone()
+				continue
+			}
+			if err := inter.AndInPlace(row[d]); err != nil {
+				return 0, err
+			}
+		}
+		sum += float64(inter.HammingWeight()) / float64(inter.Len())
+	}
+	return sum / float64(devices), nil
+}
+
+// tempSlopes regresses each device-averaged metric at the final evaluated
+// month against the point temperatures. With fewer than two distinct
+// temperatures the slope is undefined and nil is returned.
+func tempSlopes(points []PointResult) map[string]float64 {
+	distinct := map[float64]bool{}
+	for _, pt := range points {
+		distinct[pt.Scenario.TempC] = true
+	}
+	if len(distinct) < 2 {
+		return nil
+	}
+	last := len(points[0].Results.Monthly) - 1
+	metrics := []struct {
+		name  string
+		value func(core.MonthEval) float64
+	}{
+		{SlopeWCHD, func(ev core.MonthEval) float64 { return ev.Avg(func(d core.DeviceMonth) float64 { return d.WCHD }) }},
+		{SlopeFHW, func(ev core.MonthEval) float64 { return ev.Avg(func(d core.DeviceMonth) float64 { return d.FHW }) }},
+		{SlopeStable, func(ev core.MonthEval) float64 {
+			return ev.Avg(func(d core.DeviceMonth) float64 { return d.StableRatio })
+		}},
+		{SlopeNoiseHmin, func(ev core.MonthEval) float64 {
+			return ev.Avg(func(d core.DeviceMonth) float64 { return d.NoiseHmin })
+		}},
+		{SlopeBCHDMean, func(ev core.MonthEval) float64 { return ev.BCHDMean }},
+		{SlopePUFHmin, func(ev core.MonthEval) float64 { return ev.PUFHmin }},
+	}
+	out := make(map[string]float64, len(metrics))
+	for _, m := range metrics {
+		out[m.name] = slope(points, m.value, last)
+	}
+	return out
+}
+
+// slope is the ordinary least-squares slope of y = metric(final month)
+// over x = TempC across the sweep's points.
+func slope(points []PointResult, value func(core.MonthEval) float64, last int) float64 {
+	n := float64(len(points))
+	var sx, sy float64
+	for _, pt := range points {
+		sx += pt.Scenario.TempC
+		sy += value(pt.Results.Monthly[last])
+	}
+	mx, my := sx/n, sy/n
+	var num, den float64
+	for _, pt := range points {
+		dx := pt.Scenario.TempC - mx
+		num += dx * (value(pt.Results.Monthly[last]) - my)
+		den += dx * dx
+	}
+	return num / den
+}

@@ -1,0 +1,307 @@
+// Package sweep runs condition-sweep campaigns: one full Assessment per
+// point of a temperature × voltage grid, executed concurrently over the
+// same silicon population (same profile, same seed — so every grid point
+// measures the same chips, just in a different oven).
+//
+// The paper's long-term test holds one ambient condition for two years;
+// the related work it cites (accelerated aging, temperature-susceptibility
+// studies) and operating-corner screening both need the same campaign
+// swept across conditions. Each point reuses the streaming engine of
+// internal/core unchanged — the condition enters through the Source
+// constructors (NewSimSourceAt / NewRigSourceAt), which run the profile's
+// BTI kinetics at the point's temperature/voltage and scale the power-up
+// noise accordingly. A sweep whose only point is the profile's nominal
+// scenario is therefore bit-identical to a plain Assessment.
+//
+// Cross-condition series (worst-corner WCHD/FHW, the stable-cell
+// intersection across corners, temperature-sensitivity slopes) are
+// assembled after all points complete; per-cell stable masks are
+// harvested from the engine's WindowDone hook, so the per-point Results
+// stay byte-identical to what a standalone Assessment emits.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/aging"
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/silicon"
+	"repro/internal/stream"
+)
+
+// Grid is a cartesian temperature × voltage condition grid.
+type Grid struct {
+	TempsC []float64 // ambient temperatures, degrees Celsius
+	Volts  []float64 // supply voltages
+}
+
+// Validate checks that both axes are non-empty and every point is a
+// physically valid condition.
+func (g Grid) Validate() error {
+	if len(g.TempsC) == 0 || len(g.Volts) == 0 {
+		return fmt.Errorf("%w: sweep grid needs at least one temperature and one voltage", core.ErrConfig)
+	}
+	for _, t := range g.TempsC {
+		for _, v := range g.Volts {
+			if err := aging.Condition(t, v).Validate(); err != nil {
+				return fmt.Errorf("%w: %v", core.ErrConfig, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Points expands the grid into scenarios, temperature-major ("0C-4.5V",
+// "0C-5V", ..., "85C-5.5V").
+func (g Grid) Points() []aging.Scenario {
+	out := make([]aging.Scenario, 0, len(g.TempsC)*len(g.Volts))
+	for _, t := range g.TempsC {
+		for _, v := range g.Volts {
+			out = append(out, aging.Condition(t, v))
+		}
+	}
+	return out
+}
+
+// Config parameterises a sweep: the per-point campaign shape plus the
+// sweep's own execution knobs. Unlike AssessmentConfig it carries the
+// simulation inputs (profile/devices/seed) rather than a Source, because
+// the sweep builds one source per grid point.
+type Config struct {
+	// Profile is the device family under test; each grid point runs its
+	// kinetics and noise model at the point's condition.
+	Profile silicon.DeviceProfile
+	// Devices is the number of boards per point.
+	Devices int
+	// Seed is the campaign seed. Every point derives the same per-device
+	// streams from it, so all corners measure the same chips.
+	Seed uint64
+	// UseRig routes every point through the full measurement-rig
+	// simulation instead of direct sampling.
+	UseRig bool
+	// I2CErrorRate is the rig's byte-corruption rate (UseRig only).
+	I2CErrorRate float64
+
+	// WindowSize is the number of measurements per evaluation window.
+	WindowSize int
+	// Months lists the month indices each point evaluates (ascending).
+	// Nil defers to the per-point source (MonthLister) exactly as a plain
+	// assessment would; all points must then resolve the same list.
+	Months []int
+
+	// Workers bounds the TOTAL sampling parallelism across all concurrent
+	// points: every point's direct-sampling source shares one worker pool
+	// (<= 0: one goroutine per device per in-flight point, the
+	// single-assessment default).
+	Workers int
+	// Concurrency bounds how many grid points run at once (<= 0: all).
+	Concurrency int
+
+	// NewSource, when non-nil, overrides the built-in source construction
+	// — e.g. replaying one recorded archive per corner. The sweep does
+	// not touch the returned source's workers; the factory owns that.
+	NewSource func(sc aging.Scenario) (core.Source, error)
+
+	// Metrics / CrossMetrics are registered with every point's engine.
+	Metrics      []core.Metric
+	CrossMetrics []core.CrossMetric
+
+	// Progress, when non-nil, receives every completed month of every
+	// point as it finalises. Points run concurrently, so Progress MUST be
+	// safe for concurrent calls.
+	Progress func(Progress)
+}
+
+// Progress is one completed month evaluation of one grid point.
+type Progress struct {
+	Point    int // index into the sweep's point list
+	Scenario aging.Scenario
+	Eval     core.MonthEval
+}
+
+// PointResult is one grid point's complete campaign outcome. Results is
+// byte-identical to what a standalone Assessment with the same source
+// configuration would return.
+type PointResult struct {
+	Scenario aging.Scenario
+	Results  *core.Results
+}
+
+// Results is the outcome of a sweep: every point's full campaign results
+// in grid order, plus the cross-condition comparison series.
+type Results struct {
+	Points     []PointResult
+	Comparison Comparison
+}
+
+// Point returns the result of the named scenario, or nil.
+func (r *Results) Point(name string) *PointResult {
+	for i := range r.Points {
+		if r.Points[i].Scenario.Name == name {
+			return &r.Points[i]
+		}
+	}
+	return nil
+}
+
+// Run executes one Assessment per grid point. See RunPoints.
+func Run(ctx context.Context, cfg Config, grid Grid) (*Results, error) {
+	if err := grid.Validate(); err != nil {
+		return nil, err
+	}
+	return RunPoints(ctx, cfg, grid.Points())
+}
+
+// RunPoints executes one Assessment per scenario, at most
+// cfg.Concurrency points in flight, and assembles the cross-condition
+// comparison. The first point to fail cancels the remaining points;
+// RunPoints waits for every in-flight point to wind down before
+// returning, so no evaluation goroutine outlives the call. Cancelling
+// ctx aborts the same way with an error wrapping ctx.Err().
+func RunPoints(ctx context.Context, cfg Config, points []aging.Scenario) (*Results, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("%w: sweep needs at least one condition point", core.ErrConfig)
+	}
+	for _, sc := range points {
+		if err := sc.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", core.ErrConfig, err)
+		}
+	}
+	newSource := cfg.NewSource
+	if newSource == nil {
+		pool := stream.NewPool(cfg.Workers)
+		newSource = func(sc aging.Scenario) (core.Source, error) {
+			if cfg.UseRig {
+				return core.NewRigSourceAt(cfg.Profile, cfg.Devices, cfg.Seed, cfg.I2CErrorRate, sc)
+			}
+			src, err := core.NewSimSourceAt(cfg.Profile, cfg.Devices, cfg.Seed, sc)
+			if err != nil {
+				return nil, err
+			}
+			src.SetPool(pool)
+			return src, nil
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	limit := cfg.Concurrency
+	if limit <= 0 || limit > len(points) {
+		limit = len(points)
+	}
+	sem := make(chan struct{}, limit)
+	results := make([]*core.Results, len(points))
+	masks := make([]*maskStore, len(points))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(sc aging.Scenario, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = fmt.Errorf("sweep: point %q: %w", sc.Name, err)
+			cancel()
+		}
+	}
+	for i, sc := range points {
+		wg.Add(1)
+		go func(i int, sc aging.Scenario) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-runCtx.Done():
+				return // a sibling failed (or the caller cancelled) while queued
+			}
+			if runCtx.Err() != nil {
+				return
+			}
+			src, err := newSource(sc)
+			if err != nil {
+				fail(sc, err)
+				return
+			}
+			store := &maskStore{devices: src.Devices(), byMonth: map[int][]*bitvec.Vector{}}
+			masks[i] = store
+			acfg := core.AssessmentConfig{
+				Source:       src,
+				WindowSize:   cfg.WindowSize,
+				Months:       cfg.Months,
+				Metrics:      cfg.Metrics,
+				CrossMetrics: cfg.CrossMetrics,
+				WindowDone:   store.windowDone,
+			}
+			if cfg.Progress != nil {
+				acfg.Progress = func(ev core.MonthEval) {
+					cfg.Progress(Progress{Point: i, Scenario: sc, Eval: ev})
+				}
+			}
+			eng, err := core.NewAssessment(acfg)
+			if err != nil {
+				fail(sc, err)
+				return
+			}
+			res, err := eng.Run(runCtx)
+			if err != nil {
+				fail(sc, err)
+				return
+			}
+			results[i] = res
+		}(i, sc)
+	}
+	wg.Wait()
+	if firstErr == nil {
+		// A caller-side cancellation can drain queued points silently
+		// (they exit on runCtx.Done without recording an error) while
+		// every started point happens to finish cleanly.
+		if err := ctx.Err(); err != nil {
+			firstErr = fmt.Errorf("sweep: %w", err)
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	out := &Results{Points: make([]PointResult, len(points))}
+	for i, sc := range points {
+		if results[i] == nil {
+			return nil, fmt.Errorf("sweep: point %q produced no results", sc.Name)
+		}
+		out.Points[i] = PointResult{Scenario: sc, Results: results[i]}
+	}
+	cmp, err := buildComparison(out.Points, masks)
+	if err != nil {
+		return nil, err
+	}
+	out.Comparison = cmp
+	return out, nil
+}
+
+// maskStore collects one point's per-month, per-device stable-cell masks
+// from the engine's WindowDone hook. The engine invokes WindowDone from
+// its sequential window-finalisation loop and each point owns its own
+// store, so no locking is needed.
+type maskStore struct {
+	devices int
+	byMonth map[int][]*bitvec.Vector
+}
+
+func (ms *maskStore) windowDone(month, device int, dev *stream.Device) {
+	mask, err := dev.StableMask()
+	if err != nil {
+		return // unreachable: WindowDone fires only after a complete window
+	}
+	row := ms.byMonth[month]
+	if row == nil {
+		row = make([]*bitvec.Vector, ms.devices)
+		ms.byMonth[month] = row
+	}
+	row[device] = mask
+}

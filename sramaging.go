@@ -19,7 +19,12 @@
 //   - Assessment — the campaign builder: functional options
 //     (WithDevices, WithMonths, WithWindowSize, WithWorkers, WithHarness,
 //     WithMetrics, WithProgress, ...), a context-cancellable Run, and
-//     incremental per-month emission.
+//     incremental per-month emission. With WithConditions or
+//     WithConditionGrid the same builder describes a condition sweep —
+//     one assessment per temperature/voltage point over the same chips —
+//     executed by RunSweep with cross-condition comparison series
+//     (worst-corner WCHD/FHW, stable-cell intersection, temperature
+//     sensitivity); see examples/tempsweep and cmd/sweep.
 //
 // A reduced campaign:
 //
