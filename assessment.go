@@ -61,14 +61,16 @@ type Assessment struct {
 	i2cErr     float64
 	simSet     bool // any simulation option given (exclusive with WithSource)
 
-	window       int
-	months       []int
-	workers      int
-	workersSet   bool
-	metrics      []Metric
-	crossMetrics []CrossMetric
-	progress     func(MonthEval)
-	ran          bool
+	window         int
+	months         []int
+	workers        int
+	workersSet     bool
+	shards         int
+	shardTransport ShardTransport
+	metrics        []Metric
+	crossMetrics   []CrossMetric
+	progress       func(MonthEval)
+	ran            bool
 
 	// Condition-sweep state (RunSweep; see sweep.go).
 	conditions    []Scenario
@@ -242,6 +244,9 @@ func NewAssessment(opts ...Option) (*Assessment, error) {
 	if a.src != nil && len(a.conditions) > 0 {
 		return nil, fmt.Errorf("%w: WithConditions is exclusive with WithSource (the sweep builds one source per condition)", ErrConfig)
 	}
+	if a.src != nil && a.shards > 0 {
+		return nil, fmt.Errorf("%w: WithShards is exclusive with WithSource (sharding builds the sources; shard an archive with NewShardedArchiveSource)", ErrConfig)
+	}
 	return a, nil
 }
 
@@ -268,9 +273,24 @@ func (a *Assessment) Run(ctx context.Context) (*Results, error) {
 			}
 		}
 		var err error
-		if a.useRig {
+		switch {
+		case a.shards > 0 && a.useRig:
+			var s *ShardedSource
+			s, err = NewShardedRigSource(profile, a.devices, a.seed, a.i2cErr, a.shards, a.shardTransport)
+			if s != nil {
+				defer s.Close()
+			}
+			src = s
+		case a.shards > 0:
+			var s *ShardedSource
+			s, err = NewShardedSimSource(profile, a.devices, a.seed, a.shards, a.shardTransport)
+			if s != nil {
+				defer s.Close()
+			}
+			src = s
+		case a.useRig:
 			src, err = NewRigSource(profile, a.devices, a.seed, a.i2cErr)
-		} else {
+		default:
 			src, err = NewSimulatedSource(profile, a.devices, a.seed)
 		}
 		if err != nil {

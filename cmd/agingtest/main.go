@@ -14,6 +14,13 @@
 // streams every measurement record to a JSON-lines archive as it is
 // captured — the format cmd/evaluate replays — while the same pass
 // evaluates the campaign. -workers bounds evaluation parallelism.
+//
+// With -shards N the device population is partitioned across N shard
+// workers (subprocesses running the -shardworker binary, or in-process
+// goroutines when no binary is given) and the merged campaign is
+// bit-identical to the single-process run:
+//
+//	agingtest -shards 4 -shardworker ./shardworker -devices 16 -months 24 -window 1000
 package main
 
 import (
@@ -41,7 +48,9 @@ func run() error {
 	seed := flag.Uint64("seed", 20170208, "campaign seed")
 	useHarness := flag.Bool("harness", false, "route windows through the full rig simulation")
 	i2cErr := flag.Float64("i2c-error", 0, "I2C byte corruption rate (harness path)")
-	workers := flag.Int("workers", 0, "evaluation parallelism (0: one goroutine per device)")
+	workers := flag.Int("workers", 0, "evaluation parallelism (0: one goroutine per device; with -shards: total budget split across shards)")
+	shards := flag.Int("shards", 0, "fan the campaign across N shard workers (0: single process)")
+	shardWorker := flag.String("shardworker", "", "shardworker binary for -shards (default: in-process workers)")
 	csvDir := flag.String("csv", "", "directory for Fig. 6 series CSV export")
 	archive := flag.String("archive", "", "stream a JSON-lines measurement archive (forces -harness)")
 	flag.Parse()
@@ -57,34 +66,56 @@ func run() error {
 		sramaging.WithWorkers(*workers),
 	}
 	harnessPath := *useHarness || *archive != ""
+	var transport sramaging.ShardTransport
+	if *shardWorker != "" {
+		transport = sramaging.ExecShardTransport(*shardWorker)
+	}
 
 	var jw *store.JSONLWriter
 	var archiveFile *os.File
 	var archived int
-	var rig *sramaging.RigSource
+	// rig is the record-tappable source of the -archive collection path:
+	// the rig simulation, optionally sharded across workers.
+	var rig interface {
+		sramaging.Source
+		SetTap(func(sramaging.Record) error)
+	}
 	if *archive != "" {
 		// The rig is built (and validated) here; its record tap and the
 		// output file are only wired up after the whole assessment has
 		// validated, so a bad configuration cannot truncate an existing
 		// archive.
-		var err error
-		rig, err = sramaging.NewRigSource(profile, *devices, *seed, *i2cErr)
-		if err != nil {
-			return err
+		if *shards > 0 {
+			sharded, err := sramaging.NewShardedRigSource(profile, *devices, *seed, *i2cErr, *shards, transport)
+			if err != nil {
+				return err
+			}
+			defer sharded.Close()
+			rig = sharded
+		} else {
+			plain, err := sramaging.NewRigSource(profile, *devices, *seed, *i2cErr)
+			if err != nil {
+				return err
+			}
+			rig = plain
 		}
 		opts = append(opts, sramaging.WithSource(rig))
-	} else if harnessPath {
-		opts = append(opts,
-			sramaging.WithProfile(profile),
-			sramaging.WithDevices(*devices),
-			sramaging.WithSeed(*seed),
-			sramaging.WithHarness(),
-			sramaging.WithI2CErrorRate(*i2cErr))
 	} else {
 		opts = append(opts,
 			sramaging.WithProfile(profile),
 			sramaging.WithDevices(*devices),
 			sramaging.WithSeed(*seed))
+		if harnessPath {
+			opts = append(opts,
+				sramaging.WithHarness(),
+				sramaging.WithI2CErrorRate(*i2cErr))
+		}
+		if *shards > 0 {
+			opts = append(opts, sramaging.WithShards(*shards))
+			if transport != nil {
+				opts = append(opts, sramaging.WithShardTransport(transport))
+			}
+		}
 	}
 	prevArchived := 0
 	opts = append(opts, sramaging.WithProgress(func(ev sramaging.MonthEval) {
@@ -116,8 +147,8 @@ func run() error {
 			return jw.Write(rec)
 		})
 	}
-	fmt.Printf("running campaign: %d devices, %d months, %d-measurement windows (harness=%v, workers=%d)\n",
-		*devices, *months, *window, harnessPath, *workers)
+	fmt.Printf("running campaign: %d devices, %d months, %d-measurement windows (harness=%v, workers=%d, shards=%d)\n",
+		*devices, *months, *window, harnessPath, *workers, *shards)
 	res, err := a.Run(context.Background())
 	if err != nil {
 		return err

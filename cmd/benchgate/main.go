@@ -1,0 +1,235 @@
+// Command benchgate turns `go test -bench` output into a benchmark
+// manifest and gates regressions against a committed baseline — the
+// repo's CI benchmark gate.
+//
+// Emit a manifest from a bench run (repeat counts are collapsed to the
+// per-benchmark MEDIAN, which is robust to scheduler noise):
+//
+//	go test -run '^$' -bench 'Shard|Streaming' -benchmem -count 5 ./... | benchgate -emit BENCH.json
+//
+// Gate a manifest against the committed baseline, failing (exit 1) when
+// any shared benchmark's ns/op regressed by more than -max-regress
+// (default 0.15 = +15%):
+//
+//	benchgate -current BENCH.json -baseline BENCH_baseline.json
+//
+// With -calibrate NAME each manifest's timings are first divided by
+// that manifest's own NAME result, so the gated quantity is "slowdown
+// relative to the reference benchmark in the same run" — absolute
+// machine speed cancels out, which is what lets a baseline committed
+// from one machine gate runs on another (CI runners are not the
+// machine that seeded the baseline, and raw ns/op would flap).
+//
+// Benchmarks present on only one side are reported but never fail the
+// gate (new benchmarks must be able to land, retired ones to leave);
+// refreshing the baseline is copying BENCH.json over
+// BENCH_baseline.json in the same PR that justifies the change.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Result is one benchmark's collapsed measurement.
+type Result struct {
+	// NsPerOp is the median ns/op across the run's -count repetitions.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp / AllocsPerOp are medians of -benchmem columns
+	// (informational; the gate fails on time only).
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Samples is how many repetitions were folded in.
+	Samples int `json:"samples"`
+}
+
+// Manifest is the BENCH.json schema.
+type Manifest struct {
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// benchLine matches `go test -bench -benchmem` result lines, e.g.
+//
+//	BenchmarkShardCampaign4-8   62  18934117 ns/op  5124880 B/op  40164 allocs/op
+//
+// The -8 GOMAXPROCS suffix is stripped so manifests compare across
+// machines with different core counts.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	emit := flag.String("emit", "", "parse a bench run from stdin and write the manifest to this path")
+	current := flag.String("current", "", "manifest to gate (with -baseline)")
+	baseline := flag.String("baseline", "", "committed baseline manifest")
+	maxRegress := flag.Float64("max-regress", 0.15, "maximum tolerated relative ns/op regression")
+	calibrate := flag.String("calibrate", "", "normalise both manifests by this benchmark's ns/op before gating (machine-neutral)")
+	flag.Parse()
+
+	var err error
+	switch {
+	case *emit != "":
+		err = runEmit(os.Stdin, *emit)
+	case *current != "" && *baseline != "":
+		err = runGate(*current, *baseline, *maxRegress, *calibrate)
+	default:
+		flag.Usage()
+		err = fmt.Errorf("need -emit, or -current with -baseline")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+// runEmit parses bench output (echoing it through, so the CI log keeps
+// the raw run) and writes the collapsed manifest.
+func runEmit(in io.Reader, path string) error {
+	samples := map[string][]Result{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return fmt.Errorf("line %q: %w", line, err)
+		}
+		r := Result{NsPerOp: ns}
+		if m[3] != "" {
+			r.BytesPerOp, _ = strconv.ParseFloat(m[3], 64)
+		}
+		if m[4] != "" {
+			r.AllocsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		samples[m[1]] = append(samples[m[1]], r)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("no benchmark result lines on stdin")
+	}
+	manifest := Manifest{Benchmarks: make(map[string]Result, len(samples))}
+	for name, runs := range samples {
+		manifest.Benchmarks[name] = Result{
+			NsPerOp:     median(runs, func(r Result) float64 { return r.NsPerOp }),
+			BytesPerOp:  median(runs, func(r Result) float64 { return r.BytesPerOp }),
+			AllocsPerOp: median(runs, func(r Result) float64 { return r.AllocsPerOp }),
+			Samples:     len(runs),
+		}
+	}
+	data, err := json.MarshalIndent(manifest, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func median(runs []Result, value func(Result) float64) float64 {
+	vals := make([]float64, len(runs))
+	for i, r := range runs {
+		vals[i] = value(r)
+	}
+	sort.Float64s(vals)
+	mid := len(vals) / 2
+	if len(vals)%2 == 1 {
+		return vals[mid]
+	}
+	return (vals[mid-1] + vals[mid]) / 2
+}
+
+// runGate compares two manifests and fails on time regressions. A
+// non-empty calibrate benchmark rescales each manifest by its own
+// reference timing first, so the comparison survives a machine change
+// between the baseline run and the gated run.
+func runGate(currentPath, baselinePath string, maxRegress float64, calibrate string) error {
+	cur, err := readManifest(currentPath)
+	if err != nil {
+		return err
+	}
+	base, err := readManifest(baselinePath)
+	if err != nil {
+		return err
+	}
+	if calibrate != "" {
+		if err := cur.normalise(calibrate); err != nil {
+			return fmt.Errorf("current: %w", err)
+		}
+		if err := base.normalise(calibrate); err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		fmt.Printf("timings normalised by %s (machine-neutral ratios, not ns)\n", calibrate)
+	}
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failures int
+	for _, name := range names {
+		c := cur.Benchmarks[name]
+		b, ok := base.Benchmarks[name]
+		if !ok {
+			fmt.Printf("NEW    %-44s %14.5g (no baseline)\n", name, c.NsPerOp)
+			continue
+		}
+		change := (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		status := "OK    "
+		if change > maxRegress {
+			status = "REGRES"
+			failures++
+		}
+		fmt.Printf("%s %-44s %14.5g vs %14.5g baseline (%+6.1f%%)\n",
+			status, name, c.NsPerOp, b.NsPerOp, 100*change)
+	}
+	for name, b := range base.Benchmarks {
+		if _, ok := cur.Benchmarks[name]; !ok {
+			fmt.Printf("GONE   %-44s (baseline had %14.5g)\n", name, b.NsPerOp)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%", failures, 100*maxRegress)
+	}
+	return nil
+}
+
+// normalise rescales every benchmark's ns/op by the reference
+// benchmark's ns/op in the SAME manifest. The reference itself becomes
+// exactly 1.0 on both sides (it cannot gate itself — that is the price
+// of machine neutrality; pick a stable, pure-CPU reference).
+func (m *Manifest) normalise(reference string) error {
+	ref, ok := m.Benchmarks[reference]
+	if !ok || ref.NsPerOp <= 0 {
+		return fmt.Errorf("calibration benchmark %q missing (or non-positive)", reference)
+	}
+	for name, r := range m.Benchmarks {
+		r.NsPerOp /= ref.NsPerOp
+		m.Benchmarks[name] = r
+	}
+	return nil
+}
+
+func readManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(m.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: empty manifest", path)
+	}
+	return &m, nil
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/core
+BenchmarkShardCampaign1-8   	      62	  18934117 ns/op	 5124880 B/op	   40164 allocs/op
+BenchmarkShardCampaign1-8   	      64	  18000000 ns/op	 5124000 B/op	   40100 allocs/op
+BenchmarkShardCampaign1-8   	      60	  20000000 ns/op	 5125000 B/op	   40200 allocs/op
+BenchmarkDeviceWindowStreaming1000   	     100	  10000000 ns/op
+PASS
+ok  	repro/internal/core	10.1s
+`
+
+func TestEmitParsesAndCollapsesToMedian(t *testing.T) {
+	cur := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := runEmit(strings.NewReader(benchOutput), cur); err != nil {
+		t.Fatal(err)
+	}
+	m, err := readManifest(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := m.Benchmarks["BenchmarkShardCampaign1"]
+	if !ok {
+		t.Fatalf("manifest misses BenchmarkShardCampaign1: %+v", m)
+	}
+	if r.NsPerOp != 18934117 { // the median of the three repetitions
+		t.Fatalf("ns/op = %v, want the median 18934117", r.NsPerOp)
+	}
+	if r.Samples != 3 {
+		t.Fatalf("samples = %d, want 3", r.Samples)
+	}
+	if s, ok := m.Benchmarks["BenchmarkDeviceWindowStreaming1000"]; !ok || s.NsPerOp != 1e7 {
+		t.Fatalf("unsuffixed benchmark parsed wrong: %+v ok=%v", s, ok)
+	}
+	if err := runEmit(strings.NewReader("PASS\n"), cur); err == nil {
+		t.Fatal("emit accepted output with no benchmark lines")
+	}
+}
+
+func TestGateRegressionThreshold(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, ns float64) string {
+		path := filepath.Join(dir, name)
+		data := fmt.Sprintf(`{"benchmarks":{"BenchmarkShardCampaign1":{"ns_per_op":%g,"samples":1}}}`, ns)
+		if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.json", 10000)
+	slow := write("slow.json", 11600)
+	fine := write("fine.json", 11400)
+	fast := write("fast.json", 5000)
+	other := filepath.Join(dir, "other.json")
+	if err := os.WriteFile(other,
+		[]byte(`{"benchmarks":{"BenchmarkBrandNew":{"ns_per_op":1,"samples":1}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := runGate(base, base, 0.15, ""); err != nil {
+		t.Fatalf("self-gate failed: %v", err)
+	}
+	if err := runGate(slow, base, 0.15, ""); err == nil {
+		t.Fatal("16% regression passed the gate")
+	}
+	if err := runGate(fine, base, 0.15, ""); err != nil {
+		t.Fatalf("14%% regression failed the gate: %v", err)
+	}
+	if err := runGate(fast, base, 0.15, ""); err != nil {
+		t.Fatalf("improvement failed the gate: %v", err)
+	}
+	// Benchmarks present on only one side never fail the gate.
+	if err := runGate(other, base, 0.15, ""); err != nil {
+		t.Fatalf("disjoint manifests failed the gate: %v", err)
+	}
+}
+
+func TestGateCalibration(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, ref, shard float64) string {
+		path := filepath.Join(dir, name)
+		data := fmt.Sprintf(`{"benchmarks":{
+			"BenchmarkShardCampaignDirect":{"ns_per_op":%g,"samples":1},
+			"BenchmarkShardCampaign1":{"ns_per_op":%g,"samples":1}}}`, ref, shard)
+		if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.json", 10000, 15000) // overhead ratio 1.5
+	// A uniformly 3x slower machine: raw gating would flag +200%, the
+	// calibrated gate sees the unchanged 1.5 ratio.
+	slowMachine := write("slowmachine.json", 30000, 45000)
+	if err := runGate(slowMachine, base, 0.15, "BenchmarkShardCampaignDirect"); err != nil {
+		t.Fatalf("calibrated gate failed on a uniformly slower machine: %v", err)
+	}
+	if err := runGate(slowMachine, base, 0.15, ""); err == nil {
+		t.Fatal("raw gate unexpectedly passed a 3x slower run (calibration test is vacuous)")
+	}
+	// A genuine protocol regression: same machine speed, ratio 1.5 → 1.8.
+	regressed := write("regressed.json", 10000, 18000)
+	if err := runGate(regressed, base, 0.15, "BenchmarkShardCampaignDirect"); err == nil {
+		t.Fatal("calibrated gate missed a 20% overhead-ratio regression")
+	}
+	// The calibration benchmark must exist on both sides.
+	if err := runGate(base, base, 0.15, "BenchmarkNoSuch"); err == nil {
+		t.Fatal("gate accepted a missing calibration benchmark")
+	}
+}

@@ -25,21 +25,39 @@ func main() {
 func run() error {
 	path := flag.String("archive", "", "JSON-lines measurement archive (required)")
 	window := flag.Int("window", 200, "measurements per monthly evaluation window")
+	shards := flag.Int("shards", 0, "fan the replay across N shard workers (0: single process)")
+	shardWorker := flag.String("shardworker", "", "shardworker binary for -shards (default: in-process workers)")
 	flag.Parse()
 	if *path == "" {
 		flag.Usage()
 		return fmt.Errorf("missing -archive")
 	}
-	f, err := os.Open(*path)
-	if err != nil {
-		return err
+	var src sramaging.Source
+	if *shards > 0 {
+		var transport sramaging.ShardTransport
+		if *shardWorker != "" {
+			transport = sramaging.ExecShardTransport(*shardWorker)
+		}
+		sharded, err := sramaging.NewShardedArchiveSource(*path, *shards, transport)
+		if err != nil {
+			return err
+		}
+		defer sharded.Close()
+		src = sharded
+		fmt.Printf("archive: %d boards across %d shards\n\n", sharded.Devices(), *shards)
+	} else {
+		f, err := os.Open(*path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		plain, err := sramaging.NewArchiveSource(f)
+		if err != nil {
+			return err
+		}
+		src = plain
+		fmt.Printf("archive: %d boards %v\n\n", plain.Devices(), plain.Boards())
 	}
-	defer f.Close()
-	src, err := sramaging.NewArchiveSource(f)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("archive: %d boards %v\n\n", src.Devices(), src.Boards())
 
 	// No WithMonths: the archive source lists the months it holds
 	// complete windows for, and the assessment evaluates exactly those.

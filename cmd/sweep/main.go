@@ -44,8 +44,10 @@ func run() error {
 	volts := flag.String("volts", "4.5,5,5.5", "comma-separated grid supply voltages")
 	useHarness := flag.Bool("harness", false, "route every point through the full rig simulation")
 	i2cErr := flag.Float64("i2c-error", 0, "I2C byte corruption rate (harness path)")
-	workers := flag.Int("workers", 0, "total sampling parallelism shared across points (0: unbounded)")
+	workers := flag.Int("workers", 0, "total sampling parallelism shared across points (0: unbounded; with -shards: per-corner budget)")
 	points := flag.Int("points", 0, "grid points in flight at once (0: all)")
+	shards := flag.Int("shards", 0, "fan every grid point across N shard workers (0: in-process points)")
+	shardWorker := flag.String("shardworker", "", "shardworker binary for -shards (default: in-process workers)")
 	csvPath := flag.String("csv", "", "file for the cross-condition comparison CSV")
 	verbose := flag.Bool("v", false, "print every completed point-month as it finalises")
 	flag.Parse()
@@ -70,6 +72,12 @@ func run() error {
 	}
 	if *useHarness {
 		opts = append(opts, sramaging.WithHarness(), sramaging.WithI2CErrorRate(*i2cErr))
+	}
+	if *shards > 0 {
+		opts = append(opts, sramaging.WithShards(*shards))
+		if *shardWorker != "" {
+			opts = append(opts, sramaging.WithShardTransport(sramaging.ExecShardTransport(*shardWorker)))
+		}
 	}
 	if *verbose {
 		opts = append(opts, sramaging.WithSweepProgress(func(p sramaging.SweepProgress) {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"reflect"
 
 	sramaging "repro"
 )
@@ -95,6 +96,37 @@ func ExampleAssessment_RunSweep() {
 	// corners swept: 2
 	// worst corner at end of test: hot-corner
 	// fewer cells are stable across all corners than at nominal alone
+}
+
+// ExampleAssessment_shards fans the same campaign across shard workers:
+// the device population is partitioned, each shard measures its slice
+// (in-process here; subprocesses with ExecShardTransport and the
+// cmd/shardworker binary), and the merged Results are bit-identical to
+// the single-process run — sharding changes where the work happens, not
+// a single bit of the outcome.
+func ExampleAssessment_shards() {
+	run := func(opts ...sramaging.Option) *sramaging.Results {
+		a, err := sramaging.NewAssessment(append([]sramaging.Option{
+			sramaging.WithDevices(4),
+			sramaging.WithMonths(2),
+			sramaging.WithWindowSize(40),
+		}, opts...)...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := a.Run(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+	single := run()
+	sharded := run(sramaging.WithShards(2))
+	if reflect.DeepEqual(single.Monthly, sharded.Monthly) {
+		fmt.Println("2-shard campaign is bit-identical to the single-process run")
+	}
+	// Output:
+	// 2-shard campaign is bit-identical to the single-process run
 }
 
 // ExampleRunCampaign runs a miniature assessment campaign through the

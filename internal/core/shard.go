@@ -1,0 +1,516 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/aging"
+	"repro/internal/bitvec"
+	"repro/internal/shard"
+	"repro/internal/silicon"
+	"repro/internal/store"
+)
+
+// This file is the engine's side of sharded execution: the worker
+// backends that serve one shard of the device population through the
+// shard protocol (ServeShardWorker — what cmd/shardworker and the
+// in-process test transport run), and ShardedSource — the coordinator
+// wrapped as a core.Source, so Assessment.Run over N worker processes
+// produces bit-identical Results to the single-process path.
+
+// ErrShardWorker reports a shard worker that died or became unreachable
+// mid-campaign. It aliases the shard package's typed error so callers
+// can match it without importing the protocol package.
+var ErrShardWorker = shard.ErrWorker
+
+// errMonthsUnsupported is the worker-side answer to month discovery on
+// an unbounded (sim/rig) source.
+var errMonthsUnsupported = errors.New("core: source is unbounded, month discovery needs an archive shard")
+
+// shardErrorCode maps a worker-side error onto a wire code so the typed
+// class survives the process boundary.
+func shardErrorCode(err error) string {
+	switch {
+	case errors.Is(err, ErrConfig):
+		return shard.CodeConfig
+	case errors.Is(err, ErrShortWindow):
+		return shard.CodeShortWindow
+	case errors.Is(err, ErrNoMonths):
+		return shard.CodeNoMonths
+	case errors.Is(err, errMonthsUnsupported):
+		return shard.CodeUnsupported
+	default:
+		return shard.CodeInternal
+	}
+}
+
+// remoteCodeErr is the inverse mapping, applied by the coordinator side.
+var remoteCodeErr = map[string]error{
+	shard.CodeConfig:      ErrConfig,
+	shard.CodeShortWindow: ErrShortWindow,
+	shard.CodeNoMonths:    ErrNoMonths,
+}
+
+// mapShardErr re-types a coordinator error: worker-reported error frames
+// carry their class as a wire code, which is folded back onto the
+// assessment's typed errors so errors.Is works across process
+// boundaries. Transport-level failures already wrap ErrShardWorker.
+func mapShardErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var re *shard.RemoteError
+	if errors.As(err, &re) {
+		if base, ok := remoteCodeErr[re.Code]; ok {
+			return fmt.Errorf("%w: %v", base, err)
+		}
+	}
+	return err
+}
+
+// ServeShardWorker runs one worker session over rw: it receives its
+// Spec in the handshake, builds the matching measurement backend (sim,
+// rig or archive) and serves measure/months requests until shutdown.
+// This is the entire body of cmd/shardworker, and what
+// InProcessShardTransport runs on a goroutine for tests.
+func ServeShardWorker(ctx context.Context, rw io.ReadWriter) error {
+	return shard.Serve(ctx, rw, shard.ServerConfig{
+		Build:     buildShardBackend,
+		ErrorCode: shardErrorCode,
+	})
+}
+
+// buildShardBackend constructs the measurement backend for a handshake
+// spec.
+func buildShardBackend(spec shard.Spec) (shard.Backend, error) {
+	if spec.Scenario == (aging.Scenario{}) {
+		// A spec without an explicit condition runs at the profile's
+		// nominal scenario, like the non-At source constructors.
+		spec.Scenario = spec.Profile.NominalScenario()
+	}
+	switch spec.Mode {
+	case shard.ModeSim:
+		return &simShardBackend{spec: spec}, nil
+	case shard.ModeRig:
+		return &rigShardBackend{spec: spec}, nil
+	case shard.ModeArchive:
+		f, err := os.Open(spec.ArchivePath)
+		if err != nil {
+			return nil, fmt.Errorf("%w: shard archive: %v", ErrConfig, err)
+		}
+		defer f.Close()
+		archive, err := store.ReadJSONL(f)
+		if err != nil {
+			return nil, fmt.Errorf("%w: shard archive %s: %v", ErrConfig, spec.ArchivePath, err)
+		}
+		if archive.Len() == 0 {
+			return nil, fmt.Errorf("%w: empty shard archive %s", ErrConfig, spec.ArchivePath)
+		}
+		return &archiveShardBackend{archive: archive, boards: archive.Boards()}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown shard mode %q", ErrConfig, spec.Mode)
+	}
+}
+
+// simShardBackend serves a shard of simulated chips: only the assigned
+// arrays are built, each derived from the campaign seed by its GLOBAL
+// device index, so the shard's streams are bit-identical to the same
+// devices in a single-process source.
+type simShardBackend struct {
+	spec    shard.Spec
+	indices []int
+	src     *SimSource
+}
+
+func (b *simShardBackend) Devices() int { return b.spec.Devices }
+
+func (b *simShardBackend) Assign(indices []int) error {
+	if err := validAssignment(indices, b.spec.Devices); err != nil {
+		return err
+	}
+	src, err := NewSimSourceSubset(b.spec.Profile, b.spec.Seed, b.spec.Scenario, indices)
+	if err != nil {
+		return err
+	}
+	b.indices, b.src = indices, src
+	return nil
+}
+
+func (b *simShardBackend) Months(int) ([]int, error) { return nil, errMonthsUnsupported }
+
+// Measure samples the shard's arrays and synthesises the record
+// envelope (sequence, cycle, wall clock) around each pattern with the
+// rig's month-to-cycle mapping, so a tapped sharded sim campaign writes
+// a replayable archive. The pattern vector is the sampler's reusable
+// scratch: emit encodes it synchronously, which is why no clone is
+// needed.
+func (b *simShardBackend) Measure(ctx context.Context, month, size, workers int, emit func(device int, rec store.Record) error) error {
+	b.src.SetWorkers(workers)
+	base := uint64(month) * cyclesPerMonth
+	start := store.MonthlyWindowStart(month)
+	seqs := make([]int, len(b.indices))
+	sink := Sink(func(local int, m *bitvec.Vector) error {
+		i := seqs[local] // per-device delivery is sequential; devices are distinct slots
+		seqs[local]++
+		g := b.indices[local]
+		rec := store.Record{
+			Board: g,
+			Layer: g * 2 / max(b.spec.Devices, 1),
+			Seq:   base + uint64(i),
+			Cycle: base + uint64(i),
+			Wall:  start.Add(time.Duration(float64(i) * silicon.CycleSeconds * float64(time.Second))),
+			Data:  m,
+		}
+		return emit(g, rec)
+	})
+	return b.src.Measure(ctx, month, size, sink)
+}
+
+// rigShardBackend serves a shard of rig boards. The rig is one
+// physically coupled instrument — two master layers sharing a power
+// switch and cycle counter — so every worker simulates the FULL rig
+// deterministically and forwards only its shard's board records:
+// sharding the rig shards record forwarding and downstream evaluation,
+// not the instrument. Per-board record streams are therefore
+// bit-identical to a single-process rig run by construction.
+type rigShardBackend struct {
+	spec shard.Spec
+	src  *RigSource
+	want map[int]bool
+	emit func(device int, rec store.Record) error
+}
+
+func (b *rigShardBackend) Devices() int { return b.spec.Devices }
+
+func (b *rigShardBackend) Assign(indices []int) error {
+	if err := validAssignment(indices, b.spec.Devices); err != nil {
+		return err
+	}
+	src, err := NewRigSourceAt(b.spec.Profile, b.spec.Devices, b.spec.Seed, b.spec.I2CErrorRate, b.spec.Scenario)
+	if err != nil {
+		return err
+	}
+	b.want = make(map[int]bool, len(indices))
+	for _, g := range indices {
+		b.want[g] = true
+	}
+	// The record tap sees every board of the full rig; only the shard's
+	// boards are forwarded. One Measure runs at a time per worker (the
+	// protocol is a request/response loop), so the emit field is safe.
+	src.SetTap(func(rec store.Record) error {
+		if !b.want[rec.Board] {
+			return nil
+		}
+		return b.emit(rec.Board, rec)
+	})
+	b.src = src
+	return nil
+}
+
+func (b *rigShardBackend) Months(int) ([]int, error) { return nil, errMonthsUnsupported }
+
+func (b *rigShardBackend) Measure(ctx context.Context, month, size, workers int, emit func(device int, rec store.Record) error) error {
+	b.emit = emit
+	defer func() { b.emit = nil }()
+	return b.src.Measure(ctx, month, size, func(int, *bitvec.Vector) error { return nil })
+}
+
+// archiveShardBackend replays a shard of an archive's boards. The
+// worker reads the full archive once (board discovery must agree
+// across workers), then Assign filters down to the assigned boards and
+// DROPS the full archive — after assignment the worker retains only
+// its ~1/N of the records, which is the memory shape sharding exists
+// for. Month discovery and window bounding reuse the archive source's
+// own logic on the filtered view.
+type archiveShardBackend struct {
+	archive  *store.Archive // full archive; released by Assign
+	boards   []int          // full board list, ascending: global device index order
+	filtered *store.Archive // the shard's boards only
+	indices  []int
+	shardBs  []int
+	src      *ArchiveSource
+}
+
+func (b *archiveShardBackend) Devices() int { return len(b.boards) }
+
+func (b *archiveShardBackend) Assign(indices []int) error {
+	if err := validAssignment(indices, len(b.boards)); err != nil {
+		return err
+	}
+	filtered := store.NewArchive()
+	shardBs := make([]int, len(indices))
+	for d, g := range indices {
+		board := b.boards[g]
+		shardBs[d] = board
+		for _, rec := range b.archive.Records(board) {
+			if err := filtered.Append(rec); err != nil {
+				return err
+			}
+		}
+	}
+	src, err := NewArchiveSource(filtered)
+	if err != nil {
+		return err
+	}
+	b.indices, b.shardBs, b.filtered, b.src = indices, shardBs, filtered, src
+	b.archive = nil // the other shards' records are not this worker's business
+	return nil
+}
+
+func (b *archiveShardBackend) Months(windowSize int) ([]int, error) {
+	return b.src.AvailableMonths(windowSize)
+}
+
+func (b *archiveShardBackend) Measure(ctx context.Context, month, size, _ int, emit func(device int, rec store.Record) error) error {
+	start := store.MonthlyWindowStart(month)
+	for d, board := range b.shardBs {
+		recs, err := b.filtered.WindowBounded(board, start, store.MonthlyWindowStart(month+1), size)
+		if err != nil {
+			return fmt.Errorf("%w: board %d month %d: %v", ErrShortWindow, board, month, err)
+		}
+		for i := range recs {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("core: board %d measurement %d: %w", board, i, err)
+			}
+			if err := emit(b.indices[d], recs[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// validAssignment checks a shard assignment: ascending, unique, in
+// range.
+func validAssignment(indices []int, devices int) error {
+	if len(indices) == 0 {
+		return fmt.Errorf("%w: empty shard assignment", ErrConfig)
+	}
+	for i, g := range indices {
+		if g < 0 || g >= devices {
+			return fmt.Errorf("%w: assigned device %d outside population of %d", ErrConfig, g, devices)
+		}
+		if i > 0 && g <= indices[i-1] {
+			return fmt.Errorf("%w: shard assignment must be ascending, got %v", ErrConfig, indices)
+		}
+	}
+	return nil
+}
+
+// InProcessShardTransport runs each worker as a goroutine inside the
+// coordinator's process, connected over an io.Pipe pair — the test (and
+// single-binary) transport. The wire protocol, framing and backends are
+// exactly the subprocess path; only the byte stream differs.
+func InProcessShardTransport() shard.Transport {
+	return func(i, n int) (io.ReadWriteCloser, error) {
+		coordR, workerW := io.Pipe()
+		workerR, coordW := io.Pipe()
+		go func() {
+			// Serve ends on shutdown/EOF; tear down the worker's pipe
+			// ends so the coordinator never blocks on a finished worker.
+			_ = ServeShardWorker(context.Background(), pipeConn{r: workerR, w: workerW})
+			workerW.Close()
+			workerR.Close()
+		}()
+		return pipeConn{r: coordR, w: coordW}, nil
+	}
+}
+
+// pipeConn glues an io.Pipe pair into an io.ReadWriteCloser.
+type pipeConn struct {
+	r *io.PipeReader
+	w *io.PipeWriter
+}
+
+func (c pipeConn) Read(b []byte) (int, error)  { return c.r.Read(b) }
+func (c pipeConn) Write(b []byte) (int, error) { return c.w.Write(b) }
+func (c pipeConn) Close() error {
+	werr := c.w.Close()
+	rerr := c.r.Close()
+	if werr != nil {
+		return werr
+	}
+	return rerr
+}
+
+// ShardedSource fans a campaign's device population across worker
+// processes and merges their record streams back into one Source: the
+// engine sees exactly the per-device measurement streams of the
+// single-process sources, so Assessment.Run produces bit-identical
+// Results for any shard count. Like RigSource it can tap the merged
+// record stream (archive collection while sharded); unlike the
+// in-process sources it holds worker connections, so callers that build
+// one directly must Close it when done.
+type ShardedSource struct {
+	co *shard.Coordinator
+
+	mu  sync.Mutex
+	tap func(store.Record) error
+}
+
+// NewShardedSimSource shards a direct-sampling campaign: the device
+// population is partitioned across shards workers (nil transport: in
+// process), each building only its slice of the chips at the profile's
+// nominal condition.
+func NewShardedSimSource(profile silicon.DeviceProfile, devices int, seed uint64, shards int, transport shard.Transport) (*ShardedSource, error) {
+	return NewShardedSimSourceAt(profile, devices, seed, profile.NominalScenario(), shards, transport)
+}
+
+// NewShardedSimSourceAt is NewShardedSimSource at an explicit
+// environmental scenario — the sharded counterpart of NewSimSourceAt,
+// which is how a condition sweep shards each of its corners.
+func NewShardedSimSourceAt(profile silicon.DeviceProfile, devices int, seed uint64, sc aging.Scenario, shards int, transport shard.Transport) (*ShardedSource, error) {
+	if devices < 1 {
+		return nil, fmt.Errorf("%w: need >= 1 device, got %d", ErrConfig, devices)
+	}
+	if err := validShardCount(shards, devices); err != nil {
+		return nil, err
+	}
+	if _, err := conditionedProfile(profile, sc); err != nil {
+		return nil, err
+	}
+	return newShardedSource(shard.Spec{
+		Mode:     shard.ModeSim,
+		Profile:  profile,
+		Devices:  devices,
+		Seed:     seed,
+		Scenario: sc,
+	}, shards, transport)
+}
+
+// NewShardedRigSource shards a full-rig campaign: every worker runs the
+// deterministic rig simulation and forwards its shard's board records.
+func NewShardedRigSource(profile silicon.DeviceProfile, devices int, seed uint64, i2cErrorRate float64, shards int, transport shard.Transport) (*ShardedSource, error) {
+	return NewShardedRigSourceAt(profile, devices, seed, i2cErrorRate, profile.NominalScenario(), shards, transport)
+}
+
+// NewShardedRigSourceAt is NewShardedRigSource at an explicit
+// environmental scenario.
+func NewShardedRigSourceAt(profile silicon.DeviceProfile, devices int, seed uint64, i2cErrorRate float64, sc aging.Scenario, shards int, transport shard.Transport) (*ShardedSource, error) {
+	if devices < 2 || devices%2 != 0 {
+		return nil, fmt.Errorf("%w: rig needs an even device count >= 2 (two layers), got %d", ErrConfig, devices)
+	}
+	if err := validShardCount(shards, devices); err != nil {
+		return nil, err
+	}
+	if _, err := conditionedProfile(profile, sc); err != nil {
+		return nil, err
+	}
+	return newShardedSource(shard.Spec{
+		Mode:         shard.ModeRig,
+		Profile:      profile,
+		Devices:      devices,
+		Seed:         seed,
+		Scenario:     sc,
+		I2CErrorRate: i2cErrorRate,
+	}, shards, transport)
+}
+
+// validShardCount pre-flights the partition shape so a bad shard count
+// fails with the assessment's configuration error before any worker is
+// spawned.
+func validShardCount(shards, devices int) error {
+	switch {
+	case shards < 1:
+		return fmt.Errorf("%w: need >= 1 shard, got %d", ErrConfig, shards)
+	case shards > devices:
+		return fmt.Errorf("%w: more shards (%d) than devices (%d) — an empty shard serves nothing", ErrConfig, shards, devices)
+	}
+	return nil
+}
+
+func newShardedSource(spec shard.Spec, shards int, transport shard.Transport) (*ShardedSource, error) {
+	if transport == nil {
+		transport = InProcessShardTransport()
+	}
+	co, err := shard.NewCoordinator(spec, shards, transport)
+	if err != nil {
+		return nil, mapShardErr(err)
+	}
+	return &ShardedSource{co: co}, nil
+}
+
+// Devices returns the total device population across all shards.
+func (s *ShardedSource) Devices() int { return s.co.Devices() }
+
+// Shards returns the worker count.
+func (s *ShardedSource) Shards() int { return s.co.Shards() }
+
+// SetWorkers sets the campaign's TOTAL sampling-parallelism budget,
+// split across the shards (stream.SplitBudget) so -workers keeps one
+// meaning whether the campaign runs in one process or many.
+func (s *ShardedSource) SetWorkers(n int) { s.co.SetWorkers(n) }
+
+// SetTap installs a callback receiving every merged record — the
+// sharded counterpart of (*RigSource).SetTap, used by cmd/agingtest
+// -shards -archive. Shards forward concurrently, so the tap is
+// serialised here; per-board record order is preserved (each board
+// lives in exactly one shard).
+func (s *ShardedSource) SetTap(tap func(store.Record) error) { s.tap = tap }
+
+// Measure fans the window request out to every shard and forwards the
+// merged stream to sink. A worker crash surfaces as an error wrapping
+// ErrShardWorker; worker-reported failures keep their typed class
+// (ErrConfig, ErrShortWindow, ...) across the process boundary.
+func (s *ShardedSource) Measure(ctx context.Context, month, size int, sink Sink) error {
+	return mapShardErr(s.co.Measure(ctx, month, size, func(device int, rec store.Record) error {
+		if s.tap != nil {
+			s.mu.Lock()
+			err := s.tap(rec)
+			s.mu.Unlock()
+			if err != nil {
+				return err
+			}
+		}
+		return sink(device, rec.Data)
+	}))
+}
+
+// Close shuts every worker down. The engine does not close sources;
+// whoever built the ShardedSource owns its lifetime.
+func (s *ShardedSource) Close() error { return s.co.Close() }
+
+// ShardedArchiveSource is a ShardedSource over archive replay, with the
+// MonthLister behaviour of ArchiveSource: month discovery is fanned out
+// to the workers and intersected, so an assessment without explicit
+// months evaluates exactly the months every shard holds complete
+// windows for. It is a distinct type (not a mode flag) so the unbounded
+// sim/rig sharded sources do not present a MonthLister they cannot
+// serve.
+type ShardedArchiveSource struct {
+	*ShardedSource
+}
+
+// NewShardedArchiveSource shards replay of the JSONL archive at path.
+// Every worker must be able to read the path (workers on the same host,
+// or a shared filesystem); the workers' board discovery is cross-checked
+// during the handshake.
+func NewShardedArchiveSource(path string, shards int, transport shard.Transport) (*ShardedArchiveSource, error) {
+	if path == "" {
+		return nil, fmt.Errorf("%w: empty archive path", ErrConfig)
+	}
+	src, err := newShardedSource(shard.Spec{Mode: shard.ModeArchive, ArchivePath: path}, shards, transport)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedArchiveSource{ShardedSource: src}, nil
+}
+
+// AvailableMonths intersects the shards' month lists: a month is
+// evaluated only when EVERY shard holds a complete window for all of
+// its boards. Mid-archive record loss is detected at BOTH granularities
+// and surfaces as ErrShortWindow, matching the single-process
+// ArchiveSource semantics: within a shard by the archive source's own
+// complete-month-after-partial-month rule, and across shards by the
+// coordinator (a month some shards serve and others cannot, while a
+// later month is complete everywhere, is lost data — never a silent
+// skip).
+func (s *ShardedArchiveSource) AvailableMonths(windowSize int) ([]int, error) {
+	months, err := s.co.Months(windowSize)
+	return months, mapShardErr(err)
+}

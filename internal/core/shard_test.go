@@ -1,0 +1,563 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bitvec"
+	"repro/internal/shard"
+	"repro/internal/silicon"
+	"repro/internal/store"
+)
+
+// shardTestMonths is a short campaign that still spans a Table I.
+var shardTestMonths = []int{0, 1, 2, 3}
+
+func runAssessment(t *testing.T, src Source, window int, months []int) *Results {
+	t.Helper()
+	eng, err := NewAssessment(AssessmentConfig{Source: src, WindowSize: window, Months: months})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestShardedSimBitIdentical: a sharded direct-sampling campaign
+// produces bit-identical Results to the single-process SimSource for
+// shard counts 1, 2 and 7 — the tentpole acceptance criterion.
+func TestShardedSimBitIdentical(t *testing.T) {
+	profile, err := silicon.ATmega32u4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const devices, seed, window = 8, 20170208, 40
+	plainSrc, err := NewSimSource(profile, devices, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runAssessment(t, plainSrc, window, shardTestMonths)
+
+	for _, shards := range []int{1, 2, 7} {
+		src, err := NewShardedSimSource(profile, devices, seed, shards, nil)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		got := runAssessment(t, src, window, shardTestMonths)
+		if err := src.Close(); err != nil {
+			t.Fatalf("shards=%d: close: %v", shards, err)
+		}
+		assertResultsBitIdentical(t, want, got)
+	}
+}
+
+// TestShardedSimWorkersBitIdentical: the per-shard worker budget split
+// must not change a single bit, whatever the total budget.
+func TestShardedSimWorkersBitIdentical(t *testing.T) {
+	profile, err := silicon.ATmega32u4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const devices, seed, window = 6, 99, 30
+	plainSrc, err := NewSimSource(profile, devices, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runAssessment(t, plainSrc, window, shardTestMonths)
+	for _, workers := range []int{1, 3, 16} {
+		src, err := NewShardedSimSource(profile, devices, seed, 3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src.SetWorkers(workers)
+		got := runAssessment(t, src, window, shardTestMonths)
+		src.Close()
+		assertResultsBitIdentical(t, want, got)
+	}
+}
+
+// TestShardedRigBitIdentical: the sharded rig path (every worker runs
+// the full deterministic rig, forwarding its shard's boards) matches the
+// single-process RigSource, and the merged record tap archives exactly
+// the records the direct rig tap archives, board for board and in
+// capture order.
+func TestShardedRigBitIdentical(t *testing.T) {
+	profile, err := silicon.ATmega32u4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const devices, seed, window = 4, 7, 30
+	const i2cErr = 0.001
+
+	direct, err := NewRigSource(profile, devices, seed, i2cErr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	directTap := store.NewArchive()
+	direct.SetTap(directTap.Append)
+	want := runAssessment(t, direct, window, shardTestMonths)
+
+	sharded, err := NewShardedRigSource(profile, devices, seed, i2cErr, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardTap := store.NewArchive()
+	var mu sync.Mutex
+	sharded.SetTap(func(rec store.Record) error {
+		mu.Lock()
+		defer mu.Unlock()
+		return shardTap.Append(rec)
+	})
+	got := runAssessment(t, sharded, window, shardTestMonths)
+	if err := sharded.Close(); err != nil {
+		t.Fatal(err)
+	}
+	assertResultsBitIdentical(t, want, got)
+
+	if directTap.Len() != shardTap.Len() {
+		t.Fatalf("tap sizes differ: direct %d, sharded %d", directTap.Len(), shardTap.Len())
+	}
+	for _, b := range directTap.Boards() {
+		dr, sr := directTap.Records(b), shardTap.Records(b)
+		if len(dr) != len(sr) {
+			t.Fatalf("board %d: %d direct records, %d sharded", b, len(dr), len(sr))
+		}
+		for i := range dr {
+			if dr[i].Seq != sr[i].Seq || dr[i].Cycle != sr[i].Cycle ||
+				!dr[i].Wall.Equal(sr[i].Wall) || !dr[i].Data.Equal(sr[i].Data) {
+				t.Fatalf("board %d record %d differs between direct and sharded taps", b, i)
+			}
+		}
+	}
+}
+
+// TestShardedArchiveReplayBitIdentical: sharded archive replay — month
+// discovery included — matches the single-process ArchiveSource on the
+// same JSONL file.
+func TestShardedArchiveReplayBitIdentical(t *testing.T) {
+	profile, err := silicon.ATmega32u4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const devices, seed, window = 4, 11, 25
+
+	// Collect an archive through the rig tap.
+	rig, err := NewRigSource(profile, devices, seed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tap := store.NewArchive()
+	rig.SetTap(tap.Append)
+	runAssessment(t, rig, window, shardTestMonths)
+	path := filepath.Join(t.TempDir(), "campaign.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tap.WriteArchiveJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	plain, err := NewArchiveSource(tap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMonths, err := plain.AvailableMonths(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runAssessment(t, plain, window, wantMonths)
+
+	for _, shards := range []int{1, 2} {
+		src, err := NewShardedArchiveSource(path, shards, nil)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		gotMonths, err := src.AvailableMonths(window)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if len(gotMonths) != len(wantMonths) {
+			t.Fatalf("shards=%d: months %v, want %v", shards, gotMonths, wantMonths)
+		}
+		for i := range wantMonths {
+			if gotMonths[i] != wantMonths[i] {
+				t.Fatalf("shards=%d: months %v, want %v", shards, gotMonths, wantMonths)
+			}
+		}
+		got := runAssessment(t, src, window, gotMonths)
+		src.Close()
+		assertResultsBitIdentical(t, want, got)
+	}
+}
+
+// TestShardedArchiveShortWindowTyped: a worker-side short window keeps
+// its ErrShortWindow class across the process boundary.
+func TestShardedArchiveShortWindowTyped(t *testing.T) {
+	profile, err := silicon.ATmega32u4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig, err := NewRigSource(profile, 4, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tap := store.NewArchive()
+	rig.SetTap(tap.Append)
+	runAssessment(t, rig, 20, []int{0, 1})
+	path := filepath.Join(t.TempDir(), "short.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tap.WriteArchiveJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	src, err := NewShardedArchiveSource(path, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	// The archive holds 20-record windows; asking for 50 must fail with
+	// the typed short-window error from inside the workers.
+	eng, err := NewAssessment(AssessmentConfig{Source: src, WindowSize: 50, Months: []int{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(context.Background()); !errors.Is(err, ErrShortWindow) {
+		t.Fatalf("err = %v, want ErrShortWindow", err)
+	}
+}
+
+// crashTransport wraps the in-process transport and kills one shard's
+// connection after a fixed number of reads.
+type crashTransport struct {
+	inner  shard.Transport
+	victim int
+	mu     sync.Mutex
+	conn   io.ReadWriteCloser
+	reads  int
+	after  int
+}
+
+func (c *crashTransport) transport(i, n int) (io.ReadWriteCloser, error) {
+	conn, err := c.inner(i, n)
+	if err != nil {
+		return nil, err
+	}
+	if i != c.victim {
+		return conn, nil
+	}
+	c.conn = conn
+	return c, nil
+}
+
+func (c *crashTransport) Read(b []byte) (int, error) {
+	c.mu.Lock()
+	c.reads++
+	dead := c.after > 0 && c.reads > c.after
+	c.mu.Unlock()
+	if dead {
+		c.conn.Close()
+		return 0, errors.New("worker process died")
+	}
+	return c.conn.Read(b)
+}
+
+func (c *crashTransport) Write(b []byte) (int, error) { return c.conn.Write(b) }
+func (c *crashTransport) Close() error                { return c.conn.Close() }
+
+// arm starts failing reads after n more calls.
+func (c *crashTransport) arm(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.after = c.reads + n
+}
+
+// TestShardedWorkerCrashTyped: a worker dying mid-campaign surfaces an
+// error wrapping ErrShardWorker, aborts the run, and leaks no
+// goroutines.
+func TestShardedWorkerCrashTyped(t *testing.T) {
+	before := runtime.NumGoroutine()
+	profile, err := silicon.ATmega32u4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := &crashTransport{inner: InProcessShardTransport(), victim: 1}
+	src, err := NewShardedSimSource(profile, 6, 5, 3, ct.transport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	ct.arm(4)
+	eng, err := NewAssessment(AssessmentConfig{Source: src, WindowSize: 500, Months: shardTestMonths})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(context.Background()); !errors.Is(err, ErrShardWorker) {
+		t.Fatalf("err = %v, want ErrShardWorker", err)
+	}
+	src.Close()
+	assertNoShardLeaks(t, before)
+}
+
+// TestShardedSourceCancellation: cancelling mid-window winds every
+// worker and forwarding goroutine down.
+func TestShardedSourceCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	profile, err := silicon.ATmega32u4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewShardedSimSource(profile, 4, 5, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	var n atomic.Int64
+	err = src.Measure(ctx, 0, 10000, func(int, *bitvec.Vector) error {
+		if n.Add(1) == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	src.Close()
+	assertNoShardLeaks(t, before)
+}
+
+// TestShardCountValidation: bad shard shapes fail fast with ErrConfig.
+func TestShardCountValidation(t *testing.T) {
+	profile, err := silicon.ATmega32u4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewShardedSimSource(profile, 4, 1, 5, nil); !errors.Is(err, ErrConfig) {
+		t.Fatalf("shards > devices: err = %v, want ErrConfig", err)
+	}
+	if _, err := NewShardedSimSource(profile, 4, 1, 0, nil); !errors.Is(err, ErrConfig) {
+		t.Fatalf("zero shards: err = %v, want ErrConfig", err)
+	}
+	if _, err := NewShardedRigSource(profile, 3, 1, 0, 1, nil); !errors.Is(err, ErrConfig) {
+		t.Fatalf("odd rig: err = %v, want ErrConfig", err)
+	}
+	if _, err := NewShardedArchiveSource("", 1, nil); !errors.Is(err, ErrConfig) {
+		t.Fatalf("empty path: err = %v, want ErrConfig", err)
+	}
+}
+
+// writeSyntheticArchive writes a JSONL archive with the given complete
+// months per board (window records each), for month-discovery tests.
+func writeSyntheticArchive(t *testing.T, path string, window int, monthsByBoard map[int][]int) {
+	t.Helper()
+	a := store.NewArchive()
+	boards := make([]int, 0, len(monthsByBoard))
+	for b := range monthsByBoard {
+		boards = append(boards, b)
+	}
+	sort.Ints(boards)
+	for _, b := range boards {
+		for _, m := range monthsByBoard[b] {
+			start := store.MonthlyWindowStart(m)
+			for i := 0; i < window; i++ {
+				v := bitvec.New(16)
+				v.Set((b+m+i)%16, true)
+				rec := store.Record{
+					Board: b,
+					Seq:   uint64(m*window + i),
+					Wall:  start.Add(time.Duration(i) * time.Second),
+					Data:  v,
+				}
+				if err := a.Append(rec); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteArchiveJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedArchiveDataLossNotMasked: a month lost on one shard's
+// boards while another shard (and a later month everywhere) is complete
+// must surface as ErrShortWindow from sharded month discovery — the
+// single-process data-defect rule, not a silent skip. Regression: the
+// per-shard discovery alone classifies "all my boards short" as a
+// rig-off month, so the coordinator has to re-apply the rule across
+// shards.
+func TestShardedArchiveDataLossNotMasked(t *testing.T) {
+	const window = 3
+	path := filepath.Join(t.TempDir(), "lost.jsonl")
+	// Board 0 lost month 1; board 1 is complete. With 2 shards each
+	// board is its own shard, so shard 0 sees month 1 as "rig off".
+	writeSyntheticArchive(t, path, window, map[int][]int{
+		0: {0, 2},
+		1: {0, 1, 2},
+	})
+
+	// The single-process source reports the defect...
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	archive, err := store.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewArchiveSource(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.AvailableMonths(window); !errors.Is(err, ErrShortWindow) {
+		t.Fatalf("single-process: err = %v, want ErrShortWindow", err)
+	}
+
+	// ...and so must the sharded one.
+	src, err := NewShardedArchiveSource(path, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	months, err := src.AvailableMonths(window)
+	if !errors.Is(err, ErrShortWindow) {
+		t.Fatalf("sharded: months = %v, err = %v, want ErrShortWindow", months, err)
+	}
+}
+
+// TestShardedArchiveInterruptedTailDropped: a partial month at the end
+// of the archive (collection interrupted) is NOT a defect — both the
+// single-process and the sharded discovery drop it silently.
+func TestShardedArchiveInterruptedTailDropped(t *testing.T) {
+	const window = 3
+	path := filepath.Join(t.TempDir(), "tail.jsonl")
+	// Board 1's collection ran one month longer than board 0's; no
+	// complete month follows the gap, so it is the interrupted tail.
+	writeSyntheticArchive(t, path, window, map[int][]int{
+		0: {0, 1},
+		1: {0, 1, 2},
+	})
+	src, err := NewShardedArchiveSource(path, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	months, err := src.AvailableMonths(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1}
+	if len(months) != len(want) || months[0] != want[0] || months[1] != want[1] {
+		t.Fatalf("months = %v, want %v", months, want)
+	}
+}
+
+// TestShardBackendMonthsUnsupported: the unbounded backends refuse
+// month discovery with the code the coordinator maps to "unsupported",
+// while every engine error class keeps its wire code.
+func TestShardBackendMonthsUnsupported(t *testing.T) {
+	profile, err := silicon.ATmega32u4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []shard.Mode{shard.ModeSim, shard.ModeRig} {
+		b, err := buildShardBackend(shard.Spec{Mode: mode, Profile: profile, Devices: 2, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if err := b.Assign([]int{0, 1}); err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		_, err = b.Months(10)
+		if err == nil {
+			t.Fatalf("%s: month discovery on an unbounded source succeeded", mode)
+		}
+		if code := shardErrorCode(err); code != shard.CodeUnsupported {
+			t.Fatalf("%s: error code %q, want %q", mode, code, shard.CodeUnsupported)
+		}
+	}
+	codes := map[error]string{
+		ErrConfig:              shard.CodeConfig,
+		ErrShortWindow:         shard.CodeShortWindow,
+		ErrNoMonths:            shard.CodeNoMonths,
+		errors.New("whatever"): shard.CodeInternal,
+	}
+	for err, want := range codes {
+		if got := shardErrorCode(err); got != want {
+			t.Errorf("shardErrorCode(%v) = %q, want %q", err, got, want)
+		}
+	}
+	if _, err := buildShardBackend(shard.Spec{Mode: "quantum"}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("unknown mode: err = %v, want ErrConfig", err)
+	}
+	if _, err := buildShardBackend(shard.Spec{Mode: shard.ModeArchive, ArchivePath: "/no/such/file.jsonl"}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("missing archive: err = %v, want ErrConfig", err)
+	}
+}
+
+// TestValidAssignment exercises the worker-side assignment checks.
+func TestValidAssignment(t *testing.T) {
+	cases := []struct {
+		indices []int
+		devices int
+		ok      bool
+	}{
+		{[]int{0, 1, 2}, 4, true},
+		{[]int{3}, 4, true},
+		{nil, 4, false},
+		{[]int{4}, 4, false},
+		{[]int{-1}, 4, false},
+		{[]int{1, 1}, 4, false},
+		{[]int{2, 1}, 4, false},
+	}
+	for _, c := range cases {
+		err := validAssignment(c.indices, c.devices)
+		if c.ok && err != nil {
+			t.Errorf("validAssignment(%v, %d): unexpected %v", c.indices, c.devices, err)
+		}
+		if !c.ok && !errors.Is(err, ErrConfig) {
+			t.Errorf("validAssignment(%v, %d) = %v, want ErrConfig", c.indices, c.devices, err)
+		}
+	}
+}
+
+func assertNoShardLeaks(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}

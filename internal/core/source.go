@@ -88,14 +88,36 @@ func NewSimSourceAt(profile silicon.DeviceProfile, devices int, seed uint64, sc 
 	if devices < 1 {
 		return nil, fmt.Errorf("%w: need >= 1 device, got %d", ErrConfig, devices)
 	}
+	indices := make([]int, devices)
+	for d := range indices {
+		indices[d] = d
+	}
+	return NewSimSourceSubset(profile, seed, sc, indices)
+}
+
+// NewSimSourceSubset builds a direct-sampling source over an arbitrary
+// subset of a campaign's device population: indices are GLOBAL device
+// indices, and each chip is derived from the campaign seed by its global
+// index — the same per-device derivation NewSimSourceAt uses for the
+// full population (rng.Derive is label-based and does not advance the
+// parent), so a subset source produces bit-identical streams for its
+// devices. This is what lets a shard worker build only its slice of the
+// fleet. Local device index d of the returned source is indices[d].
+func NewSimSourceSubset(profile silicon.DeviceProfile, seed uint64, sc aging.Scenario, indices []int) (*SimSource, error) {
+	if len(indices) < 1 {
+		return nil, fmt.Errorf("%w: need >= 1 device index", ErrConfig)
+	}
 	profile, err := conditionedProfile(profile, sc)
 	if err != nil {
 		return nil, err
 	}
 	root := rng.New(seed)
-	arrays := make([]*sram.Array, devices)
-	for d := range arrays {
-		a, err := sram.New(profile, root.Derive(uint64(d)+1))
+	arrays := make([]*sram.Array, len(indices))
+	for d, g := range indices {
+		if g < 0 {
+			return nil, fmt.Errorf("%w: negative device index %d", ErrConfig, g)
+		}
+		a, err := sram.New(profile, root.Derive(uint64(g)+1))
 		if err != nil {
 			return nil, err
 		}

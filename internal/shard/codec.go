@@ -1,0 +1,331 @@
+// Package shard fans one assessment campaign across worker processes.
+//
+// The paper's rig pumps 16 boards in one process; fleet-scale studies
+// (thousands of CPUs/GPUs in Van Aubel et al., OS-level deployments in
+// Kietzmann et al.) need the device population partitioned across
+// workers. This package provides the wire protocol and the coordinator:
+// the device list is split into contiguous shards, each shard is served
+// by a worker process (cmd/shardworker over stdin/stdout, or an
+// in-process goroutine over an io.Pipe for tests) running its slice
+// through the same streaming engine sources, and the coordinator merges
+// the shard streams back into one measurement stream. Each device's
+// measurements stay in capture order within its shard, which is all the
+// engine's per-device accumulators require — so a sharded campaign is
+// bit-identical to the single-process one.
+//
+// The protocol is length-prefixed frames over any reliable byte stream:
+//
+//	frame := type(1 byte) | length(uint32 BE) | payload(length bytes)
+//
+// Control payloads are JSON; measurement payloads are a 4-byte global
+// device index followed by one store.Record in the archive's JSON
+// encoding — the same schema the Raspberry Pi database and the JSONL
+// archives use, so record taps and archive replay reuse one definition.
+//
+// Session flow (coordinator → worker unless noted):
+//
+//	hello{Spec}            configuration: mode, profile, seed, condition
+//	← helloAck{Devices}    worker's total device view (archive: board count)
+//	assign{Indices}        the shard's global device indices
+//	measure{Month,Size,Workers}   one evaluation window request
+//	← record*              Size × len(Indices) measurement frames
+//	← end{Month,Records}   window complete
+//	← error{Code,Message}  instead of end: typed failure
+//	monthsReq{WindowSize}  (archive mode) month discovery
+//	← months{Months}
+//	shutdown               clean exit (closing the stream at a frame
+//	                       boundary is the equivalent, and what the
+//	                       coordinator's Close does — a farewell frame
+//	                       could block on a busy worker's full pipe)
+package shard
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/aging"
+	"repro/internal/silicon"
+	"repro/internal/store"
+)
+
+// Protocol is the wire protocol version carried in the handshake; a
+// worker refuses a mismatch so a stale shardworker binary fails loudly
+// instead of mis-decoding frames.
+const Protocol = 1
+
+// Frame types.
+const (
+	frameHello     byte = 1  // coordinator → worker: Spec
+	frameHelloAck  byte = 2  // worker → coordinator: helloAck
+	frameAssign    byte = 3  // coordinator → worker: assignment
+	frameMeasure   byte = 4  // coordinator → worker: measureRequest
+	frameRecord    byte = 5  // worker → coordinator: device index + record
+	frameEnd       byte = 6  // worker → coordinator: endOfWindow
+	frameError     byte = 7  // worker → coordinator: errorFrame
+	frameMonthsReq byte = 8  // coordinator → worker: monthsRequest
+	frameMonths    byte = 9  // worker → coordinator: monthsResponse
+	frameShutdown  byte = 10 // coordinator → worker: clean exit, no payload
+)
+
+// maxFrame bounds a frame payload. Records are a few KiB (a 1 KiB read
+// window is 2048 hex characters); month lists and specs are smaller. The
+// bound keeps a corrupt length prefix from turning into a giant
+// allocation.
+const maxFrame = 1 << 24
+
+// Typed protocol errors, matchable with errors.Is.
+var (
+	// ErrCodec reports a malformed frame (bad length, bad payload).
+	ErrCodec = errors.New("shard: malformed frame")
+	// ErrProtocol reports a well-formed frame that violates the session
+	// flow (unexpected type, version mismatch, wrong device count).
+	ErrProtocol = errors.New("shard: protocol violation")
+	// ErrWorker reports a worker that died or became unreachable
+	// mid-campaign (closed pipe, crashed subprocess).
+	ErrWorker = errors.New("shard: worker failure")
+	// ErrClosed reports use of a coordinator after Close (or after a
+	// failure tore the session down).
+	ErrClosed = errors.New("shard: coordinator closed")
+)
+
+// Mode selects what a worker measures.
+type Mode string
+
+const (
+	// ModeSim samples simulated chips directly (the fast campaign path).
+	// Each worker builds only its shard's arrays, with the same global
+	// per-device seed derivation the single-process source uses.
+	ModeSim Mode = "sim"
+	// ModeRig routes windows through the full measurement-rig simulation.
+	// The rig is one physically coupled instrument (two master layers, a
+	// shared power switch), so every worker simulates the full rig and
+	// forwards only its shard's board records — sharding the rig shards
+	// record forwarding and downstream evaluation, not the instrument.
+	ModeRig Mode = "rig"
+	// ModeArchive replays a JSONL measurement archive; each worker reads
+	// the archive and serves its shard's boards.
+	ModeArchive Mode = "archive"
+)
+
+// Spec is the handshake payload: everything a worker needs to build its
+// measurement source. It rides the wire as JSON, so a worker process is
+// fully configured by its coordinator — cmd/shardworker takes no flags.
+type Spec struct {
+	Protocol int                   `json:"protocol"`
+	Mode     Mode                  `json:"mode"`
+	Profile  silicon.DeviceProfile `json:"profile,omitempty"`
+	Devices  int                   `json:"devices,omitempty"`
+	Seed     uint64                `json:"seed,omitempty"`
+	Scenario aging.Scenario        `json:"scenario,omitempty"`
+	// I2CErrorRate is the rig's byte-corruption rate (ModeRig).
+	I2CErrorRate float64 `json:"i2c_error_rate,omitempty"`
+	// ArchivePath is the JSONL archive to replay (ModeArchive). The path
+	// must be readable by the worker process.
+	ArchivePath string `json:"archive_path,omitempty"`
+}
+
+// Validate checks the spec a worker received.
+func (s Spec) Validate() error {
+	if s.Protocol != Protocol {
+		return fmt.Errorf("%w: protocol %d, worker speaks %d", ErrProtocol, s.Protocol, Protocol)
+	}
+	switch s.Mode {
+	case ModeSim, ModeRig:
+		if s.Devices < 1 {
+			return fmt.Errorf("%w: %s spec needs >= 1 device, got %d", ErrProtocol, s.Mode, s.Devices)
+		}
+	case ModeArchive:
+		if s.ArchivePath == "" {
+			return fmt.Errorf("%w: archive spec without a path", ErrProtocol)
+		}
+	default:
+		return fmt.Errorf("%w: unknown mode %q", ErrProtocol, s.Mode)
+	}
+	return nil
+}
+
+// helloAck is the worker's handshake reply.
+type helloAck struct {
+	Protocol int `json:"protocol"`
+	// Devices is the worker's view of the TOTAL device population (the
+	// spec's device count, or the archive's board count) — the
+	// coordinator cross-checks all workers agree before partitioning.
+	Devices int `json:"devices"`
+}
+
+// assignment hands a worker its shard: global device indices, ascending.
+type assignment struct {
+	Indices []int `json:"indices"`
+}
+
+// measureRequest asks for one evaluation window over the assigned shard.
+type measureRequest struct {
+	Month int `json:"month"`
+	Size  int `json:"size"`
+	// Workers is this shard's slice of the campaign's sampling
+	// parallelism budget (0: one goroutine per device).
+	Workers int `json:"workers"`
+}
+
+// endOfWindow closes one measure exchange.
+type endOfWindow struct {
+	Month   int `json:"month"`
+	Records int `json:"records"`
+}
+
+// errorFrame reports a worker-side failure. Code carries the typed error
+// class across the process boundary (see ErrorCode / RemoteError).
+type errorFrame struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// monthsRequest asks a bounded (archive) worker which month indices its
+// shard holds complete windows for.
+type monthsRequest struct {
+	WindowSize int `json:"window_size"`
+}
+
+// monthsResponse lists the shard's available months, ascending.
+type monthsResponse struct {
+	Months []int `json:"months"`
+}
+
+// Worker-error codes carried by errorFrame. The core layer maps them
+// back onto its typed assessment errors so errors.Is works across the
+// process boundary.
+const (
+	CodeConfig      = "config"
+	CodeShortWindow = "short-window"
+	CodeNoMonths    = "no-months"
+	CodeUnsupported = "unsupported"
+	CodeInternal    = "internal"
+)
+
+// RemoteError is a worker-reported failure, decoded from an error frame.
+type RemoteError struct {
+	Shard   int    // shard index that reported it
+	Code    string // one of the Code* constants
+	Message string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("shard %d: worker error (%s): %s", e.Shard, e.Code, e.Message)
+}
+
+// WriteFrame writes one frame. Concurrent writers must serialise
+// externally (the worker loop and the coordinator both do).
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("%w: %d-byte payload exceeds the %d-byte frame bound", ErrCodec, len(payload), maxFrame)
+	}
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame. io.EOF is returned verbatim at a clean
+// frame boundary (peer closed); a mid-frame EOF is ErrCodec.
+func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return 0, nil, err
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return 0, nil, fmt.Errorf("%w: truncated header: %v", ErrCodec, err)
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("%w: %d-byte payload exceeds the %d-byte frame bound", ErrCodec, n, maxFrame)
+	}
+	if n == 0 {
+		return hdr[0], nil, nil
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("%w: truncated %d-byte payload: %v", ErrCodec, n, err)
+	}
+	return hdr[0], payload, nil
+}
+
+// writeJSON marshals v and writes it as one frame of the given type.
+func writeJSON(w io.Writer, typ byte, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrCodec, err)
+	}
+	return WriteFrame(w, typ, payload)
+}
+
+// decodeJSON unmarshals a control payload.
+func decodeJSON(payload []byte, v any) error {
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("%w: %v", ErrCodec, err)
+	}
+	return nil
+}
+
+// EncodeRecordPayload builds a record frame payload: the global device
+// index (uint32 BE) followed by the record in the store's JSON encoding —
+// the archive schema reused as the shard wire format.
+func EncodeRecordPayload(device int, rec store.Record) ([]byte, error) {
+	if device < 0 {
+		return nil, fmt.Errorf("%w: negative device index %d", ErrCodec, device)
+	}
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCodec, err)
+	}
+	payload := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(payload, uint32(device))
+	copy(payload[4:], body)
+	return payload, nil
+}
+
+// DecodeRecordPayload parses a record frame payload.
+func DecodeRecordPayload(payload []byte) (device int, rec store.Record, err error) {
+	if len(payload) < 4 {
+		return 0, store.Record{}, fmt.Errorf("%w: %d-byte record payload", ErrCodec, len(payload))
+	}
+	device = int(binary.BigEndian.Uint32(payload))
+	if err := json.Unmarshal(payload[4:], &rec); err != nil {
+		return 0, store.Record{}, fmt.Errorf("%w: %v", ErrCodec, err)
+	}
+	return device, rec, nil
+}
+
+// Partition splits devices 0..total-1 into shards contiguous ascending
+// slices of near-equal size (shard i gets [i·total/shards,
+// (i+1)·total/shards)). Partitioning is deterministic: the same inputs
+// always yield the same assignment, a precondition for bit-identical
+// sharded replays.
+func Partition(total, shards int) ([][]int, error) {
+	if total < 1 || shards < 1 {
+		return nil, fmt.Errorf("%w: cannot partition %d devices into %d shards", ErrProtocol, total, shards)
+	}
+	if shards > total {
+		return nil, fmt.Errorf("%w: more shards (%d) than devices (%d) — an empty shard serves nothing", ErrProtocol, shards, total)
+	}
+	out := make([][]int, shards)
+	for i := range out {
+		lo, hi := i*total/shards, (i+1)*total/shards
+		idx := make([]int, 0, hi-lo)
+		for d := lo; d < hi; d++ {
+			idx = append(idx, d)
+		}
+		out[i] = idx
+	}
+	return out, nil
+}

@@ -1,0 +1,174 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bitvec"
+	"repro/internal/store"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []struct {
+		typ     byte
+		payload []byte
+	}{
+		{frameHello, []byte(`{"protocol":1}`)},
+		{frameShutdown, nil},
+		{frameRecord, bytes.Repeat([]byte{0xa5}, 4096)},
+		{frameEnd, []byte{}},
+	}
+	var buf bytes.Buffer
+	for _, c := range cases {
+		if err := WriteFrame(&buf, c.typ, c.payload); err != nil {
+			t.Fatalf("write type %d: %v", c.typ, err)
+		}
+	}
+	for _, c := range cases {
+		typ, payload, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("read type %d: %v", c.typ, err)
+		}
+		if typ != c.typ || !bytes.Equal(payload, c.payload) {
+			t.Fatalf("round trip: got (%d, %d bytes), want (%d, %d bytes)", typ, len(payload), c.typ, len(c.payload))
+		}
+	}
+	if _, _, err := ReadFrame(&buf); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty stream: err = %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameRejectsOversize(t *testing.T) {
+	// type 1, length 0xFFFFFFFF: must refuse before allocating.
+	data := []byte{1, 0xff, 0xff, 0xff, 0xff}
+	if _, _, err := ReadFrame(bytes.NewReader(data)); !errors.Is(err, ErrCodec) {
+		t.Fatalf("oversize frame: err = %v, want ErrCodec", err)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, frameRecord, []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		if _, _, err := ReadFrame(bytes.NewReader(full[:cut])); !errors.Is(err, ErrCodec) {
+			t.Fatalf("cut at %d: err = %v, want ErrCodec", cut, err)
+		}
+	}
+}
+
+func TestRecordPayloadRoundTrip(t *testing.T) {
+	v := bitvec.New(64)
+	v.Set(3, true)
+	v.Set(63, true)
+	rec := store.Record{
+		Board: 11,
+		Layer: 1,
+		Seq:   42,
+		Cycle: 99,
+		Wall:  time.Date(2017, 5, 8, 0, 0, 7, 0, time.UTC),
+		Data:  v,
+	}
+	payload, err := EncodeRecordPayload(7, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	device, got, err := DecodeRecordPayload(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if device != 7 {
+		t.Fatalf("device = %d, want 7", device)
+	}
+	if got.Board != rec.Board || got.Layer != rec.Layer || got.Seq != rec.Seq ||
+		got.Cycle != rec.Cycle || !got.Wall.Equal(rec.Wall) || !got.Data.Equal(rec.Data) {
+		t.Fatalf("record round trip: got %+v, want %+v", got, rec)
+	}
+	if _, _, err := DecodeRecordPayload(payload[:3]); !errors.Is(err, ErrCodec) {
+		t.Fatalf("short payload: err = %v, want ErrCodec", err)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		ok   bool
+	}{
+		{"sim", Spec{Protocol: Protocol, Mode: ModeSim, Devices: 4}, true},
+		{"archive", Spec{Protocol: Protocol, Mode: ModeArchive, ArchivePath: "a.jsonl"}, true},
+		{"bad protocol", Spec{Protocol: Protocol + 1, Mode: ModeSim, Devices: 4}, false},
+		{"no devices", Spec{Protocol: Protocol, Mode: ModeRig}, false},
+		{"no path", Spec{Protocol: Protocol, Mode: ModeArchive}, false},
+		{"bad mode", Spec{Protocol: Protocol, Mode: "quantum", Devices: 4}, false},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok {
+			if err == nil {
+				t.Errorf("%s: invalid spec accepted", c.name)
+			} else if !errors.Is(err, ErrProtocol) {
+				t.Errorf("%s: err = %v, want ErrProtocol", c.name, err)
+			}
+		}
+	}
+}
+
+func TestPartition(t *testing.T) {
+	cases := []struct {
+		total, shards int
+		want          [][]int
+	}{
+		{4, 1, [][]int{{0, 1, 2, 3}}},
+		{4, 2, [][]int{{0, 1}, {2, 3}}},
+		{5, 2, [][]int{{0, 1}, {2, 3, 4}}},
+		{8, 7, [][]int{{0}, {1}, {2}, {3}, {4}, {5}, {6, 7}}},
+	}
+	for _, c := range cases {
+		got, err := Partition(c.total, c.shards)
+		if err != nil {
+			t.Fatalf("Partition(%d, %d): %v", c.total, c.shards, err)
+		}
+		// Every device appears exactly once, in ascending contiguous
+		// shards — the invariant bit-identical replays rely on.
+		seen := 0
+		for i, idx := range got {
+			for j, d := range idx {
+				if d != seen {
+					t.Fatalf("Partition(%d, %d) shard %d position %d = %d, want %d", c.total, c.shards, i, j, d, seen)
+				}
+				seen++
+			}
+		}
+		if seen != c.total {
+			t.Fatalf("Partition(%d, %d) covers %d devices", c.total, c.shards, seen)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Fatalf("Partition(%d, %d) = %v, want %v", c.total, c.shards, got, c.want)
+		}
+	}
+	for _, bad := range [][2]int{{0, 1}, {4, 0}, {3, 4}} {
+		if _, err := Partition(bad[0], bad[1]); !errors.Is(err, ErrProtocol) {
+			t.Fatalf("Partition(%d, %d): err = %v, want ErrProtocol", bad[0], bad[1], err)
+		}
+	}
+}
+
+func TestRemoteErrorMessage(t *testing.T) {
+	err := &RemoteError{Shard: 3, Code: CodeShortWindow, Message: "board 5 has 10 records"}
+	for _, want := range []string{"shard 3", CodeShortWindow, "board 5"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}

@@ -1,0 +1,348 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/store"
+	"repro/internal/stream"
+)
+
+// Transport opens the byte stream to one worker. It is called once per
+// shard with the shard index and the total shard count; Close on the
+// returned connection must terminate the worker's session (closing the
+// pipe of an in-process worker, or the stdin of a subprocess, which
+// makes its Serve loop return).
+type Transport func(shard, shards int) (io.ReadWriteCloser, error)
+
+// Coordinator partitions a device population across workers and merges
+// their measurement streams back into one. It is the process-level
+// counterpart of stream.Pool: the pool schedules goroutines inside one
+// process, the coordinator schedules worker processes.
+//
+// A Coordinator is constructed against a Spec and a Transport, performs
+// the handshake/assignment with every worker eagerly, and then serves
+// Measure and Months calls until Close. The first failure (worker
+// crash, protocol violation, sink error, cancellation) tears the whole
+// session down: every connection is closed, which unblocks every
+// in-flight reader, so no goroutine outlives the failing call.
+type Coordinator struct {
+	spec    Spec
+	shards  int
+	conns   []io.ReadWriteCloser
+	assigns [][]int
+	devices int
+
+	mu      sync.Mutex
+	workers int
+	closed  bool
+}
+
+// NewCoordinator opens one connection per shard, handshakes the spec and
+// assigns the device partition. For ModeArchive the device population is
+// discovered from the workers (the archive's board count); for
+// ModeSim/ModeRig it is the spec's device count.
+func NewCoordinator(spec Spec, shards int, transport Transport) (*Coordinator, error) {
+	if transport == nil {
+		return nil, fmt.Errorf("%w: nil transport", ErrProtocol)
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("%w: need >= 1 shard, got %d", ErrProtocol, shards)
+	}
+	spec.Protocol = Protocol
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Coordinator{spec: spec, shards: shards}
+	if err := c.start(transport); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// start opens, handshakes and assigns every worker.
+func (c *Coordinator) start(transport Transport) error {
+	c.conns = make([]io.ReadWriteCloser, 0, c.shards)
+	for i := 0; i < c.shards; i++ {
+		conn, err := transport(i, c.shards)
+		if err != nil {
+			return fmt.Errorf("%w: shard %d: transport: %v", ErrWorker, i, err)
+		}
+		c.conns = append(c.conns, conn)
+	}
+	devices := -1
+	for i, conn := range c.conns {
+		if err := writeJSON(conn, frameHello, c.spec); err != nil {
+			return fmt.Errorf("%w: shard %d: handshake: %v", ErrWorker, i, err)
+		}
+		var ack helloAck
+		if err := c.expect(i, conn, frameHelloAck, &ack); err != nil {
+			return err
+		}
+		if ack.Protocol != Protocol {
+			return fmt.Errorf("%w: shard %d speaks protocol %d, coordinator speaks %d", ErrProtocol, i, ack.Protocol, Protocol)
+		}
+		switch {
+		case devices < 0:
+			devices = ack.Devices
+		case ack.Devices != devices:
+			return fmt.Errorf("%w: shard %d sees %d devices, shard 0 sees %d — workers disagree on the population", ErrProtocol, i, ack.Devices, devices)
+		}
+	}
+	assigns, err := Partition(devices, c.shards)
+	if err != nil {
+		return err
+	}
+	for i, conn := range c.conns {
+		if err := writeJSON(conn, frameAssign, assignment{Indices: assigns[i]}); err != nil {
+			return fmt.Errorf("%w: shard %d: assign: %v", ErrWorker, i, err)
+		}
+	}
+	c.devices, c.assigns = devices, assigns
+	return nil
+}
+
+// expect reads the next frame from shard i and decodes it into v,
+// mapping error frames and transport failures to typed errors.
+func (c *Coordinator) expect(i int, conn io.Reader, want byte, v any) error {
+	typ, payload, err := ReadFrame(conn)
+	if err != nil {
+		return fmt.Errorf("%w: shard %d: %v", ErrWorker, i, err)
+	}
+	if typ == frameError {
+		var ef errorFrame
+		if derr := decodeJSON(payload, &ef); derr != nil {
+			return fmt.Errorf("%w: shard %d: undecodable error frame: %v", ErrProtocol, i, derr)
+		}
+		return &RemoteError{Shard: i, Code: ef.Code, Message: ef.Message}
+	}
+	if typ != want {
+		return fmt.Errorf("%w: shard %d: frame type %d, want %d", ErrProtocol, i, typ, want)
+	}
+	return decodeJSON(payload, v)
+}
+
+// Devices returns the total device population.
+func (c *Coordinator) Devices() int { return c.devices }
+
+// Shards returns the shard count.
+func (c *Coordinator) Shards() int { return c.shards }
+
+// Assignments returns the device partition (shard → ascending global
+// device indices). The result is shared; do not modify.
+func (c *Coordinator) Assignments() [][]int { return c.assigns }
+
+// SetWorkers sets the campaign's TOTAL sampling-parallelism budget; each
+// subsequent Measure hands every shard its slice of it (per-shard pool
+// budgeting via stream.SplitBudget). n <= 0 leaves every shard
+// unbounded, the single-process default.
+func (c *Coordinator) SetWorkers(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workers = n
+}
+
+// Measure requests one evaluation window from every shard concurrently
+// and forwards the merged record stream to sink. sink is called
+// concurrently across DISTINCT devices (each device lives in exactly one
+// shard, and each shard's frames are forwarded in order, so one device's
+// records arrive sequentially in capture order — the engine's Sink
+// contract). The first failure closes the whole session and the call
+// reports it after every forwarding goroutine has drained.
+func (c *Coordinator) Measure(ctx context.Context, month, size int, sink func(device int, rec store.Record) error) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	budget := stream.SplitBudget(c.workers, c.shards)
+	c.mu.Unlock()
+
+	// A cancelled context closes every connection: blocked readers fail
+	// fast, worker Serve loops terminate on their dead pipes.
+	watchdog := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.Close()
+		case <-watchdog:
+		}
+	}()
+	defer close(watchdog)
+
+	errs := make([]error, c.shards)
+	var wg sync.WaitGroup
+	for i, conn := range c.conns {
+		wg.Add(1)
+		go func(i int, conn io.ReadWriteCloser) {
+			defer wg.Done()
+			if err := c.measureShard(i, conn, month, size, budget[i], sink); err != nil {
+				errs[i] = err
+				c.Close() // unblock the sibling readers
+			}
+		}(i, conn)
+	}
+	wg.Wait()
+	err := errors.Join(errs...)
+	if err == nil {
+		return nil
+	}
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		// The read failures are fallout of the watchdog closing the
+		// session; surface the cancellation itself.
+		return fmt.Errorf("shard: month %d: %w", month, ctxErr)
+	}
+	return fmt.Errorf("shard: month %d: %w", month, err)
+}
+
+// measureShard runs one shard's side of a Measure: request, then forward
+// record frames until the end frame.
+func (c *Coordinator) measureShard(i int, conn io.ReadWriteCloser, month, size, workers int, sink func(device int, rec store.Record) error) error {
+	if err := writeJSON(conn, frameMeasure, measureRequest{Month: month, Size: size, Workers: workers}); err != nil {
+		return fmt.Errorf("%w: shard %d: measure request: %v", ErrWorker, i, err)
+	}
+	want := map[int]bool{}
+	for _, d := range c.assigns[i] {
+		want[d] = true
+	}
+	received := 0
+	for {
+		typ, payload, err := ReadFrame(conn)
+		if err != nil {
+			return fmt.Errorf("%w: shard %d: %v", ErrWorker, i, err)
+		}
+		switch typ {
+		case frameRecord:
+			device, rec, err := DecodeRecordPayload(payload)
+			if err != nil {
+				return fmt.Errorf("shard %d: %w", i, err)
+			}
+			if !want[device] {
+				return fmt.Errorf("%w: shard %d delivered device %d outside its assignment %v", ErrProtocol, i, device, c.assigns[i])
+			}
+			received++
+			if err := sink(device, rec); err != nil {
+				return fmt.Errorf("shard %d: %w", i, err)
+			}
+		case frameEnd:
+			var end endOfWindow
+			if err := decodeJSON(payload, &end); err != nil {
+				return fmt.Errorf("shard %d: %w", i, err)
+			}
+			if wantTotal := size * len(c.assigns[i]); end.Records != wantTotal || received != wantTotal {
+				return fmt.Errorf("%w: shard %d month %d delivered %d of %d records", ErrProtocol, i, month, received, wantTotal)
+			}
+			return nil
+		case frameError:
+			var ef errorFrame
+			if err := decodeJSON(payload, &ef); err != nil {
+				return fmt.Errorf("%w: shard %d: undecodable error frame: %v", ErrProtocol, i, err)
+			}
+			return &RemoteError{Shard: i, Code: ef.Code, Message: ef.Message}
+		default:
+			return fmt.Errorf("%w: shard %d: frame type %d during measure", ErrProtocol, i, typ)
+		}
+	}
+}
+
+// Months queries every shard for the month indices it holds complete
+// windows for and intersects them: a month is available only when every
+// shard can serve it. Bounded (archive) workers answer; unbounded
+// workers report CodeUnsupported, which this call surfaces.
+//
+// The intersection is defect-checked with the same rule the
+// single-process archive source applies per board: a month served by
+// SOME shards but not others, while a LATER month is complete
+// everywhere, means records were lost mid-archive — that is an error
+// (reported with the short-window code, so it maps onto the same typed
+// error as the single-process detection), never a silent skip. A
+// trailing partial month (collection interrupted, no complete month
+// after it) is dropped, exactly like the single-process tail rule.
+func (c *Coordinator) Months(windowSize int) ([]int, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.mu.Unlock()
+	served := map[int][]int{} // month → shard indices serving it
+	for i, conn := range c.conns {
+		if err := writeJSON(conn, frameMonthsReq, monthsRequest{WindowSize: windowSize}); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("%w: shard %d: months request: %v", ErrWorker, i, err)
+		}
+		var resp monthsResponse
+		if err := c.expect(i, conn, frameMonths, &resp); err != nil {
+			c.Close()
+			return nil, err
+		}
+		for _, m := range resp.Months {
+			served[m] = append(served[m], i)
+		}
+	}
+	var months []int
+	for m, shards := range served {
+		if len(shards) == c.shards {
+			months = append(months, m)
+		}
+	}
+	sort.Ints(months)
+	if len(months) > 0 {
+		lastComplete := months[len(months)-1]
+		union := make([]int, 0, len(served))
+		for m := range served {
+			union = append(union, m)
+		}
+		sort.Ints(union)
+		for _, m := range union {
+			haves := served[m]
+			if len(haves) == c.shards || m >= lastComplete {
+				continue
+			}
+			var missing []int
+			have := map[int]bool{}
+			for _, i := range haves {
+				have[i] = true
+			}
+			for i := 0; i < c.shards; i++ {
+				if !have[i] {
+					missing = append(missing, i)
+				}
+			}
+			return nil, &RemoteError{Shard: missing[0], Code: CodeShortWindow,
+				Message: fmt.Sprintf("month %d is complete on shard(s) %v but short on shard(s) %v while month %d is complete everywhere — records were lost mid-archive",
+					m, haves, missing, lastComplete)}
+		}
+	}
+	return months, nil
+}
+
+// Close closes every worker connection. An idle worker sees EOF at a
+// frame boundary and exits cleanly; a mid-window worker sees its writes
+// fail and winds down. No farewell frame is written — a busy worker is
+// not reading, and a write into its full pipe would block Close (and
+// the cancellation watchdog behind it) indefinitely. Idempotent and
+// safe for concurrent use; after Close every coordinator call reports
+// ErrClosed.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conns := c.conns
+	c.mu.Unlock()
+	var errs []error
+	for _, conn := range conns {
+		if err := conn.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

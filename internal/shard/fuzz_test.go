@@ -1,0 +1,114 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/bitvec"
+	"repro/internal/store"
+)
+
+// seedFrames returns valid wire encodings for the fuzz corpora: one
+// frame of every type the protocol speaks.
+func seedFrames(t interface{ Fatal(...any) }) [][]byte {
+	v := bitvec.New(32)
+	v.Set(5, true)
+	rec := store.Record{Board: 3, Seq: 9, Wall: store.Epoch.Add(time.Hour), Data: v}
+	recPayload, err := EncodeRecordPayload(3, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := [][]byte{}
+	add := func(typ byte, payload []byte) {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, typ, payload); err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, buf.Bytes())
+	}
+	add(frameHello, []byte(`{"protocol":1,"mode":"sim","devices":4,"seed":7}`))
+	add(frameHelloAck, []byte(`{"protocol":1,"devices":4}`))
+	add(frameAssign, []byte(`{"indices":[0,1]}`))
+	add(frameMeasure, []byte(`{"month":2,"size":100,"workers":3}`))
+	add(frameRecord, recPayload)
+	add(frameEnd, []byte(`{"month":2,"records":200}`))
+	add(frameError, []byte(`{"code":"short-window","message":"board 5"}`))
+	add(frameMonthsReq, []byte(`{"window_size":100}`))
+	add(frameMonths, []byte(`{"months":[0,1,2]}`))
+	add(frameShutdown, nil)
+	return frames
+}
+
+// FuzzFrameCodec decodes arbitrary bytes as a frame stream: ReadFrame
+// must never panic, and every frame it accepts must re-encode to
+// exactly the bytes it consumed (decode∘encode is the identity on the
+// accepted language). Record frames are additionally pushed through the
+// record payload decoder, which must not panic either.
+func FuzzFrameCodec(f *testing.F) {
+	for _, frame := range seedFrames(f) {
+		f.Add(frame)
+	}
+	// A two-frame stream and some degenerate inputs.
+	frames := seedFrames(f)
+	f.Add(append(append([]byte{}, frames[0]...), frames[4]...))
+	f.Add([]byte{})
+	f.Add([]byte{5, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		offset := 0
+		for {
+			typ, payload, err := ReadFrame(r)
+			if err != nil {
+				return // malformed tails are fine; panics are not
+			}
+			consumed := len(data) - r.Len()
+			var buf bytes.Buffer
+			if werr := WriteFrame(&buf, typ, payload); werr != nil {
+				t.Fatalf("accepted frame does not re-encode: %v", werr)
+			}
+			if !bytes.Equal(buf.Bytes(), data[offset:consumed]) {
+				t.Fatalf("re-encoded frame differs from consumed bytes at offset %d", offset)
+			}
+			offset = consumed
+			if typ == frameRecord {
+				// Must not panic; errors are fine (arbitrary JSON).
+				device, rec, derr := DecodeRecordPayload(payload)
+				if derr == nil {
+					reenc, rerr := EncodeRecordPayload(device, rec)
+					if rerr != nil {
+						t.Fatalf("decoded record does not re-encode: %v", rerr)
+					}
+					// Re-decoding the re-encoding must agree with the
+					// first decode (decode∘encode∘decode = decode).
+					d2, rec2, derr2 := DecodeRecordPayload(reenc)
+					if derr2 != nil || d2 != device || rec2.Board != rec.Board ||
+						rec2.Seq != rec.Seq || !rec2.Wall.Equal(rec.Wall) || !rec2.Data.Equal(rec.Data) {
+						t.Fatalf("record payload round trip diverged (err=%v)", derr2)
+					}
+				}
+			}
+		}
+	})
+}
+
+// FuzzRecordPayload decodes arbitrary bytes as a record payload — the
+// frame type a hostile or corrupt worker controls most directly.
+func FuzzRecordPayload(f *testing.F) {
+	frames := seedFrames(f)
+	f.Add(frames[4][5:]) // the record frame's payload
+	f.Add([]byte{0, 0, 0, 1})
+	f.Add([]byte(`{"board":1}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		device, rec, err := DecodeRecordPayload(data)
+		if err != nil {
+			return
+		}
+		if rec.Data == nil {
+			t.Fatal("accepted record without data")
+		}
+		if _, err := EncodeRecordPayload(device, rec); err != nil {
+			t.Fatalf("accepted record does not re-encode: %v", err)
+		}
+	})
+}

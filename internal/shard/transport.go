@@ -1,0 +1,69 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+)
+
+// ExecTransport spawns one worker subprocess per shard — the given
+// binary (cmd/shardworker) speaking the shard protocol on its
+// stdin/stdout, with stderr passed through for diagnostics. Closing the
+// connection closes the worker's stdin; its Serve loop sees the
+// shutdown (or EOF) and exits. A worker that ignores the close is
+// killed after a grace period so Close never hangs on a wedged process.
+func ExecTransport(path string, args ...string) Transport {
+	return func(shard, shards int) (io.ReadWriteCloser, error) {
+		cmd := exec.Command(path, args...)
+		cmd.Stderr = os.Stderr
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return nil, err
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			return nil, fmt.Errorf("spawning shard %d/%d worker %q: %w", shard, shards, path, err)
+		}
+		return &procConn{in: stdin, out: stdout, cmd: cmd}, nil
+	}
+}
+
+// procConn is the coordinator's end of a worker subprocess.
+type procConn struct {
+	in   io.WriteCloser // worker stdin
+	out  io.ReadCloser  // worker stdout
+	cmd  *exec.Cmd
+	once sync.Once
+	err  error
+}
+
+func (p *procConn) Read(b []byte) (int, error)  { return p.out.Read(b) }
+func (p *procConn) Write(b []byte) (int, error) { return p.in.Write(b) }
+
+// Close closes both pipe ends (an idle worker sees EOF and exits; a
+// busy worker's stdout writes start failing, which winds its session
+// down), reaps the process, and kills it if it has not exited within
+// the grace period.
+func (p *procConn) Close() error {
+	p.once.Do(func() {
+		_ = p.in.Close()
+		_ = p.out.Close()
+		done := make(chan error, 1)
+		go func() { done <- p.cmd.Wait() }()
+		select {
+		case err := <-done:
+			p.err = err
+		case <-time.After(5 * time.Second):
+			_ = p.cmd.Process.Kill()
+			p.err = fmt.Errorf("%w: worker did not exit on close, killed", ErrWorker)
+			<-done // reap
+		}
+	})
+	return p.err
+}

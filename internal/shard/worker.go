@@ -1,0 +1,182 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/store"
+)
+
+// Backend is a worker's measurement side: one shard of the device
+// population behind the protocol loop. Implementations live next to the
+// engine sources (internal/core builds sim, rig and archive backends
+// from a Spec); this package only speaks the protocol.
+type Backend interface {
+	// Devices returns the worker's view of the TOTAL device population —
+	// echoed in the handshake ack so the coordinator can cross-check all
+	// workers agree before partitioning.
+	Devices() int
+	// Assign hands the backend its shard: global device indices,
+	// ascending. Called once, before any Measure or Months.
+	Assign(indices []int) error
+	// Measure streams one evaluation window for the assigned shard:
+	// exactly size records per assigned device at the given month,
+	// delivered to emit with the GLOBAL device index. Months arrive in
+	// ascending order (stateful silicon ages monotonically). emit is
+	// safe for concurrent calls across distinct devices.
+	Measure(ctx context.Context, month, size, workers int, emit func(device int, rec store.Record) error) error
+	// Months returns the ascending month indices the assigned shard
+	// holds complete windows for (bounded sources), or an error wrapping
+	// a code the coordinator maps (unbounded sources: CodeUnsupported).
+	Months(windowSize int) ([]int, error)
+}
+
+// ServerConfig parameterises a worker's protocol loop.
+type ServerConfig struct {
+	// Build constructs the backend from the handshake spec.
+	Build func(Spec) (Backend, error)
+	// ErrorCode maps a backend error onto a wire code (Code*) so typed
+	// errors survive the process boundary. Nil maps everything to
+	// CodeInternal.
+	ErrorCode func(error) string
+}
+
+// Serve runs one worker session over rw: handshake, assignment, then
+// measure/months requests until a shutdown frame or EOF. A clean
+// shutdown (or the coordinator closing the connection at a frame
+// boundary) returns nil; protocol violations and transport failures
+// return an error. Backend failures do NOT end the session — they are
+// reported to the coordinator as error frames, which tears the session
+// down from its side.
+func Serve(ctx context.Context, rw io.ReadWriter, cfg ServerConfig) error {
+	if cfg.Build == nil {
+		return fmt.Errorf("%w: ServerConfig without a backend builder", ErrProtocol)
+	}
+	code := cfg.ErrorCode
+	if code == nil {
+		code = func(error) string { return CodeInternal }
+	}
+	var (
+		wmu     sync.Mutex // serialises frame writes (Measure emits concurrently)
+		backend Backend
+		indices []int
+	)
+	write := func(typ byte, v any) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		if v == nil {
+			return WriteFrame(rw, typ, nil)
+		}
+		return writeJSON(rw, typ, v)
+	}
+	fail := func(err error) error {
+		return write(frameError, errorFrame{Code: code(err), Message: err.Error()})
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("shard: worker: %w", err)
+		}
+		typ, payload, err := ReadFrame(rw)
+		if errors.Is(err, io.EOF) {
+			return nil // coordinator closed the session
+		}
+		if err != nil {
+			return fmt.Errorf("shard: worker: %w", err)
+		}
+		switch typ {
+		case frameHello:
+			var spec Spec
+			if err := decodeJSON(payload, &spec); err != nil {
+				return err
+			}
+			if err := spec.Validate(); err != nil {
+				if werr := fail(err); werr != nil {
+					return werr
+				}
+				return err
+			}
+			b, err := cfg.Build(spec)
+			if err != nil {
+				if werr := fail(err); werr != nil {
+					return werr
+				}
+				return err
+			}
+			backend = b
+			if err := write(frameHelloAck, helloAck{Protocol: Protocol, Devices: b.Devices()}); err != nil {
+				return err
+			}
+		case frameAssign:
+			if backend == nil {
+				return fmt.Errorf("%w: assign before hello", ErrProtocol)
+			}
+			var a assignment
+			if err := decodeJSON(payload, &a); err != nil {
+				return err
+			}
+			if err := backend.Assign(a.Indices); err != nil {
+				if werr := fail(err); werr != nil {
+					return werr
+				}
+				return err
+			}
+			indices = a.Indices
+		case frameMeasure:
+			if backend == nil || indices == nil {
+				return fmt.Errorf("%w: measure before hello/assign", ErrProtocol)
+			}
+			var req measureRequest
+			if err := decodeJSON(payload, &req); err != nil {
+				return err
+			}
+			var sent int
+			var smu sync.Mutex
+			emit := func(device int, rec store.Record) error {
+				p, err := EncodeRecordPayload(device, rec)
+				if err != nil {
+					return err
+				}
+				smu.Lock()
+				sent++
+				smu.Unlock()
+				wmu.Lock()
+				defer wmu.Unlock()
+				return WriteFrame(rw, frameRecord, p)
+			}
+			if err := backend.Measure(ctx, req.Month, req.Size, req.Workers, emit); err != nil {
+				if werr := fail(err); werr != nil {
+					return werr
+				}
+				continue // the coordinator decides whether the session ends
+			}
+			if err := write(frameEnd, endOfWindow{Month: req.Month, Records: sent}); err != nil {
+				return err
+			}
+		case frameMonthsReq:
+			if backend == nil || indices == nil {
+				return fmt.Errorf("%w: months before hello/assign", ErrProtocol)
+			}
+			var req monthsRequest
+			if err := decodeJSON(payload, &req); err != nil {
+				return err
+			}
+			months, err := backend.Months(req.WindowSize)
+			if err != nil {
+				if werr := fail(err); werr != nil {
+					return werr
+				}
+				continue
+			}
+			if err := write(frameMonths, monthsResponse{Months: months}); err != nil {
+				return err
+			}
+		case frameShutdown:
+			return nil
+		default:
+			return fmt.Errorf("%w: unexpected frame type %d from coordinator", ErrProtocol, typ)
+		}
+	}
+}

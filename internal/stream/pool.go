@@ -34,6 +34,36 @@ func NewPool(workers int) *Pool {
 // Workers returns the configured concurrency bound (0 = unbounded).
 func (p *Pool) Workers() int { return p.workers }
 
+// SplitBudget divides a total worker budget across parts — the
+// per-shard pool budgeting of a sharded campaign, where each worker
+// process runs its own Pool but the campaign's -workers bound should
+// govern the TOTAL sampling parallelism across all of them. A
+// non-positive total leaves every part unbounded (the single-process
+// default); otherwise every part gets total/parts with the remainder
+// spread over the first parts, and never less than 1 (a zero share would
+// mean "unbounded" to the receiving pool and overshoot the budget, so a
+// budget smaller than the shard count inflates to one worker per shard).
+func SplitBudget(total, parts int) []int {
+	if parts < 1 {
+		return nil
+	}
+	out := make([]int, parts)
+	if total <= 0 {
+		return out
+	}
+	base, rem := total/parts, total%parts
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+		if out[i] < 1 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
 // Run executes the jobs, at most Workers at a time (shared with any
 // concurrent Run on the same Pool), waits for all of them and returns the
 // joined errors (nil when every job succeeded).

@@ -1,0 +1,43 @@
+package stream
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSplitBudget(t *testing.T) {
+	cases := []struct {
+		total, parts int
+		want         []int
+	}{
+		// Unbounded stays unbounded on every shard.
+		{0, 3, []int{0, 0, 0}},
+		{-4, 2, []int{0, 0}},
+		// Even and uneven splits preserve the total.
+		{8, 2, []int{4, 4}},
+		{7, 3, []int{3, 2, 2}},
+		{5, 5, []int{1, 1, 1, 1, 1}},
+		// A budget below the shard count inflates to 1 per shard — a
+		// zero share would mean "unbounded" to the receiving pool.
+		{2, 4, []int{1, 1, 1, 1}},
+		{1, 1, []int{1}},
+	}
+	for _, c := range cases {
+		got := SplitBudget(c.total, c.parts)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("SplitBudget(%d, %d) = %v, want %v", c.total, c.parts, got, c.want)
+		}
+	}
+	if got := SplitBudget(4, 0); got != nil {
+		t.Errorf("SplitBudget(4, 0) = %v, want nil", got)
+	}
+}
+
+func TestPoolWorkers(t *testing.T) {
+	if got := NewPool(3).Workers(); got != 3 {
+		t.Errorf("Workers() = %d, want 3", got)
+	}
+	if got := NewPool(0).Workers(); got != 0 {
+		t.Errorf("unbounded Workers() = %d, want 0", got)
+	}
+}

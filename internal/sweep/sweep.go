@@ -23,11 +23,13 @@ package sweep
 import (
 	"context"
 	"fmt"
+	"io"
 	"sync"
 
 	"repro/internal/aging"
 	"repro/internal/bitvec"
 	"repro/internal/core"
+	"repro/internal/shard"
 	"repro/internal/silicon"
 	"repro/internal/stream"
 )
@@ -95,10 +97,20 @@ type Config struct {
 	// Workers bounds the TOTAL sampling parallelism across all concurrent
 	// points: every point's direct-sampling source shares one worker pool
 	// (<= 0: one goroutine per device per in-flight point, the
-	// single-assessment default).
+	// single-assessment default). With Shards the budget is PER CORNER —
+	// each corner's worker processes split it among themselves, but
+	// corners do not share a pool across process boundaries.
 	Workers int
 	// Concurrency bounds how many grid points run at once (<= 0: all).
 	Concurrency int
+
+	// Shards fans every grid point's source across that many worker
+	// processes (ShardedSource); 0 runs each point in-process. The
+	// per-point Results stay bit-identical either way.
+	Shards int
+	// ShardTransport reaches the shard workers (nil: in-process
+	// goroutines). Only read when Shards > 0.
+	ShardTransport shard.Transport
 
 	// NewSource, when non-nil, overrides the built-in source construction
 	// — e.g. replaying one recorded archive per corner. The sweep does
@@ -171,7 +183,24 @@ func RunPoints(ctx context.Context, cfg Config, points []aging.Scenario) (*Resul
 		}
 	}
 	newSource := cfg.NewSource
-	if newSource == nil {
+	switch {
+	case newSource != nil:
+	case cfg.Shards > 0:
+		newSource = func(sc aging.Scenario) (core.Source, error) {
+			var src *core.ShardedSource
+			var err error
+			if cfg.UseRig {
+				src, err = core.NewShardedRigSourceAt(cfg.Profile, cfg.Devices, cfg.Seed, cfg.I2CErrorRate, sc, cfg.Shards, cfg.ShardTransport)
+			} else {
+				src, err = core.NewShardedSimSourceAt(cfg.Profile, cfg.Devices, cfg.Seed, sc, cfg.Shards, cfg.ShardTransport)
+			}
+			if err != nil {
+				return nil, err
+			}
+			src.SetWorkers(cfg.Workers)
+			return src, nil
+		}
+	default:
 		pool := stream.NewPool(cfg.Workers)
 		newSource = func(sc aging.Scenario) (core.Source, error) {
 			if cfg.UseRig {
@@ -228,6 +257,11 @@ func RunPoints(ctx context.Context, cfg Config, points []aging.Scenario) (*Resul
 			if err != nil {
 				fail(sc, err)
 				return
+			}
+			// Sharded (and other connection-holding) sources own worker
+			// processes; release them when the point winds down.
+			if closer, ok := src.(io.Closer); ok {
+				defer closer.Close()
 			}
 			store := &maskStore{devices: src.Devices(), byMonth: map[int][]*bitvec.Vector{}}
 			masks[i] = store

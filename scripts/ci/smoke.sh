@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# End-to-end CLI smoke: a SHARDED multi-process campaign must produce
+# byte-identical evaluation tables to the direct single-process run, and
+# the archive it streams must replay to the same table through
+# cmd/evaluate (plain and sharded replay). This drives the bit-identity
+# guarantee through the real binaries — subprocess workers, pipes and
+# all — instead of only through unit tests.
+set -euo pipefail
+
+cd "$(dirname "$0")/../.."
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+DEVICES=4 MONTHS=3 WINDOW=60
+
+echo "== building CLIs"
+go build -o "$workdir/agingtest" ./cmd/agingtest
+go build -o "$workdir/shardworker" ./cmd/shardworker
+go build -o "$workdir/evaluate" ./cmd/evaluate
+
+# extract_table prints the Table I block of a run's output.
+extract_table() {
+    grep -A 12 'EVALUATION RESULT OF SRAM PUF QUALITIES' "$1"
+}
+
+echo "== direct single-process run (rig path)"
+"$workdir/agingtest" -devices $DEVICES -months $MONTHS -window $WINDOW \
+    -harness > "$workdir/direct.txt"
+extract_table "$workdir/direct.txt" > "$workdir/direct.table"
+
+echo "== sharded run: 2 shardworker subprocesses, archive streamed"
+"$workdir/agingtest" -devices $DEVICES -months $MONTHS -window $WINDOW \
+    -shards 2 -shardworker "$workdir/shardworker" \
+    -archive "$workdir/campaign.jsonl" > "$workdir/sharded.txt"
+extract_table "$workdir/sharded.txt" > "$workdir/sharded.table"
+
+echo "== comparing sharded table to the direct run"
+diff -u "$workdir/direct.table" "$workdir/sharded.table"
+
+echo "== archive sanity: records per board"
+lines=$(wc -l < "$workdir/campaign.jsonl")
+want=$((DEVICES * (MONTHS + 1) * WINDOW))
+if [ "$lines" -ne "$want" ]; then
+    echo "archive has $lines records, want $want" >&2
+    exit 1
+fi
+
+echo "== replaying the sharded archive through evaluate"
+"$workdir/evaluate" -archive "$workdir/campaign.jsonl" -window $WINDOW \
+    > "$workdir/replay.txt"
+extract_table "$workdir/replay.txt" > "$workdir/replay.table"
+diff -u "$workdir/direct.table" "$workdir/replay.table"
+
+echo "== sharded replay (2 shardworker subprocesses) of the same archive"
+"$workdir/evaluate" -archive "$workdir/campaign.jsonl" -window $WINDOW \
+    -shards 2 -shardworker "$workdir/shardworker" > "$workdir/replay-sharded.txt"
+extract_table "$workdir/replay-sharded.txt" > "$workdir/replay-sharded.table"
+diff -u "$workdir/direct.table" "$workdir/replay-sharded.table"
+
+echo "== smoke OK: sharded run, plain replay and sharded replay are byte-identical to the direct run"

@@ -24,7 +24,11 @@
 //     one assessment per temperature/voltage point over the same chips —
 //     executed by RunSweep with cross-condition comparison series
 //     (worst-corner WCHD/FHW, stable-cell intersection, temperature
-//     sensitivity); see examples/tempsweep and cmd/sweep.
+//     sensitivity); see examples/tempsweep and cmd/sweep. With
+//     WithShards(n) the campaign fans out across n worker processes
+//     (cmd/shardworker over ExecShardTransport, or in-process pipes) and
+//     the merged Results are bit-identical to the single-process run;
+//     see DESIGN.md §4.
 //
 // A reduced campaign:
 //

@@ -170,20 +170,25 @@ func (a *Assessment) RunSweep(ctx context.Context) (*SweepResults, error) {
 	if a.useRig && a.devices%2 != 0 {
 		return nil, fmt.Errorf("%w: rig needs an even device count >= 2 (two layers), got %d", ErrConfig, a.devices)
 	}
+	if a.shards > a.devices {
+		return nil, fmt.Errorf("%w: more shards (%d) than devices (%d)", ErrConfig, a.shards, a.devices)
+	}
 	a.ran = true
 	return sweep.RunPoints(ctx, sweep.Config{
-		Profile:      profile,
-		Devices:      a.devices,
-		Seed:         a.seed,
-		UseRig:       a.useRig,
-		I2CErrorRate: a.i2cErr,
-		WindowSize:   a.window,
-		Months:       months,
-		Workers:      a.workers,
-		Concurrency:  a.pointParallel,
-		Metrics:      a.metrics,
-		CrossMetrics: a.crossMetrics,
-		Progress:     a.sweepProgress,
+		Profile:        profile,
+		Devices:        a.devices,
+		Seed:           a.seed,
+		UseRig:         a.useRig,
+		I2CErrorRate:   a.i2cErr,
+		WindowSize:     a.window,
+		Months:         months,
+		Workers:        a.workers,
+		Concurrency:    a.pointParallel,
+		Shards:         a.shards,
+		ShardTransport: a.shardTransport,
+		Metrics:        a.metrics,
+		CrossMetrics:   a.crossMetrics,
+		Progress:       a.sweepProgress,
 	}, a.conditions)
 }
 
