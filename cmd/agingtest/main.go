@@ -11,9 +11,12 @@
 //
 // With -harness the campaign runs through the full rig simulation
 // (masters, power switch, I2C); with -archive FILE it additionally
-// streams every measurement record to a JSON-lines archive as it is
-// captured — the format cmd/evaluate replays — while the same pass
-// evaluates the campaign. -workers bounds evaluation parallelism.
+// streams every measurement record to an archive as it is captured —
+// the format cmd/evaluate replays — while the same pass evaluates the
+// campaign. The archive format follows the extension: `.bin` streams
+// the binary record codec (half the bytes, no per-record JSON churn),
+// anything else streams JSON lines. -workers bounds evaluation
+// parallelism.
 //
 // With -shards N the device population is partitioned across N shard
 // workers (subprocesses running the -shardworker binary, or in-process
@@ -52,7 +55,7 @@ func run() error {
 	shards := flag.Int("shards", 0, "fan the campaign across N shard workers (0: single process)")
 	shardWorker := flag.String("shardworker", "", "shardworker binary for -shards (default: in-process workers)")
 	csvDir := flag.String("csv", "", "directory for Fig. 6 series CSV export")
-	archive := flag.String("archive", "", "stream a JSON-lines measurement archive (forces -harness)")
+	archive := flag.String("archive", "", "stream a measurement archive (forces -harness); a .bin path streams the binary codec, anything else JSON lines")
 	flag.Parse()
 
 	profile, err := sramaging.ATmega32u4()
@@ -71,7 +74,7 @@ func run() error {
 		transport = sramaging.ExecShardTransport(*shardWorker)
 	}
 
-	var jw *store.JSONLWriter
+	var jw store.RecordWriter
 	var archiveFile *os.File
 	var archived int
 	// rig is the record-tappable source of the -archive collection path:
@@ -141,7 +144,7 @@ func run() error {
 		}
 		defer f.Close()
 		archiveFile = f
-		jw = store.NewJSONLWriter(f)
+		jw = store.NewWriterForPath(*archive, f)
 		rig.SetTap(func(rec sramaging.Record) error {
 			archived++
 			return jw.Write(rec)

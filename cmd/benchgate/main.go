@@ -9,7 +9,9 @@
 //
 // Gate a manifest against the committed baseline, failing (exit 1) when
 // any shared benchmark's ns/op regressed by more than -max-regress
-// (default 0.15 = +15%):
+// (default 0.15 = +15%) or its allocs/op regressed by more than
+// -max-alloc-regress (default 0.15, plus half-an-alloc slack so an
+// alloc-free baseline stays gated without flapping on rounding):
 //
 //	benchgate -current BENCH.json -baseline BENCH_baseline.json
 //
@@ -19,6 +21,14 @@
 // machine speed cancels out, which is what lets a baseline committed
 // from one machine gate runs on another (CI runners are not the
 // machine that seeded the baseline, and raw ns/op would flap).
+// Allocation counts are deterministic per machine class and are gated
+// raw, never calibrated.
+//
+// Calibration only cancels machine speed within one workload class, so
+// benchmarks of a different class than the reference (microbenchmarks,
+// parse/IO-bound replays) are listed in -time-exempt: their timings are
+// reported for the log and the artifact, but only their allocs/op
+// gates.
 //
 // Benchmarks present on only one side are reported but never fail the
 // gate (new benchmarks must be able to land, retired ones to leave);
@@ -42,8 +52,8 @@ import (
 type Result struct {
 	// NsPerOp is the median ns/op across the run's -count repetitions.
 	NsPerOp float64 `json:"ns_per_op"`
-	// BytesPerOp / AllocsPerOp are medians of -benchmem columns
-	// (informational; the gate fails on time only).
+	// BytesPerOp / AllocsPerOp are medians of -benchmem columns.
+	// AllocsPerOp is gated alongside ns/op; BytesPerOp is informational.
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 	// Samples is how many repetitions were folded in.
@@ -58,17 +68,21 @@ type Manifest struct {
 // benchLine matches `go test -bench -benchmem` result lines, e.g.
 //
 //	BenchmarkShardCampaign4-8   62  18934117 ns/op  5124880 B/op  40164 allocs/op
+//	BenchmarkArchiveReplayBinary-8  1251  1099087 ns/op  385.78 MB/s  588904 B/op  1229 allocs/op
 //
 // The -8 GOMAXPROCS suffix is stripped so manifests compare across
-// machines with different core counts.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// machines with different core counts; a throughput column (benchmarks
+// that call b.SetBytes) is tolerated and ignored.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+[\d.]+ MB/s)?(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
 	emit := flag.String("emit", "", "parse a bench run from stdin and write the manifest to this path")
 	current := flag.String("current", "", "manifest to gate (with -baseline)")
 	baseline := flag.String("baseline", "", "committed baseline manifest")
 	maxRegress := flag.Float64("max-regress", 0.15, "maximum tolerated relative ns/op regression")
+	maxAllocRegress := flag.Float64("max-alloc-regress", 0.15, "maximum tolerated relative allocs/op regression (half-an-alloc absolute slack)")
 	calibrate := flag.String("calibrate", "", "normalise both manifests by this benchmark's ns/op before gating (machine-neutral)")
+	timeExempt := flag.String("time-exempt", "", "regexp of benchmarks whose ns/op is reported but not gated (allocs/op still gates); for workloads whose class differs from the calibration reference")
 	flag.Parse()
 
 	var err error
@@ -76,7 +90,7 @@ func main() {
 	case *emit != "":
 		err = runEmit(os.Stdin, *emit)
 	case *current != "" && *baseline != "":
-		err = runGate(*current, *baseline, *maxRegress, *calibrate)
+		err = runGate(*current, *baseline, *maxRegress, *maxAllocRegress, *calibrate, *timeExempt)
 	default:
 		flag.Usage()
 		err = fmt.Errorf("need -emit, or -current with -baseline")
@@ -148,11 +162,21 @@ func median(runs []Result, value func(Result) float64) float64 {
 	return (vals[mid-1] + vals[mid]) / 2
 }
 
-// runGate compares two manifests and fails on time regressions. A
-// non-empty calibrate benchmark rescales each manifest by its own
-// reference timing first, so the comparison survives a machine change
-// between the baseline run and the gated run.
-func runGate(currentPath, baselinePath string, maxRegress float64, calibrate string) error {
+// runGate compares two manifests and fails on time or allocation
+// regressions. A non-empty calibrate benchmark rescales each manifest's
+// timings by its own reference first, so the time comparison survives a
+// machine change between the baseline run and the gated run; allocation
+// counts are compared raw (they are machine-neutral by nature). An
+// alloc gate with a zero-alloc baseline fails on any whole alloc
+// appearing — exactly the hot-path regression the alloc sweep exists to
+// prevent.
+//
+// Calibration cancels machine speed only within one workload class:
+// dividing a memory-bandwidth-bound microbenchmark by a CPU-bound
+// campaign benchmark can shift >15% across runner generations with no
+// real regression. Benchmarks matching timeExempt therefore report
+// their timing but gate only on allocations.
+func runGate(currentPath, baselinePath string, maxRegress, maxAllocRegress float64, calibrate, timeExempt string) error {
 	cur, err := readManifest(currentPath)
 	if err != nil {
 		return err
@@ -170,6 +194,13 @@ func runGate(currentPath, baselinePath string, maxRegress float64, calibrate str
 		}
 		fmt.Printf("timings normalised by %s (machine-neutral ratios, not ns)\n", calibrate)
 	}
+	var exempt *regexp.Regexp
+	if timeExempt != "" {
+		var err error
+		if exempt, err = regexp.Compile(timeExempt); err != nil {
+			return fmt.Errorf("-time-exempt: %w", err)
+		}
+	}
 	names := make([]string, 0, len(cur.Benchmarks))
 	for name := range cur.Benchmarks {
 		names = append(names, name)
@@ -185,12 +216,26 @@ func runGate(currentPath, baselinePath string, maxRegress float64, calibrate str
 		}
 		change := (c.NsPerOp - b.NsPerOp) / b.NsPerOp
 		status := "OK    "
-		if change > maxRegress {
+		switch {
+		case exempt != nil && exempt.MatchString(name):
+			status = "EXEMPT"
+		case change > maxRegress:
 			status = "REGRES"
 			failures++
 		}
 		fmt.Printf("%s %-44s %14.5g vs %14.5g baseline (%+6.1f%%)\n",
 			status, name, c.NsPerOp, b.NsPerOp, 100*change)
+		// Allocation gate: relative threshold plus half-an-alloc slack,
+		// so a 0-alloc baseline fails on any whole alloc appearing while
+		// a populous baseline tolerates median jitter within the ratio.
+		if c.AllocsPerOp > b.AllocsPerOp*(1+maxAllocRegress)+0.5 {
+			failures++
+			fmt.Printf("REGRES %-44s %11.5g allocs/op vs %8.5g baseline\n",
+				name, c.AllocsPerOp, b.AllocsPerOp)
+		} else if b.AllocsPerOp > 0 || c.AllocsPerOp > 0 {
+			fmt.Printf("       %-44s %11.5g allocs/op vs %8.5g baseline\n",
+				name, c.AllocsPerOp, b.AllocsPerOp)
+		}
 	}
 	for name, b := range base.Benchmarks {
 		if _, ok := cur.Benchmarks[name]; !ok {
@@ -198,7 +243,7 @@ func runGate(currentPath, baselinePath string, maxRegress float64, calibrate str
 		}
 	}
 	if failures > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%", failures, 100*maxRegress)
+		return fmt.Errorf("%d benchmark gate(s) regressed more than %.0f%% ns/op or %.0f%% allocs/op", failures, 100*maxRegress, 100*maxAllocRegress)
 	}
 	return nil
 }

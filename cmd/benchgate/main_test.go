@@ -15,6 +15,7 @@ BenchmarkShardCampaign1-8   	      62	  18934117 ns/op	 5124880 B/op	   40164 al
 BenchmarkShardCampaign1-8   	      64	  18000000 ns/op	 5124000 B/op	   40100 allocs/op
 BenchmarkShardCampaign1-8   	      60	  20000000 ns/op	 5125000 B/op	   40200 allocs/op
 BenchmarkDeviceWindowStreaming1000   	     100	  10000000 ns/op
+BenchmarkArchiveReplayBinary-8   	    1251	   1099087 ns/op	 385.78 MB/s	  588904 B/op	    1229 allocs/op
 PASS
 ok  	repro/internal/core	10.1s
 `
@@ -41,6 +42,11 @@ func TestEmitParsesAndCollapsesToMedian(t *testing.T) {
 	if s, ok := m.Benchmarks["BenchmarkDeviceWindowStreaming1000"]; !ok || s.NsPerOp != 1e7 {
 		t.Fatalf("unsuffixed benchmark parsed wrong: %+v ok=%v", s, ok)
 	}
+	// A throughput column (b.SetBytes) must not eat the -benchmem
+	// columns behind it.
+	if s, ok := m.Benchmarks["BenchmarkArchiveReplayBinary"]; !ok || s.BytesPerOp != 588904 || s.AllocsPerOp != 1229 {
+		t.Fatalf("MB/s-bearing benchmark parsed wrong: %+v ok=%v", s, ok)
+	}
 	if err := runEmit(strings.NewReader("PASS\n"), cur); err == nil {
 		t.Fatal("emit accepted output with no benchmark lines")
 	}
@@ -66,21 +72,87 @@ func TestGateRegressionThreshold(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if err := runGate(base, base, 0.15, ""); err != nil {
+	if err := runGate(base, base, 0.15, 0.15, "", ""); err != nil {
 		t.Fatalf("self-gate failed: %v", err)
 	}
-	if err := runGate(slow, base, 0.15, ""); err == nil {
+	if err := runGate(slow, base, 0.15, 0.15, "", ""); err == nil {
 		t.Fatal("16% regression passed the gate")
 	}
-	if err := runGate(fine, base, 0.15, ""); err != nil {
+	if err := runGate(fine, base, 0.15, 0.15, "", ""); err != nil {
 		t.Fatalf("14%% regression failed the gate: %v", err)
 	}
-	if err := runGate(fast, base, 0.15, ""); err != nil {
+	if err := runGate(fast, base, 0.15, 0.15, "", ""); err != nil {
 		t.Fatalf("improvement failed the gate: %v", err)
 	}
 	// Benchmarks present on only one side never fail the gate.
-	if err := runGate(other, base, 0.15, ""); err != nil {
+	if err := runGate(other, base, 0.15, 0.15, "", ""); err != nil {
 		t.Fatalf("disjoint manifests failed the gate: %v", err)
+	}
+}
+
+func TestGateAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, allocs float64) string {
+		path := filepath.Join(dir, name)
+		data := fmt.Sprintf(`{"benchmarks":{"BenchmarkStream":{"ns_per_op":1000,"allocs_per_op":%g,"samples":1}}}`, allocs)
+		if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	zero := write("zero.json", 0)
+	one := write("one.json", 1)
+	twelve := write("twelve.json", 12)
+	fourteen := write("fourteen.json", 14)
+	fifteen := write("fifteen.json", 15)
+
+	// Time is identical everywhere; only the alloc gate can fire.
+	if err := runGate(zero, zero, 0.15, 0.15, "", ""); err != nil {
+		t.Fatalf("zero-alloc self-gate failed: %v", err)
+	}
+	if err := runGate(one, zero, 0.15, 0.15, "", ""); err == nil {
+		t.Fatal("a whole alloc appearing on a 0-alloc baseline passed the gate")
+	}
+	if err := runGate(fourteen, twelve, 0.15, 0.15, "", ""); err != nil {
+		t.Fatalf("12 -> 14 allocs (within 15%% + slack) failed the gate: %v", err)
+	}
+	if err := runGate(fifteen, twelve, 0.15, 0.15, "", ""); err == nil {
+		t.Fatal("12 -> 15 allocs passed the gate")
+	}
+	if err := runGate(zero, twelve, 0.15, 0.15, "", ""); err != nil {
+		t.Fatalf("alloc improvement failed the gate: %v", err)
+	}
+}
+
+func TestGateTimeExemption(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, ns, allocs float64) string {
+		path := filepath.Join(dir, name)
+		data := fmt.Sprintf(`{"benchmarks":{"BenchmarkBinaryRecordCodec":{"ns_per_op":%g,"allocs_per_op":%g,"samples":1}}}`, ns, allocs)
+		if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.json", 500, 0)
+	slower := write("slower.json", 900, 0)     // +80% ns, still 0 allocs
+	allocing := write("allocing.json", 500, 2) // same ns, allocs appeared
+
+	// A time-exempt benchmark's ns/op never fails the gate...
+	if err := runGate(slower, base, 0.15, 0.15, "", "BinaryRecordCodec"); err != nil {
+		t.Fatalf("exempted ns/op regression failed the gate: %v", err)
+	}
+	// ...but without the exemption it does...
+	if err := runGate(slower, base, 0.15, 0.15, "", ""); err == nil {
+		t.Fatal("unexempted 80% regression passed the gate")
+	}
+	// ...and the alloc gate still fires on exempted benchmarks.
+	if err := runGate(allocing, base, 0.15, 0.15, "", "BinaryRecordCodec"); err == nil {
+		t.Fatal("allocs appearing on a time-exempt benchmark passed the gate")
+	}
+	// A malformed exemption pattern is an error, not a silent no-gate.
+	if err := runGate(base, base, 0.15, 0.15, "", "("); err == nil {
+		t.Fatal("invalid -time-exempt regexp accepted")
 	}
 }
 
@@ -100,19 +172,19 @@ func TestGateCalibration(t *testing.T) {
 	// A uniformly 3x slower machine: raw gating would flag +200%, the
 	// calibrated gate sees the unchanged 1.5 ratio.
 	slowMachine := write("slowmachine.json", 30000, 45000)
-	if err := runGate(slowMachine, base, 0.15, "BenchmarkShardCampaignDirect"); err != nil {
+	if err := runGate(slowMachine, base, 0.15, 0.15, "BenchmarkShardCampaignDirect", ""); err != nil {
 		t.Fatalf("calibrated gate failed on a uniformly slower machine: %v", err)
 	}
-	if err := runGate(slowMachine, base, 0.15, ""); err == nil {
+	if err := runGate(slowMachine, base, 0.15, 0.15, "", ""); err == nil {
 		t.Fatal("raw gate unexpectedly passed a 3x slower run (calibration test is vacuous)")
 	}
 	// A genuine protocol regression: same machine speed, ratio 1.5 → 1.8.
 	regressed := write("regressed.json", 10000, 18000)
-	if err := runGate(regressed, base, 0.15, "BenchmarkShardCampaignDirect"); err == nil {
+	if err := runGate(regressed, base, 0.15, 0.15, "BenchmarkShardCampaignDirect", ""); err == nil {
 		t.Fatal("calibrated gate missed a 20% overhead-ratio regression")
 	}
 	// The calibration benchmark must exist on both sides.
-	if err := runGate(base, base, 0.15, "BenchmarkNoSuch"); err == nil {
+	if err := runGate(base, base, 0.15, 0.15, "BenchmarkNoSuch", ""); err == nil {
 		t.Fatal("gate accepted a missing calibration benchmark")
 	}
 }

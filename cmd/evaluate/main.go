@@ -1,9 +1,11 @@
 // Command evaluate replays the paper's offline analysis: it reads a
-// JSON-lines measurement archive (as produced by agingtest -archive, or
-// by a real Raspberry-Pi-backed rig using the same schema) and runs the
-// exact same Assessment the live campaign runs — archive replay is a
+// measurement archive (as produced by agingtest -archive, or by a real
+// Raspberry-Pi-backed rig using the same schema) and runs the exact
+// same Assessment the live campaign runs — archive replay is a
 // first-class Source, so the monthly window selection, the streaming
-// accumulators and the Table I assembly are one code path.
+// accumulators and the Table I assembly are one code path. Both archive
+// formats — JSON lines and the binary codec — are detected by their
+// leading bytes; replaying either yields bit-identical tables.
 package main
 
 import (
@@ -23,7 +25,7 @@ func main() {
 }
 
 func run() error {
-	path := flag.String("archive", "", "JSON-lines measurement archive (required)")
+	path := flag.String("archive", "", "measurement archive, JSONL or binary (required)")
 	window := flag.Int("window", 200, "measurements per monthly evaluation window")
 	shards := flag.Int("shards", 0, "fan the replay across N shard workers (0: single process)")
 	shardWorker := flag.String("shardworker", "", "shardworker binary for -shards (default: in-process workers)")

@@ -1,8 +1,10 @@
 // Command shardworker serves one shard of a sharded assessment
 // campaign. It is not run by hand: a coordinator (agingtest -shards,
 // sweep -shards, or any ShardedSource with an exec transport) spawns one
-// worker per shard and speaks the length-prefixed shard protocol on the
-// worker's stdin/stdout. The handshake carries the full configuration —
+// worker per shard and speaks the length-prefixed shard protocol
+// (version-gated in the handshake; measurements travel as batched
+// binary record frames) on the worker's stdin/stdout. The handshake
+// carries the full configuration —
 // mode (sim, rig or archive replay), device profile, campaign seed,
 // environmental scenario, shard assignment — so the command takes no
 // flags; diagnostics go to stderr.

@@ -68,6 +68,36 @@ func FromBytes(data []byte, n int) (*Vector, error) {
 	return v, nil
 }
 
+// FromWords builds a Vector of n bits from its packed 64-bit word
+// representation (bit i is bit i%64 of words[i/64]) — the storage layout
+// Words exposes, and the payload layout of the binary record codec. It
+// returns an error if the word count does not match n or if padding bits
+// beyond n are non-zero.
+func FromWords(words []uint64, n int) (*Vector, error) {
+	v := New(n)
+	if err := v.LoadWords(words); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// LoadWords overwrites v's contents from a packed word slice without
+// allocating — the decode-into-scratch path of the binary record codec.
+// It returns an error if the word count does not match v's length or if
+// padding bits beyond the length are non-zero (corrupt input must never
+// violate the tail invariant the Hamming kernels rely on).
+func (v *Vector) LoadWords(words []uint64) error {
+	if len(words) != len(v.words) {
+		return fmt.Errorf("bitvec: need %d words for %d bits, got %d", len(v.words), v.n, len(words))
+	}
+	copy(v.words, words)
+	if v.tailDirty() {
+		v.clearTail()
+		return errors.New("bitvec: non-zero padding bits beyond length")
+	}
+	return nil
+}
+
 // ParseHex decodes a Vector of n bits from the hex encoding produced by Hex.
 func ParseHex(s string, n int) (*Vector, error) {
 	data, err := hex.DecodeString(s)

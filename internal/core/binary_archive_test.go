@@ -1,0 +1,101 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/silicon"
+	"repro/internal/store"
+)
+
+// TestBinaryArchiveReplayBitIdentical: one campaign, collected through
+// the rig tap, archived in BOTH formats — JSONL and binary — must
+// replay to bit-identical Results through every replay surface: the
+// single-process ArchiveSource (auto-detecting either format) and the
+// sharded archive source at shard counts 1, 2 and 7. This is the
+// format-equivalence oracle of DESIGN.md §5: the codec changes the
+// bytes on disk and on the wire, never a bit of the assessment.
+func TestBinaryArchiveReplayBitIdentical(t *testing.T) {
+	profile, err := silicon.ATmega32u4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const devices, seed, window = 8, 13, 20
+
+	rig, err := NewRigSource(profile, devices, seed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tap := store.NewArchive()
+	rig.SetTap(tap.Append)
+	live := runAssessment(t, rig, window, shardTestMonths)
+
+	dir := t.TempDir()
+	jsonlPath := filepath.Join(dir, "campaign.jsonl")
+	binPath := filepath.Join(dir, "campaign.bin")
+	writeWith := func(path string, write func(*store.Archive, *os.File) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := write(tap, f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeWith(jsonlPath, func(a *store.Archive, f *os.File) error { return a.WriteArchiveJSONL(f) })
+	writeWith(binPath, func(a *store.Archive, f *os.File) error { return a.WriteArchiveBinary(f) })
+
+	jsonlInfo, err := os.Stat(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binInfo, err := os.Stat(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binInfo.Size()*2 > jsonlInfo.Size() {
+		t.Fatalf("binary archive is %d bytes, JSONL %d — want at least a 2x reduction", binInfo.Size(), jsonlInfo.Size())
+	}
+
+	replay := func(path string) *Results {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		a, err := store.ReadArchive(f)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		src, err := NewArchiveSource(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return runAssessment(t, src, window, shardTestMonths)
+	}
+	assertResultsBitIdentical(t, live, replay(jsonlPath))
+	assertResultsBitIdentical(t, live, replay(binPath))
+
+	for _, shards := range []int{1, 2, 7} {
+		src, err := NewShardedArchiveSource(binPath, shards, nil)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		months, err := src.AvailableMonths(window)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if len(months) != len(shardTestMonths) {
+			t.Fatalf("shards=%d: discovered months %v, want %v", shards, months, shardTestMonths)
+		}
+		got := runAssessment(t, src, window, months)
+		if err := src.Close(); err != nil {
+			t.Fatalf("shards=%d: close: %v", shards, err)
+		}
+		assertResultsBitIdentical(t, live, got)
+	}
+}

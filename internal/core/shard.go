@@ -104,7 +104,7 @@ func buildShardBackend(spec shard.Spec) (shard.Backend, error) {
 			return nil, fmt.Errorf("%w: shard archive: %v", ErrConfig, err)
 		}
 		defer f.Close()
-		archive, err := store.ReadJSONL(f)
+		archive, err := store.ReadArchive(f)
 		if err != nil {
 			return nil, fmt.Errorf("%w: shard archive %s: %v", ErrConfig, spec.ArchivePath, err)
 		}
@@ -450,7 +450,11 @@ func (s *ShardedSource) SetWorkers(n int) { s.co.SetWorkers(n) }
 // sharded counterpart of (*RigSource).SetTap, used by cmd/agingtest
 // -shards -archive. Shards forward concurrently, so the tap is
 // serialised here; per-board record order is preserved (each board
-// lives in exactly one shard).
+// lives in exactly one shard). The record's payload storage is reused
+// between a board's deliveries (the wire decoder's per-device scratch —
+// the same reuse rule as the engine Sink), so a tap that retains a
+// record must Clone its Data; streaming writers (store.RecordWriter)
+// encode in place and need no copy.
 func (s *ShardedSource) SetTap(tap func(store.Record) error) { s.tap = tap }
 
 // Measure fans the window request out to every shard and forwards the
@@ -486,7 +490,8 @@ type ShardedArchiveSource struct {
 	*ShardedSource
 }
 
-// NewShardedArchiveSource shards replay of the JSONL archive at path.
+// NewShardedArchiveSource shards replay of the measurement archive at
+// path (JSONL or binary, auto-detected by the magic).
 // Every worker must be able to read the path (workers on the same host,
 // or a shared filesystem); the workers' board discovery is cross-checked
 // during the handshake.

@@ -118,6 +118,9 @@ func TestShardedRigBitIdentical(t *testing.T) {
 	sharded.SetTap(func(rec store.Record) error {
 		mu.Lock()
 		defer mu.Unlock()
+		// The tap's record payload aliases the wire decoder's per-device
+		// scratch; retaining it in an archive requires a clone.
+		rec.Data = rec.Data.Clone()
 		return shardTap.Append(rec)
 	})
 	got := runAssessment(t, sharded, window, shardTestMonths)

@@ -17,10 +17,14 @@
 //
 //	frame := type(1 byte) | length(uint32 BE) | payload(length bytes)
 //
-// Control payloads are JSON; measurement payloads are a 4-byte global
-// device index followed by one store.Record in the archive's JSON
-// encoding — the same schema the Raspberry Pi database and the JSONL
-// archives use, so record taps and archive replay reuse one definition.
+// Control payloads are JSON; measurement payloads are BATCHES of binary
+// records — each entry a 4-byte little-endian global device index
+// followed by one store.Record in the store package's binary encoding
+// (fixed header + raw bitvec words), many records per frame. The binary
+// codec is the same one the `.bin` archives use, so wire transport and
+// archive storage share one record definition; protocol v1 carried one
+// JSON record per frame, which cost one marshal/unmarshal and a hex
+// round trip per measurement (see DESIGN.md §5).
 //
 // Session flow (coordinator → worker unless noted):
 //
@@ -28,7 +32,8 @@
 //	← helloAck{Devices}    worker's total device view (archive: board count)
 //	assign{Indices}        the shard's global device indices
 //	measure{Month,Size,Workers}   one evaluation window request
-//	← record*              Size × len(Indices) measurement frames
+//	← recordBatch*         binary record batches, Size × len(Indices)
+//	                       records in total
 //	← end{Month,Records}   window complete
 //	← error{Code,Message}  instead of end: typed failure
 //	monthsReq{WindowSize}  (archive mode) month discovery
@@ -47,34 +52,45 @@ import (
 	"io"
 
 	"repro/internal/aging"
+	"repro/internal/bitvec"
 	"repro/internal/silicon"
 	"repro/internal/store"
 )
 
 // Protocol is the wire protocol version carried in the handshake; a
 // worker refuses a mismatch so a stale shardworker binary fails loudly
-// instead of mis-decoding frames.
-const Protocol = 1
+// instead of mis-decoding frames. Version 2 replaced the per-record JSON
+// measurement frames of version 1 with batched binary record payloads.
+const Protocol = 2
 
-// Frame types.
+// Frame types. Type 5 was protocol v1's per-record JSON frame and is
+// retired, not recycled.
 const (
-	frameHello     byte = 1  // coordinator → worker: Spec
-	frameHelloAck  byte = 2  // worker → coordinator: helloAck
-	frameAssign    byte = 3  // coordinator → worker: assignment
-	frameMeasure   byte = 4  // coordinator → worker: measureRequest
-	frameRecord    byte = 5  // worker → coordinator: device index + record
-	frameEnd       byte = 6  // worker → coordinator: endOfWindow
-	frameError     byte = 7  // worker → coordinator: errorFrame
-	frameMonthsReq byte = 8  // coordinator → worker: monthsRequest
-	frameMonths    byte = 9  // worker → coordinator: monthsResponse
-	frameShutdown  byte = 10 // coordinator → worker: clean exit, no payload
+	frameHello       byte = 1  // coordinator → worker: Spec
+	frameHelloAck    byte = 2  // worker → coordinator: helloAck
+	frameAssign      byte = 3  // coordinator → worker: assignment
+	frameMeasure     byte = 4  // coordinator → worker: measureRequest
+	frameEnd         byte = 6  // worker → coordinator: endOfWindow
+	frameError       byte = 7  // worker → coordinator: errorFrame
+	frameMonthsReq   byte = 8  // coordinator → worker: monthsRequest
+	frameMonths      byte = 9  // worker → coordinator: monthsResponse
+	frameShutdown    byte = 10 // coordinator → worker: clean exit, no payload
+	frameRecordBatch byte = 11 // worker → coordinator: batched binary records
 )
 
-// maxFrame bounds a frame payload. Records are a few KiB (a 1 KiB read
-// window is 2048 hex characters); month lists and specs are smaller. The
-// bound keeps a corrupt length prefix from turning into a giant
-// allocation.
+// maxFrame bounds a frame payload. Record batches flush at
+// batchFrameTarget (64 KiB), far below the bound; month lists and specs
+// are smaller still. The bound keeps a corrupt length prefix from
+// turning into a giant allocation.
 const maxFrame = 1 << 24
+
+// batchFrameTarget is the flush threshold for record-batch frames: a
+// batch is written once its payload reaches this size, so a 1 KiB read
+// window rides ~60 records per frame instead of one — the wire cost per
+// record is amortised memcpy, not a frame header and a syscall. A frame
+// may exceed the target by one record (the batcher flushes after the
+// append that crosses it).
+const batchFrameTarget = 60 * 1024
 
 // Typed protocol errors, matchable with errors.Is.
 var (
@@ -105,7 +121,8 @@ const (
 	// forwards only its shard's board records — sharding the rig shards
 	// record forwarding and downstream evaluation, not the instrument.
 	ModeRig Mode = "rig"
-	// ModeArchive replays a JSONL measurement archive; each worker reads
+	// ModeArchive replays a measurement archive (JSONL or binary,
+	// auto-detected); each worker reads
 	// the archive and serves its shard's boards.
 	ModeArchive Mode = "archive"
 )
@@ -122,7 +139,8 @@ type Spec struct {
 	Scenario aging.Scenario        `json:"scenario,omitempty"`
 	// I2CErrorRate is the rig's byte-corruption rate (ModeRig).
 	I2CErrorRate float64 `json:"i2c_error_rate,omitempty"`
-	// ArchivePath is the JSONL archive to replay (ModeArchive). The path
+	// ArchivePath is the measurement archive to replay (ModeArchive) —
+	// JSONL or binary, detected by the leading magic. The path
 	// must be readable by the worker process.
 	ArchivePath string `json:"archive_path,omitempty"`
 }
@@ -237,13 +255,29 @@ func WriteFrame(w io.Writer, typ byte, payload []byte) error {
 }
 
 // ReadFrame reads one frame. io.EOF is returned verbatim at a clean
-// frame boundary (peer closed); a mid-frame EOF is ErrCodec.
+// frame boundary (peer closed); a mid-frame EOF is ErrCodec. Each call
+// returns a freshly allocated payload; loops that read many frames use
+// a frameReader to reuse the buffer.
 func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	fr := frameReader{r: r}
+	return fr.next()
+}
+
+// frameReader reads frames like ReadFrame but reuses one payload buffer
+// across calls — the coordinator's measure loop reads thousands of
+// record batches per window and must not allocate one payload slice per
+// frame. The returned payload is valid only until the next call.
+type frameReader struct {
+	r   io.Reader
+	buf []byte
+}
+
+func (fr *frameReader) next() (typ byte, payload []byte, err error) {
 	var hdr [5]byte
-	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+	if _, err := io.ReadFull(fr.r, hdr[:1]); err != nil {
 		return 0, nil, err
 	}
-	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+	if _, err := io.ReadFull(fr.r, hdr[1:]); err != nil {
 		return 0, nil, fmt.Errorf("%w: truncated header: %v", ErrCodec, err)
 	}
 	n := binary.BigEndian.Uint32(hdr[1:])
@@ -253,8 +287,11 @@ func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
 	if n == 0 {
 		return hdr[0], nil, nil
 	}
-	payload = make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	if cap(fr.buf) < int(n) {
+		fr.buf = make([]byte, n)
+	}
+	payload = fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
 		return 0, nil, fmt.Errorf("%w: truncated %d-byte payload: %v", ErrCodec, n, err)
 	}
 	return hdr[0], payload, nil
@@ -277,33 +314,63 @@ func decodeJSON(payload []byte, v any) error {
 	return nil
 }
 
-// EncodeRecordPayload builds a record frame payload: the global device
-// index (uint32 BE) followed by the record in the store's JSON encoding —
-// the archive schema reused as the shard wire format.
-func EncodeRecordPayload(device int, rec store.Record) ([]byte, error) {
+// AppendBatchRecord appends one batch entry — the global device index
+// (uint32 LE, matching the binary codec's endianness) followed by the
+// record in the store's binary encoding — to a record-batch payload.
+// With sufficient capacity it does not allocate; the worker's batcher
+// reuses pooled frame buffers across windows.
+func AppendBatchRecord(dst []byte, device int, rec store.Record) ([]byte, error) {
 	if device < 0 {
 		return nil, fmt.Errorf("%w: negative device index %d", ErrCodec, device)
 	}
-	body, err := json.Marshal(rec)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(device))
+	out, err := store.AppendRecordBinary(dst, rec)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCodec, err)
 	}
-	payload := make([]byte, 4+len(body))
-	binary.BigEndian.PutUint32(payload, uint32(device))
-	copy(payload[4:], body)
-	return payload, nil
+	return out, nil
 }
 
-// DecodeRecordPayload parses a record frame payload.
-func DecodeRecordPayload(payload []byte) (device int, rec store.Record, err error) {
-	if len(payload) < 4 {
-		return 0, store.Record{}, fmt.Errorf("%w: %d-byte record payload", ErrCodec, len(payload))
+// BatchDecoder decodes record-batch payloads. It keeps one payload
+// vector per device and one word scratch, reused across batches, so the
+// steady-state decode path allocates nothing: decoded records alias the
+// per-device scratch, which is exactly the engine Sink contract (pattern
+// storage may be reused between deliveries to the same device; consumers
+// that retain a pattern must clone it).
+type BatchDecoder struct {
+	dec  store.RecordDecoder
+	data map[int]*bitvec.Vector
+}
+
+// NewBatchDecoder returns an empty batch decoder.
+func NewBatchDecoder() *BatchDecoder {
+	return &BatchDecoder{data: make(map[int]*bitvec.Vector)}
+}
+
+// Decode walks one record-batch payload in order, invoking fn for every
+// entry. The record handed to fn reuses the decoder's per-device payload
+// storage; fn errors abort the walk. A malformed entry is ErrCodec.
+func (d *BatchDecoder) Decode(payload []byte, fn func(device int, rec store.Record) error) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("%w: empty record batch", ErrCodec)
 	}
-	device = int(binary.BigEndian.Uint32(payload))
-	if err := json.Unmarshal(payload[4:], &rec); err != nil {
-		return 0, store.Record{}, fmt.Errorf("%w: %v", ErrCodec, err)
+	for off := 0; off < len(payload); {
+		if len(payload)-off < 4 {
+			return fmt.Errorf("%w: %d trailing bytes in record batch", ErrCodec, len(payload)-off)
+		}
+		device := int(binary.LittleEndian.Uint32(payload[off:]))
+		rec := store.Record{Data: d.data[device]}
+		n, err := d.dec.Decode(payload[off+4:], &rec)
+		if err != nil {
+			return fmt.Errorf("%w: batch entry at offset %d: %v", ErrCodec, off, err)
+		}
+		d.data[device] = rec.Data
+		off += 4 + n
+		if err := fn(device, rec); err != nil {
+			return err
+		}
 	}
-	return device, rec, nil
+	return nil
 }
 
 // Partition splits devices 0..total-1 into shards contiguous ascending

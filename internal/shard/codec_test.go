@@ -18,9 +18,9 @@ func TestFrameRoundTrip(t *testing.T) {
 		typ     byte
 		payload []byte
 	}{
-		{frameHello, []byte(`{"protocol":1}`)},
+		{frameHello, []byte(`{"protocol":2}`)},
 		{frameShutdown, nil},
-		{frameRecord, bytes.Repeat([]byte{0xa5}, 4096)},
+		{frameRecordBatch, bytes.Repeat([]byte{0xa5}, 4096)},
 		{frameEnd, []byte{}},
 	}
 	var buf bytes.Buffer
@@ -53,7 +53,7 @@ func TestReadFrameRejectsOversize(t *testing.T) {
 
 func TestReadFrameTruncated(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteFrame(&buf, frameRecord, []byte("0123456789")); err != nil {
+	if err := WriteFrame(&buf, frameRecordBatch, []byte("0123456789")); err != nil {
 		t.Fatal(err)
 	}
 	full := buf.Bytes()
@@ -64,35 +64,92 @@ func TestReadFrameTruncated(t *testing.T) {
 	}
 }
 
-func TestRecordPayloadRoundTrip(t *testing.T) {
-	v := bitvec.New(64)
-	v.Set(3, true)
-	v.Set(63, true)
-	rec := store.Record{
-		Board: 11,
-		Layer: 1,
-		Seq:   42,
-		Cycle: 99,
-		Wall:  time.Date(2017, 5, 8, 0, 0, 7, 0, time.UTC),
-		Data:  v,
+func TestRecordBatchRoundTrip(t *testing.T) {
+	mkRec := func(board, fill int) store.Record {
+		v := bitvec.New(100)
+		for j := fill; j < 100; j += 5 {
+			v.Set(j, true)
+		}
+		return store.Record{
+			Board: board,
+			Layer: board % 2,
+			Seq:   uint64(42 + fill),
+			Cycle: uint64(99 + fill),
+			Wall:  time.Date(2017, 5, 8, 0, 0, fill, 0, time.UTC),
+			Data:  v,
+		}
 	}
-	payload, err := EncodeRecordPayload(7, rec)
+	// Interleave two devices in one batch: order must be preserved and
+	// each device's payload storage must be reused across its entries.
+	type entry struct {
+		device int
+		rec    store.Record
+	}
+	entries := []entry{
+		{7, mkRec(11, 0)}, {9, mkRec(12, 1)}, {7, mkRec(11, 2)}, {9, mkRec(12, 3)}, {7, mkRec(11, 4)},
+	}
+	var payload []byte
+	var err error
+	for _, e := range entries {
+		if payload, err = AppendBatchRecord(payload, e.device, e.rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dec := NewBatchDecoder()
+	i := 0
+	seenData := map[int]*bitvec.Vector{}
+	err = dec.Decode(payload, func(device int, rec store.Record) error {
+		want := entries[i]
+		if device != want.device {
+			t.Fatalf("entry %d: device = %d, want %d", i, device, want.device)
+		}
+		w := want.rec
+		if rec.Board != w.Board || rec.Layer != w.Layer || rec.Seq != w.Seq ||
+			rec.Cycle != w.Cycle || !rec.Wall.Equal(w.Wall) || !rec.Data.Equal(w.Data) {
+			t.Fatalf("entry %d round trip: got %+v, want %+v", i, rec, w)
+		}
+		if prev, ok := seenData[device]; ok && prev != rec.Data {
+			t.Fatalf("entry %d: device %d payload storage was not reused", i, device)
+		}
+		seenData[device] = rec.Data
+		i++
+		return nil
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	device, got, err := DecodeRecordPayload(payload)
-	if err != nil {
-		t.Fatal(err)
+	if i != len(entries) {
+		t.Fatalf("decoded %d of %d entries", i, len(entries))
 	}
-	if device != 7 {
-		t.Fatalf("device = %d, want 7", device)
+
+	// Malformed batches are ErrCodec: empty, trailing garbage, negative
+	// device on encode.
+	if err := dec.Decode(nil, func(int, store.Record) error { return nil }); !errors.Is(err, ErrCodec) {
+		t.Fatalf("empty batch: err = %v, want ErrCodec", err)
 	}
-	if got.Board != rec.Board || got.Layer != rec.Layer || got.Seq != rec.Seq ||
-		got.Cycle != rec.Cycle || !got.Wall.Equal(rec.Wall) || !got.Data.Equal(rec.Data) {
-		t.Fatalf("record round trip: got %+v, want %+v", got, rec)
+	if err := dec.Decode(payload[:len(payload)-2], func(int, store.Record) error { return nil }); !errors.Is(err, ErrCodec) {
+		t.Fatalf("truncated batch: err = %v, want ErrCodec", err)
 	}
-	if _, _, err := DecodeRecordPayload(payload[:3]); !errors.Is(err, ErrCodec) {
-		t.Fatalf("short payload: err = %v, want ErrCodec", err)
+	if err := dec.Decode(payload[:3], func(int, store.Record) error { return nil }); !errors.Is(err, ErrCodec) {
+		t.Fatalf("3-byte batch: err = %v, want ErrCodec", err)
+	}
+	if _, err := AppendBatchRecord(nil, -1, entries[0].rec); !errors.Is(err, ErrCodec) {
+		t.Fatalf("negative device: err = %v, want ErrCodec", err)
+	}
+
+	// A sink error aborts the walk at that entry.
+	sinkErr := errors.New("sink says no")
+	count := 0
+	err = dec.Decode(payload, func(int, store.Record) error {
+		count++
+		if count == 2 {
+			return sinkErr
+		}
+		return nil
+	})
+	if !errors.Is(err, sinkErr) || count != 2 {
+		t.Fatalf("sink abort: err = %v after %d entries, want sinkErr after 2", err, count)
 	}
 }
 

@@ -201,7 +201,12 @@ func (c *Coordinator) Measure(ctx context.Context, month, size int, sink func(de
 }
 
 // measureShard runs one shard's side of a Measure: request, then forward
-// record frames until the end frame.
+// record-batch frames until the end frame. The frame payload buffer, the
+// batch decoder's per-device payload vectors and its word scratch are
+// all reused across the window, so forwarding a record is decode-in-place
+// plus the sink call — no per-measurement allocation. The sink sees each
+// device's payload storage reused between that device's deliveries,
+// which is the engine Sink contract.
 func (c *Coordinator) measureShard(i int, conn io.ReadWriteCloser, month, size, workers int, sink func(device int, rec store.Record) error) error {
 	if err := writeJSON(conn, frameMeasure, measureRequest{Month: month, Size: size, Workers: workers}); err != nil {
 		return fmt.Errorf("%w: shard %d: measure request: %v", ErrWorker, i, err)
@@ -211,22 +216,23 @@ func (c *Coordinator) measureShard(i int, conn io.ReadWriteCloser, month, size, 
 		want[d] = true
 	}
 	received := 0
+	fr := frameReader{r: conn}
+	dec := NewBatchDecoder()
+	forward := func(device int, rec store.Record) error {
+		if !want[device] {
+			return fmt.Errorf("%w: shard %d delivered device %d outside its assignment %v", ErrProtocol, i, device, c.assigns[i])
+		}
+		received++
+		return sink(device, rec)
+	}
 	for {
-		typ, payload, err := ReadFrame(conn)
+		typ, payload, err := fr.next()
 		if err != nil {
 			return fmt.Errorf("%w: shard %d: %v", ErrWorker, i, err)
 		}
 		switch typ {
-		case frameRecord:
-			device, rec, err := DecodeRecordPayload(payload)
-			if err != nil {
-				return fmt.Errorf("shard %d: %w", i, err)
-			}
-			if !want[device] {
-				return fmt.Errorf("%w: shard %d delivered device %d outside its assignment %v", ErrProtocol, i, device, c.assigns[i])
-			}
-			received++
-			if err := sink(device, rec); err != nil {
+		case frameRecordBatch:
+			if err := dec.Decode(payload, forward); err != nil {
 				return fmt.Errorf("shard %d: %w", i, err)
 			}
 		case frameEnd:

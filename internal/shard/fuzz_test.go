@@ -15,8 +15,11 @@ func seedFrames(t interface{ Fatal(...any) }) [][]byte {
 	v := bitvec.New(32)
 	v.Set(5, true)
 	rec := store.Record{Board: 3, Seq: 9, Wall: store.Epoch.Add(time.Hour), Data: v}
-	recPayload, err := EncodeRecordPayload(3, rec)
+	batch, err := AppendBatchRecord(nil, 3, rec)
 	if err != nil {
+		t.Fatal(err)
+	}
+	if batch, err = AppendBatchRecord(batch, 4, rec); err != nil {
 		t.Fatal(err)
 	}
 	frames := [][]byte{}
@@ -27,11 +30,11 @@ func seedFrames(t interface{ Fatal(...any) }) [][]byte {
 		}
 		frames = append(frames, buf.Bytes())
 	}
-	add(frameHello, []byte(`{"protocol":1,"mode":"sim","devices":4,"seed":7}`))
-	add(frameHelloAck, []byte(`{"protocol":1,"devices":4}`))
+	add(frameHello, []byte(`{"protocol":2,"mode":"sim","devices":4,"seed":7}`))
+	add(frameHelloAck, []byte(`{"protocol":2,"devices":4}`))
 	add(frameAssign, []byte(`{"indices":[0,1]}`))
 	add(frameMeasure, []byte(`{"month":2,"size":100,"workers":3}`))
-	add(frameRecord, recPayload)
+	add(frameRecordBatch, batch)
 	add(frameEnd, []byte(`{"month":2,"records":200}`))
 	add(frameError, []byte(`{"code":"short-window","message":"board 5"}`))
 	add(frameMonthsReq, []byte(`{"window_size":100}`))
@@ -43,8 +46,8 @@ func seedFrames(t interface{ Fatal(...any) }) [][]byte {
 // FuzzFrameCodec decodes arbitrary bytes as a frame stream: ReadFrame
 // must never panic, and every frame it accepts must re-encode to
 // exactly the bytes it consumed (decode∘encode is the identity on the
-// accepted language). Record frames are additionally pushed through the
-// record payload decoder, which must not panic either.
+// accepted language). Record-batch frames are additionally pushed
+// through the batch decoder, which must not panic either.
 func FuzzFrameCodec(f *testing.F) {
 	for _, frame := range seedFrames(f) {
 		f.Add(frame)
@@ -56,6 +59,7 @@ func FuzzFrameCodec(f *testing.F) {
 	f.Add([]byte{5, 0xff, 0xff, 0xff, 0xff})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)
+		dec := NewBatchDecoder()
 		offset := 0
 		for {
 			typ, payload, err := ReadFrame(r)
@@ -71,44 +75,50 @@ func FuzzFrameCodec(f *testing.F) {
 				t.Fatalf("re-encoded frame differs from consumed bytes at offset %d", offset)
 			}
 			offset = consumed
-			if typ == frameRecord {
-				// Must not panic; errors are fine (arbitrary JSON).
-				device, rec, derr := DecodeRecordPayload(payload)
-				if derr == nil {
-					reenc, rerr := EncodeRecordPayload(device, rec)
-					if rerr != nil {
-						t.Fatalf("decoded record does not re-encode: %v", rerr)
-					}
-					// Re-decoding the re-encoding must agree with the
-					// first decode (decode∘encode∘decode = decode).
-					d2, rec2, derr2 := DecodeRecordPayload(reenc)
-					if derr2 != nil || d2 != device || rec2.Board != rec.Board ||
-						rec2.Seq != rec.Seq || !rec2.Wall.Equal(rec.Wall) || !rec2.Data.Equal(rec.Data) {
-						t.Fatalf("record payload round trip diverged (err=%v)", derr2)
-					}
-				}
+			if typ == frameRecordBatch {
+				// Must not panic; errors are fine (arbitrary bytes).
+				checkBatchRoundTrip(t, dec, payload)
 			}
 		}
 	})
 }
 
-// FuzzRecordPayload decodes arbitrary bytes as a record payload — the
-// frame type a hostile or corrupt worker controls most directly.
-func FuzzRecordPayload(f *testing.F) {
-	frames := seedFrames(f)
-	f.Add(frames[4][5:]) // the record frame's payload
-	f.Add([]byte{0, 0, 0, 1})
-	f.Add([]byte(`{"board":1}`))
-	f.Fuzz(func(t *testing.T, data []byte) {
-		device, rec, err := DecodeRecordPayload(data)
-		if err != nil {
-			return
-		}
+// checkBatchRoundTrip pushes a batch payload through the decoder and,
+// when it is accepted, asserts that re-encoding every decoded entry
+// reproduces the payload byte for byte (decode∘encode is the identity
+// on the accepted language — the binary codec has one canonical form).
+func checkBatchRoundTrip(t *testing.T, dec *BatchDecoder, payload []byte) {
+	t.Helper()
+	var reenc []byte
+	err := dec.Decode(payload, func(device int, rec store.Record) error {
 		if rec.Data == nil {
-			t.Fatal("accepted record without data")
+			t.Fatal("decoder accepted a record without data")
 		}
-		if _, err := EncodeRecordPayload(device, rec); err != nil {
-			t.Fatalf("accepted record does not re-encode: %v", err)
+		var aerr error
+		reenc, aerr = AppendBatchRecord(reenc, device, rec)
+		if aerr != nil {
+			t.Fatalf("accepted batch entry does not re-encode: %v", aerr)
 		}
+		return nil
+	})
+	if err != nil {
+		return // rejected cleanly
+	}
+	if !bytes.Equal(reenc, payload) {
+		t.Fatalf("batch round trip differs: %d bytes re-encoded vs %d consumed", len(reenc), len(payload))
+	}
+}
+
+// FuzzRecordBatch decodes arbitrary bytes as a record-batch payload —
+// the frame type a hostile or corrupt worker controls most directly.
+// Accepted batches must re-encode to the identical bytes; the decoder's
+// scratch reuse must never leak one record's bits into the next.
+func FuzzRecordBatch(f *testing.F) {
+	frames := seedFrames(f)
+	f.Add(frames[4][5:]) // the record-batch frame's payload
+	f.Add([]byte{0, 0, 0, 1})
+	f.Add(bytes.Repeat([]byte{0}, 44))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		checkBatchRoundTrip(t, NewBatchDecoder(), data)
 	})
 }

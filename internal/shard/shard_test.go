@@ -131,7 +131,10 @@ func TestCoordinatorMergesShards(t *testing.T) {
 			sink := func(d int, rec store.Record) error {
 				mu.Lock()
 				defer mu.Unlock()
-				got[d] = append(got[d], rec.Data)
+				// The record's payload storage is reused between a
+				// device's deliveries (batch decoder scratch): retaining
+				// it requires a clone, like any engine Sink.
+				got[d] = append(got[d], rec.Data.Clone())
 				return nil
 			}
 			if err := co.Measure(context.Background(), month, size, sink); err != nil {

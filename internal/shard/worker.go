@@ -132,21 +132,14 @@ func Serve(ctx context.Context, rw io.ReadWriter, cfg ServerConfig) error {
 			if err := decodeJSON(payload, &req); err != nil {
 				return err
 			}
-			var sent int
-			var smu sync.Mutex
-			emit := func(device int, rec store.Record) error {
-				p, err := EncodeRecordPayload(device, rec)
-				if err != nil {
-					return err
-				}
-				smu.Lock()
-				sent++
-				smu.Unlock()
-				wmu.Lock()
-				defer wmu.Unlock()
-				return WriteFrame(rw, frameRecord, p)
+			bw := newBatchWriter(rw, &wmu)
+			err := backend.Measure(ctx, req.Month, req.Size, req.Workers, bw.add)
+			if err == nil {
+				err = bw.flush()
 			}
-			if err := backend.Measure(ctx, req.Month, req.Size, req.Workers, emit); err != nil {
+			sent := bw.sent
+			bw.release()
+			if err != nil {
 				if werr := fail(err); werr != nil {
 					return werr
 				}
@@ -178,5 +171,80 @@ func Serve(ctx context.Context, rw io.ReadWriter, cfg ServerConfig) error {
 		default:
 			return fmt.Errorf("%w: unexpected frame type %d from coordinator", ErrProtocol, typ)
 		}
+	}
+}
+
+// framePool recycles record-batch buffers across windows (and across
+// the worker goroutines of an in-process transport), so the steady-state
+// measure path never allocates frame storage.
+var framePool = sync.Pool{New: func() any {
+	b := make([]byte, 0, batchFrameTarget+8*1024)
+	return &b
+}}
+
+// batchWriter accumulates record-batch entries in a pooled buffer and
+// writes one frameRecordBatch whenever the payload crosses
+// batchFrameTarget. add is the worker's emit callback: it copies the
+// record synchronously (callers may reuse the pattern's storage) and is
+// safe for concurrent use across devices. Entry order is append order,
+// so each device's records stay in capture order — the merge invariant
+// the coordinator forwards to the engine.
+type batchWriter struct {
+	w   io.Writer
+	wmu *sync.Mutex // the session's frame-write lock
+
+	mu   sync.Mutex // guards buf and sent; taken before wmu on flush
+	buf  []byte
+	sent int
+}
+
+func newBatchWriter(w io.Writer, wmu *sync.Mutex) *batchWriter {
+	return &batchWriter{w: w, wmu: wmu, buf: (*framePool.Get().(*[]byte))[:0]}
+}
+
+func (b *batchWriter) add(device int, rec store.Record) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	buf, err := AppendBatchRecord(b.buf, device, rec)
+	if err != nil {
+		return err
+	}
+	b.buf = buf
+	b.sent++
+	if len(b.buf) >= batchFrameTarget {
+		return b.flushLocked()
+	}
+	return nil
+}
+
+func (b *batchWriter) flushLocked() error {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	b.wmu.Lock()
+	err := WriteFrame(b.w, frameRecordBatch, b.buf)
+	b.wmu.Unlock()
+	b.buf = b.buf[:0]
+	return err
+}
+
+// flush writes any buffered tail — called after a successful Measure,
+// before the end-of-window frame.
+func (b *batchWriter) flush() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.flushLocked()
+}
+
+// release returns the buffer to the pool. The writer must not be used
+// afterwards.
+func (b *batchWriter) release() {
+	b.mu.Lock()
+	buf := b.buf
+	b.buf = nil
+	b.mu.Unlock()
+	if buf != nil {
+		buf = buf[:0]
+		framePool.Put(&buf)
 	}
 }

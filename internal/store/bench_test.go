@@ -1,0 +1,108 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/bitvec"
+)
+
+// The archive-codec benchmarks, gated in CI (ns/op and allocs/op)
+// against BENCH_baseline.json: the binary codec must stay an order of
+// magnitude cheaper than JSONL per record, and its steady-state
+// encode/decode path must stay allocation-free — it is the shard wire
+// format, so every sharded measurement crosses it twice.
+
+// benchRecordSet builds boards × perBoard records with the paper's
+// 8192-bit (1 KiB) read window.
+func benchRecordSet(b *testing.B, boards, perBoard int) []Record {
+	b.Helper()
+	const bits = 8192
+	recs := make([]Record, 0, boards*perBoard)
+	for bd := 0; bd < boards; bd++ {
+		for i := 0; i < perBoard; i++ {
+			v := bitvec.New(bits)
+			for j := (bd + i) % 17; j < bits; j += 17 {
+				v.Set(j, true)
+			}
+			recs = append(recs, Record{
+				Board: bd,
+				Layer: bd % 2,
+				Seq:   uint64(i),
+				Cycle: uint64(i),
+				Wall:  Epoch.Add(time.Duration(i) * 5400 * time.Millisecond),
+				Data:  v,
+			})
+		}
+	}
+	return recs
+}
+
+// BenchmarkBinaryRecordCodec measures one encode+decode round trip of a
+// 1 KiB-window record with full buffer reuse — the per-measurement wire
+// cost of the sharded campaign path. Steady state must be 0 allocs/op.
+func BenchmarkBinaryRecordCodec(b *testing.B) {
+	rec := benchRecordSet(b, 1, 1)[0]
+	var scratch []byte
+	var dec RecordDecoder
+	out := Record{Data: bitvec.New(rec.Data.Len())}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc, err := AppendRecordBinary(scratch[:0], rec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scratch = enc
+		if _, err := dec.Decode(enc, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !out.Data.Equal(rec.Data) {
+		b.Fatal("round trip diverged")
+	}
+}
+
+func benchArchiveReplay(b *testing.B, serialise func(*Archive, *bytes.Buffer) error) {
+	recs := benchRecordSet(b, 2, 200)
+	a := NewArchive()
+	for _, rec := range recs {
+		if err := a.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := serialise(a, &buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := ReadArchive(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got.Len() != len(recs) {
+			b.Fatalf("replayed %d records, want %d", got.Len(), len(recs))
+		}
+	}
+}
+
+// BenchmarkArchiveReplayJSONL parses a 400-record JSONL archive — the
+// human-readable format's full parse cost (JSON + hex per record).
+func BenchmarkArchiveReplayJSONL(b *testing.B) {
+	benchArchiveReplay(b, func(a *Archive, buf *bytes.Buffer) error {
+		return a.WriteArchiveJSONL(buf)
+	})
+}
+
+// BenchmarkArchiveReplayBinary parses the same archive in the binary
+// codec; the speedup over ...JSONL is the format's reason to exist.
+func BenchmarkArchiveReplayBinary(b *testing.B) {
+	benchArchiveReplay(b, func(a *Archive, buf *bytes.Buffer) error {
+		return a.WriteArchiveBinary(buf)
+	})
+}

@@ -1,0 +1,308 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/bitvec"
+)
+
+// This file is the binary record codec: the allocation-free counterpart
+// of the JSON schema, used both as the shard wire payload and as the
+// `.bin` archive format. A record is a fixed little-endian header
+// followed by the payload's raw bitvec words:
+//
+//	offset  size  field
+//	0       4     board   (int32)
+//	4       4     layer   (int32)
+//	8       8     seq     (uint64)
+//	16      8     cycle   (uint64)
+//	24      8     wall    (int64, nanoseconds since the Unix epoch, UTC)
+//	32      4     bits    (uint32, payload length in bits)
+//	36      8*W   words   (uint64 each, W = ceil(bits/64), bitvec packing)
+//
+// The word packing is bitvec's own storage layout, so encoding is a
+// straight copy and decoding restores the exact vector — no hex, no
+// per-record string churn. Archives open with a versioned magic; the
+// shard protocol does not repeat it (the handshake already version-gates
+// the session).
+
+// BinaryMagic opens every binary archive: seven identifying bytes plus a
+// format version byte. A reader refuses any other version, so a format
+// change bumps the final byte and old tools fail loudly instead of
+// mis-parsing. JSONL archives cannot collide: their first byte is '{'.
+const BinaryMagic = "SRPUFA\x00\x01"
+
+// ErrBinary reports a malformed binary record or archive.
+var ErrBinary = errors.New("store: malformed binary record")
+
+// binaryHeaderLen is the fixed record header size in bytes.
+const binaryHeaderLen = 36
+
+// maxBinaryRecordBits bounds a record payload (16 MiB of words) so a
+// corrupt length field cannot turn into a giant allocation.
+const maxBinaryRecordBits = 1 << 27
+
+// BinaryRecordSize returns the encoded size of rec in bytes.
+func BinaryRecordSize(rec Record) (int, error) {
+	if rec.Data == nil {
+		return 0, errors.New("store: record has no data")
+	}
+	return binaryHeaderLen + 8*len(rec.Data.Words()), nil
+}
+
+// AppendRecordBinary appends the binary encoding of rec to dst and
+// returns the extended slice. With sufficient capacity it does not
+// allocate — the buffer-reuse contract the shard frame batcher and the
+// BinaryWriter build on.
+func AppendRecordBinary(dst []byte, rec Record) ([]byte, error) {
+	if rec.Data == nil {
+		return nil, errors.New("store: record has no data")
+	}
+	// The decoder's payload bound is enforced symmetrically at encode,
+	// so an oversized record fails where it is written instead of
+	// producing an archive (or wire frame) that every reader rejects.
+	if rec.Data.Len() > maxBinaryRecordBits {
+		return nil, fmt.Errorf("%w: %d-bit payload exceeds the %d-bit bound", ErrBinary, rec.Data.Len(), maxBinaryRecordBits)
+	}
+	var hdr [binaryHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(int32(rec.Board)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(int32(rec.Layer)))
+	binary.LittleEndian.PutUint64(hdr[8:], rec.Seq)
+	binary.LittleEndian.PutUint64(hdr[16:], rec.Cycle)
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(rec.Wall.UnixNano()))
+	binary.LittleEndian.PutUint32(hdr[32:], uint32(rec.Data.Len()))
+	dst = append(dst, hdr[:]...)
+	var wb [8]byte
+	for _, w := range rec.Data.Words() {
+		binary.LittleEndian.PutUint64(wb[:], w)
+		dst = append(dst, wb[:]...)
+	}
+	return dst, nil
+}
+
+// RecordDecoder decodes records from binary bytes, reusing one word
+// scratch slice across calls so the steady-state decode path allocates
+// only when the caller wants a fresh payload vector.
+type RecordDecoder struct {
+	words []uint64
+}
+
+// decode parses one record from the front of data into rec, returning
+// the number of bytes consumed. rec.Data is reused when it already holds
+// a vector of the record's exact bit length; otherwise a fresh vector is
+// allocated. Corrupt input (short buffer, oversized length, dirty
+// padding bits) is rejected with ErrBinary.
+func (d *RecordDecoder) Decode(data []byte, rec *Record) (int, error) {
+	if len(data) < binaryHeaderLen {
+		return 0, fmt.Errorf("%w: %d-byte header, want %d", ErrBinary, len(data), binaryHeaderLen)
+	}
+	bits := binary.LittleEndian.Uint32(data[32:])
+	if bits > maxBinaryRecordBits {
+		return 0, fmt.Errorf("%w: %d-bit payload exceeds the %d-bit bound", ErrBinary, bits, maxBinaryRecordBits)
+	}
+	n := int(bits)
+	nw := (n + 63) / 64
+	total := binaryHeaderLen + 8*nw
+	if len(data) < total {
+		return 0, fmt.Errorf("%w: %d bytes for a %d-bit record, want %d", ErrBinary, len(data), n, total)
+	}
+	if cap(d.words) < nw {
+		d.words = make([]uint64, nw)
+	}
+	words := d.words[:nw]
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(data[binaryHeaderLen+8*i:])
+	}
+	if rec.Data == nil || rec.Data.Len() != n {
+		rec.Data = bitvec.New(n)
+	}
+	if err := rec.Data.LoadWords(words); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBinary, err)
+	}
+	rec.Board = int(int32(binary.LittleEndian.Uint32(data[0:])))
+	rec.Layer = int(int32(binary.LittleEndian.Uint32(data[4:])))
+	rec.Seq = binary.LittleEndian.Uint64(data[8:])
+	rec.Cycle = binary.LittleEndian.Uint64(data[16:])
+	rec.Wall = time.Unix(0, int64(binary.LittleEndian.Uint64(data[24:]))).UTC()
+	return total, nil
+}
+
+// DecodeRecordBinary parses one record from the front of data, returning
+// it with a freshly allocated payload and the number of bytes consumed.
+// Streaming consumers that want payload reuse use a BinaryReader (or the
+// shard batch decoder) instead.
+func DecodeRecordBinary(data []byte) (Record, int, error) {
+	var d RecordDecoder
+	var rec Record
+	n, err := d.Decode(data, &rec)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	return rec, n, nil
+}
+
+// BinaryWriter encodes records to a binary archive stream one at a time —
+// the `.bin` counterpart of JSONLWriter, with one reused encode buffer so
+// the steady-state write path is allocation-free. Call Flush when done.
+type BinaryWriter struct {
+	bw      *bufio.Writer
+	scratch []byte
+}
+
+// NewBinaryWriter returns a buffered binary record writer over w. The
+// archive magic is written immediately (any buffered write error
+// surfaces on the next Write or Flush, as with bufio generally).
+func NewBinaryWriter(w io.Writer) *BinaryWriter {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(BinaryMagic)
+	return &BinaryWriter{bw: bw}
+}
+
+// Write encodes one record.
+func (w *BinaryWriter) Write(rec Record) error {
+	enc, err := AppendRecordBinary(w.scratch[:0], rec)
+	if err != nil {
+		return err
+	}
+	w.scratch = enc[:0]
+	_, err = w.bw.Write(enc)
+	return err
+}
+
+// Flush drains the write buffer.
+func (w *BinaryWriter) Flush() error { return w.bw.Flush() }
+
+// BinaryReader decodes a binary archive stream record by record.
+type BinaryReader struct {
+	br  *bufio.Reader
+	dec RecordDecoder
+	buf []byte
+}
+
+// NewBinaryReader checks the archive magic (including the format
+// version) and returns a streaming reader.
+func NewBinaryReader(r io.Reader) (*BinaryReader, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	var magic [len(BinaryMagic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing archive magic: %v", ErrBinary, err)
+	}
+	if string(magic[:]) != BinaryMagic {
+		return nil, fmt.Errorf("%w: bad archive magic % x (version mismatch or not a binary archive)", ErrBinary, magic)
+	}
+	return &BinaryReader{br: br}, nil
+}
+
+// Read decodes the next record into rec, reusing rec.Data when it
+// already has the record's bit length (pass the same rec to stream with
+// one payload allocation; pass a fresh rec to retain each record). A
+// clean end of stream returns io.EOF; a truncated record is ErrBinary.
+func (r *BinaryReader) Read(rec *Record) error {
+	var hdr [binaryHeaderLen]byte
+	if _, err := io.ReadFull(r.br, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("%w: %v", ErrBinary, err)
+	}
+	if _, err := io.ReadFull(r.br, hdr[1:]); err != nil {
+		return fmt.Errorf("%w: truncated record header: %v", ErrBinary, err)
+	}
+	bits := binary.LittleEndian.Uint32(hdr[32:])
+	if bits > maxBinaryRecordBits {
+		return fmt.Errorf("%w: %d-bit payload exceeds the %d-bit bound", ErrBinary, bits, maxBinaryRecordBits)
+	}
+	total := binaryHeaderLen + 8*((int(bits)+63)/64)
+	if cap(r.buf) < total {
+		r.buf = make([]byte, total)
+	}
+	buf := r.buf[:total]
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(r.br, buf[binaryHeaderLen:]); err != nil {
+		return fmt.Errorf("%w: truncated %d-bit payload: %v", ErrBinary, bits, err)
+	}
+	_, err := r.dec.Decode(buf, rec)
+	return err
+}
+
+// ReadBinary parses a binary archive stream into an archive.
+func ReadBinary(r io.Reader) (*Archive, error) {
+	br, err := NewBinaryReader(r)
+	if err != nil {
+		return nil, err
+	}
+	a := NewArchive()
+	for i := 0; ; i++ {
+		var rec Record
+		err := br.Read(&rec)
+		if err == io.EOF {
+			return a, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("store: binary record %d: %w", i, err)
+		}
+		if err := a.Append(rec); err != nil {
+			return nil, fmt.Errorf("store: binary record %d: %w", i, err)
+		}
+	}
+}
+
+// WriteArchiveBinary streams the entire archive in binary, boards in
+// ascending order — the `.bin` counterpart of WriteArchiveJSONL.
+func (a *Archive) WriteArchiveBinary(w io.Writer) error {
+	bw := NewBinaryWriter(w)
+	for _, b := range a.Boards() {
+		for i, rec := range a.Records(b) {
+			if err := bw.Write(rec); err != nil {
+				return fmt.Errorf("store: board %d record %d: %w", b, i, err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadArchive parses a measurement archive in either format, detected by
+// the leading bytes: the binary magic selects the binary codec, anything
+// else is parsed as JSON lines. This is what lets every replay surface
+// (evaluate, sharded archive workers, the facade ArchiveSource) accept
+// `.bin` and `.jsonl` archives interchangeably.
+func ReadArchive(r io.Reader) (*Archive, error) {
+	br := bufio.NewReaderSize(r, 64*1024)
+	// Route on the identifying bytes only (magic minus the version), so
+	// an archive from a FUTURE format version reaches the binary reader
+	// and fails with its version-mismatch error instead of a baffling
+	// JSON parse error.
+	head, err := br.Peek(len(BinaryMagic) - 1)
+	if err == nil && bytes.Equal(head, []byte(BinaryMagic[:len(BinaryMagic)-1])) {
+		return ReadBinary(br)
+	}
+	return ReadJSONL(br)
+}
+
+// RecordWriter is a streaming archive sink: both JSONLWriter and
+// BinaryWriter implement it, so collection paths choose a format without
+// branching at every record.
+type RecordWriter interface {
+	Write(Record) error
+	Flush() error
+}
+
+// NewWriterForPath returns a record writer in the format implied by the
+// archive path: `.bin` selects the binary codec, anything else the JSONL
+// schema (the human-inspectable default — see DESIGN.md §5).
+func NewWriterForPath(path string, w io.Writer) RecordWriter {
+	if strings.HasSuffix(path, ".bin") {
+		return NewBinaryWriter(w)
+	}
+	return NewJSONLWriter(w)
+}

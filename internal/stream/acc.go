@@ -103,6 +103,7 @@ func (a *FHW) Mean() (float64, error) {
 type Ones struct {
 	counts []int
 	count  int
+	probs  []float64 // Probabilities scratch, reused across calls
 }
 
 // NewOnes returns a one-count accumulator; the cell count is fixed by the
@@ -132,12 +133,20 @@ func (a *Ones) Count() int { return a.count }
 
 // Probabilities returns the empirical one-probability of every cell,
 // computed exactly as entropy.OneProbabilities computes it (same
-// count-times-reciprocal rounding).
+// count-times-reciprocal rounding). The returned slice is the
+// accumulator's own scratch, overwritten by the next Probabilities (or
+// NoiseMinEntropy) call and by nothing else; callers that keep it past
+// that must copy it. Steady state allocates nothing.
 func (a *Ones) Probabilities() ([]float64, error) {
 	if a.count == 0 {
 		return nil, ErrNoMeasurements
 	}
-	return entropy.ProbabilitiesFromCounts(a.counts, a.count)
+	probs, err := entropy.ProbabilitiesFromCountsInto(a.probs, a.counts, a.count)
+	if err != nil {
+		return nil, err
+	}
+	a.probs = probs
+	return probs, nil
 }
 
 // NoiseMinEntropy returns the window's average per-bit noise min-entropy,
@@ -167,18 +176,47 @@ func (a *Ones) StableRatio() (float64, error) {
 // whose one-count is exactly 0 or exactly the measurement count, the same
 // count-based classification as StableRatio. The condition sweep
 // intersects these masks across operating corners to find the cells that
-// are stable everywhere.
+// are stable everywhere (and retains them, which is why this form
+// allocates; StableMaskInto is the reuse form).
 func (a *Ones) StableMask() (*bitvec.Vector, error) {
 	if a.count == 0 {
 		return nil, ErrNoMeasurements
 	}
 	mask := bitvec.New(len(a.counts))
-	for i, c := range a.counts {
-		if c == 0 || c == a.count {
-			mask.Set(i, true)
-		}
+	if err := a.StableMaskInto(mask); err != nil {
+		return nil, err
 	}
 	return mask, nil
+}
+
+// StableMaskInto writes the stable-cell bitmap into dst, which must
+// have one bit per accumulated cell — StableMask without the per-call
+// allocation, packed a word at a time. Every bit of dst is overwritten.
+func (a *Ones) StableMaskInto(dst *bitvec.Vector) error {
+	if a.count == 0 {
+		return ErrNoMeasurements
+	}
+	if dst.Len() != len(a.counts) {
+		return fmt.Errorf("stream: mask has %d bits, want %d", dst.Len(), len(a.counts))
+	}
+	var word uint64
+	var nbits uint
+	wi := 0
+	for _, c := range a.counts {
+		if c == 0 || c == a.count {
+			word |= 1 << nbits
+		}
+		nbits++
+		if nbits == 64 {
+			dst.SetWord(wi, word)
+			wi++
+			word, nbits = 0, 0
+		}
+	}
+	if nbits > 0 {
+		dst.SetWord(wi, word)
+	}
+	return nil
 }
 
 // Flips tracks, per cell, whether the cell ever changed value across the
@@ -309,6 +347,10 @@ func (d *Device) First() *bitvec.Vector { return d.first }
 // StableMask returns a fresh bitmap of the window's stable cells (see
 // Ones.StableMask).
 func (d *Device) StableMask() (*bitvec.Vector, error) { return d.ones.StableMask() }
+
+// StableMaskInto writes the window's stable-cell bitmap into dst
+// without allocating (see Ones.StableMaskInto).
+func (d *Device) StableMaskInto(dst *bitvec.Vector) error { return d.ones.StableMaskInto(dst) }
 
 // Result finalises the window metrics.
 func (d *Device) Result() (DeviceResult, error) {

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # End-to-end CLI smoke: a SHARDED multi-process campaign must produce
 # byte-identical evaluation tables to the direct single-process run, and
-# the archive it streams must replay to the same table through
-# cmd/evaluate (plain and sharded replay). This drives the bit-identity
-# guarantee through the real binaries — subprocess workers, pipes and
-# all — instead of only through unit tests.
+# the archives it streams — JSONL and binary alike — must replay to the
+# same table through cmd/evaluate (plain and sharded replay). This
+# drives the bit-identity guarantee through the real binaries —
+# subprocess workers, pipes, both archive codecs — instead of only
+# through unit tests.
 set -euo pipefail
 
 cd "$(dirname "$0")/../.."
@@ -57,4 +58,36 @@ echo "== sharded replay (2 shardworker subprocesses) of the same archive"
 extract_table "$workdir/replay-sharded.txt" > "$workdir/replay-sharded.table"
 diff -u "$workdir/direct.table" "$workdir/replay-sharded.table"
 
-echo "== smoke OK: sharded run, plain replay and sharded replay are byte-identical to the direct run"
+echo "== sharded run again, streaming a BINARY archive (.bin)"
+"$workdir/agingtest" -devices $DEVICES -months $MONTHS -window $WINDOW \
+    -shards 2 -shardworker "$workdir/shardworker" \
+    -archive "$workdir/campaign.bin" > "$workdir/sharded-bin.txt"
+extract_table "$workdir/sharded-bin.txt" > "$workdir/sharded-bin.table"
+diff -u "$workdir/direct.table" "$workdir/sharded-bin.table"
+
+echo "== binary archive sanity: magic present, smaller than the JSONL archive"
+head -c 6 "$workdir/campaign.bin" | grep -q 'SRPUFA' || {
+    echo "campaign.bin does not start with the binary archive magic" >&2
+    exit 1
+}
+jsonl_size=$(wc -c < "$workdir/campaign.jsonl")
+bin_size=$(wc -c < "$workdir/campaign.bin")
+if [ $((bin_size * 2)) -gt "$jsonl_size" ]; then
+    echo "binary archive ($bin_size bytes) is not at least 2x smaller than JSONL ($jsonl_size bytes)" >&2
+    exit 1
+fi
+
+echo "== replaying the binary archive through evaluate (unsharded)"
+"$workdir/evaluate" -archive "$workdir/campaign.bin" -window $WINDOW \
+    > "$workdir/replay-bin.txt"
+extract_table "$workdir/replay-bin.txt" > "$workdir/replay-bin.table"
+diff -u "$workdir/direct.table" "$workdir/replay-bin.table"
+diff -u "$workdir/replay.table" "$workdir/replay-bin.table"
+
+echo "== sharded replay (2 shardworker subprocesses) of the binary archive"
+"$workdir/evaluate" -archive "$workdir/campaign.bin" -window $WINDOW \
+    -shards 2 -shardworker "$workdir/shardworker" > "$workdir/replay-bin-sharded.txt"
+extract_table "$workdir/replay-bin-sharded.txt" > "$workdir/replay-bin-sharded.table"
+diff -u "$workdir/direct.table" "$workdir/replay-bin-sharded.table"
+
+echo "== smoke OK: sharded runs, JSONL and binary replays (plain and sharded) are byte-identical to the direct run"

@@ -61,15 +61,42 @@ func NewRigSource(profile DeviceProfile, devices int, seed uint64, i2cErrorRate 
 	return core.NewRigSource(profile, devices, seed, i2cErrorRate)
 }
 
-// NewArchiveSource parses a JSON-lines measurement archive (as written by
-// agingtest -archive, a tapped RigSource, or a real rig using the same
-// schema) into a replay source. The source implements MonthLister, so an
+// NewArchiveSource parses a measurement archive (as written by agingtest
+// -archive, a tapped RigSource, or a real rig using the same schema)
+// into a replay source. Both archive formats are accepted and detected
+// by the leading bytes: the binary codec's versioned magic selects
+// binary decoding, anything else parses as JSON lines (see DESIGN.md §5
+// for the format trade-off). The source implements MonthLister, so an
 // Assessment without WithMonths evaluates exactly the months the archive
 // holds complete windows for.
 func NewArchiveSource(r io.Reader) (*ArchiveSource, error) {
-	a, err := store.ReadJSONL(r)
+	a, err := store.ReadArchive(r)
 	if err != nil {
 		return nil, err
 	}
 	return core.NewArchiveSource(a)
+}
+
+// RecordWriter is a streaming archive sink: Write one Record at a time,
+// Flush when done. Install one behind a source's record tap (RigSource
+// or ShardedSource SetTap) to archive a campaign while it runs.
+type RecordWriter = store.RecordWriter
+
+// NewJSONLRecordWriter returns a record writer in the JSON-lines schema —
+// one self-describing object per line, greppable and jq-able, the format
+// to reach for when humans will read the archive.
+func NewJSONLRecordWriter(w io.Writer) RecordWriter { return store.NewJSONLWriter(w) }
+
+// NewBinaryRecordWriter returns a record writer in the binary codec —
+// a fixed header plus raw pattern words per record, roughly half the
+// bytes and none of the hex/JSON churn, the format for large campaigns
+// and machine-to-machine transport. NewArchiveSource detects it by its
+// leading magic.
+func NewBinaryRecordWriter(w io.Writer) RecordWriter { return store.NewBinaryWriter(w) }
+
+// NewRecordWriterForPath picks the archive format from the path's
+// extension, like agingtest -archive does: `.bin` selects the binary
+// codec, anything else JSON lines.
+func NewRecordWriterForPath(path string, w io.Writer) RecordWriter {
+	return store.NewWriterForPath(path, w)
 }
