@@ -1,6 +1,6 @@
 // Benchmarks regenerating every table and figure of the paper, plus the
-// ablation benches listed in DESIGN.md §7. Each Benchmark* function is the
-// machine-checked counterpart of one experiment id in DESIGN.md §6;
+// ablation benches listed in DESIGN.md §9. Each Benchmark* function is the
+// machine-checked counterpart of one experiment id in DESIGN.md §8;
 // campaign-scale benches run a reduced configuration per iteration (the
 // full 16-device / 24-month / 1,000-window campaign is produced by
 // cmd/agingtest and recorded in EXPERIMENTS.md).
@@ -264,7 +264,7 @@ func BenchmarkTRNG(b *testing.B) {
 	}
 }
 
-// --- Ablations (DESIGN.md §7) ---
+// --- Ablations (DESIGN.md §9) ---
 
 // BenchmarkAblationAgingExponent sweeps the BTI power-law exponent: the
 // kinetics shape changes the per-step work only marginally but the drift

@@ -14,7 +14,9 @@
 // streams every measurement record to an archive as it is captured —
 // the format cmd/evaluate replays — while the same pass evaluates the
 // campaign. The archive format follows the extension: `.bin` streams
-// the binary record codec (half the bytes, no per-record JSON churn),
+// the indexed binary record codec (half the bytes, no per-record JSON
+// churn, and a trailer index written at the end of collection so
+// evaluate replays any month with an O(1) seek),
 // anything else streams JSON lines. -workers bounds evaluation
 // parallelism.
 //

@@ -52,6 +52,11 @@ import (
 type Result struct {
 	// NsPerOp is the median ns/op across the run's -count repetitions.
 	NsPerOp float64 `json:"ns_per_op"`
+	// MBPerS is the median throughput of benchmarks that call
+	// b.SetBytes (the archive replay benches) — informational, never
+	// gated: it is the human-readable "how close to memory bandwidth"
+	// number the manifest records alongside the gated ratios.
+	MBPerS float64 `json:"mb_per_s,omitempty"`
 	// BytesPerOp / AllocsPerOp are medians of -benchmem columns.
 	// AllocsPerOp is gated alongside ns/op; BytesPerOp is informational.
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
@@ -72,8 +77,9 @@ type Manifest struct {
 //
 // The -8 GOMAXPROCS suffix is stripped so manifests compare across
 // machines with different core counts; a throughput column (benchmarks
-// that call b.SetBytes) is tolerated and ignored.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+[\d.]+ MB/s)?(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// that call b.SetBytes) is captured into the manifest's mb_per_s field
+// but never gated.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) MB/s)?(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
 	emit := flag.String("emit", "", "parse a bench run from stdin and write the manifest to this path")
@@ -120,10 +126,13 @@ func runEmit(in io.Reader, path string) error {
 		}
 		r := Result{NsPerOp: ns}
 		if m[3] != "" {
-			r.BytesPerOp, _ = strconv.ParseFloat(m[3], 64)
+			r.MBPerS, _ = strconv.ParseFloat(m[3], 64)
 		}
 		if m[4] != "" {
-			r.AllocsPerOp, _ = strconv.ParseFloat(m[4], 64)
+			r.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			r.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
 		}
 		samples[m[1]] = append(samples[m[1]], r)
 	}
@@ -137,6 +146,7 @@ func runEmit(in io.Reader, path string) error {
 	for name, runs := range samples {
 		manifest.Benchmarks[name] = Result{
 			NsPerOp:     median(runs, func(r Result) float64 { return r.NsPerOp }),
+			MBPerS:      median(runs, func(r Result) float64 { return r.MBPerS }),
 			BytesPerOp:  median(runs, func(r Result) float64 { return r.BytesPerOp }),
 			AllocsPerOp: median(runs, func(r Result) float64 { return r.AllocsPerOp }),
 			Samples:     len(runs),
@@ -235,6 +245,10 @@ func runGate(currentPath, baselinePath string, maxRegress, maxAllocRegress float
 		} else if b.AllocsPerOp > 0 || c.AllocsPerOp > 0 {
 			fmt.Printf("       %-44s %11.5g allocs/op vs %8.5g baseline\n",
 				name, c.AllocsPerOp, b.AllocsPerOp)
+		}
+		if c.MBPerS > 0 {
+			fmt.Printf("       %-44s %11.5g MB/s (informational, not gated)\n",
+				name, c.MBPerS)
 		}
 	}
 	for name, b := range base.Benchmarks {

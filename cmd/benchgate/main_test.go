@@ -43,8 +43,8 @@ func TestEmitParsesAndCollapsesToMedian(t *testing.T) {
 		t.Fatalf("unsuffixed benchmark parsed wrong: %+v ok=%v", s, ok)
 	}
 	// A throughput column (b.SetBytes) must not eat the -benchmem
-	// columns behind it.
-	if s, ok := m.Benchmarks["BenchmarkArchiveReplayBinary"]; !ok || s.BytesPerOp != 588904 || s.AllocsPerOp != 1229 {
+	// columns behind it, and lands in the manifest's mb_per_s field.
+	if s, ok := m.Benchmarks["BenchmarkArchiveReplayBinary"]; !ok || s.BytesPerOp != 588904 || s.AllocsPerOp != 1229 || s.MBPerS != 385.78 {
 		t.Fatalf("MB/s-bearing benchmark parsed wrong: %+v ok=%v", s, ok)
 	}
 	if err := runEmit(strings.NewReader("PASS\n"), cur); err == nil {

@@ -3,9 +3,11 @@
 // Raspberry-Pi-backed rig using the same schema) and runs the exact
 // same Assessment the live campaign runs — archive replay is a
 // first-class Source, so the monthly window selection, the streaming
-// accumulators and the Table I assembly are one code path. Both archive
-// formats — JSON lines and the binary codec — are detected by their
-// leading bytes; replaying either yields bit-identical tables.
+// accumulators and the Table I assembly are one code path. All archive
+// formats — JSON lines and both binary versions — are detected by their
+// leading bytes; replaying any of them yields bit-identical tables.
+// Indexed (v2) archives replay seek-based: each month's windows stream
+// straight from the file. -index upgrades an older archive in place.
 package main
 
 import (
@@ -24,15 +26,35 @@ func main() {
 	}
 }
 
+// indexedNote annotates the archive banner when replay is seek-based.
+func indexedNote(info sramaging.ArchiveInfo) string {
+	if info.Indexed {
+		return ", indexed"
+	}
+	return ""
+}
+
 func run() error {
 	path := flag.String("archive", "", "measurement archive, JSONL or binary (required)")
 	window := flag.Int("window", 200, "measurements per monthly evaluation window")
 	shards := flag.Int("shards", 0, "fan the replay across N shard workers (0: single process)")
 	shardWorker := flag.String("shardworker", "", "shardworker binary for -shards (default: in-process workers)")
+	index := flag.Bool("index", false, "upgrade the archive in place to the indexed binary format (v2) before replaying")
 	flag.Parse()
 	if *path == "" {
 		flag.Usage()
 		return fmt.Errorf("missing -archive")
+	}
+	if *index {
+		upgraded, err := sramaging.UpgradeArchive(*path)
+		if err != nil {
+			return err
+		}
+		if upgraded {
+			fmt.Printf("indexed %s\n", *path)
+		} else {
+			fmt.Printf("%s already indexed\n", *path)
+		}
 	}
 	var src sramaging.Source
 	if *shards > 0 {
@@ -48,17 +70,15 @@ func run() error {
 		src = sharded
 		fmt.Printf("archive: %d boards across %d shards\n\n", sharded.Devices(), *shards)
 	} else {
-		f, err := os.Open(*path)
+		plain, err := sramaging.OpenArchiveSource(*path)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		plain, err := sramaging.NewArchiveSource(f)
-		if err != nil {
-			return err
-		}
+		defer plain.Close()
 		src = plain
-		fmt.Printf("archive: %d boards %v\n\n", plain.Devices(), plain.Boards())
+		info := plain.Info()
+		fmt.Printf("archive: %d boards %v (%s%s, %d records)\n\n",
+			plain.Devices(), plain.Boards(), info.Format, indexedNote(info), info.Records)
 	}
 
 	// No WithMonths: the archive source lists the months it holds

@@ -1,0 +1,100 @@
+package bitvec
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Arena is a slab allocator for Vectors: one contiguous []uint64 word
+// slab plus a block of Vector headers, carved into fixed-length views by
+// Claim. It exists for bulk decode paths (the indexed archive segment
+// decoder) where thousands of records per segment would otherwise cost
+// two heap allocations each; with an arena the whole segment costs zero
+// steady-state allocations once the slab has grown to the segment's
+// size.
+//
+// Ownership contract: every Vector returned by Claim aliases the arena's
+// slab and stays valid only until the next Reset. Callers that hand the
+// views to a consumer must guarantee the consumer is done (or has Cloned
+// what it retains) before resetting — the same reuse rule as the engine
+// Sink contract. The arena itself is not safe for concurrent use; use
+// one arena per goroutine.
+type Arena struct {
+	slab []uint64
+	vecs []Vector
+	w, v int // next free slab word / vector header
+}
+
+// Reset discards all outstanding views and guarantees capacity for at
+// least words slab words and vecs vectors, growing the backing storage
+// if needed (never shrinking). After Reset, previously claimed views
+// alias reused memory and must not be touched.
+func (a *Arena) Reset(words, vecs int) {
+	if words > cap(a.slab) {
+		a.slab = make([]uint64, words)
+	}
+	a.slab = a.slab[:cap(a.slab)]
+	if vecs > cap(a.vecs) {
+		a.vecs = make([]Vector, vecs)
+	}
+	a.vecs = a.vecs[:cap(a.vecs)]
+	a.w, a.v = 0, 0
+}
+
+// Claim carves an n-bit view out of the slab. The view's contents are
+// UNSPECIFIED (reused memory is not zeroed) — callers must overwrite
+// every word, e.g. via SetWord, before reading. It fails when the arena
+// capacity from the last Reset is exhausted, so a mis-sized decode loop
+// surfaces as an error instead of silently invalidating live views
+// through reallocation.
+func (a *Arena) Claim(n int) (*Vector, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("bitvec: arena claim of negative length %d", n)
+	}
+	nw := (n + wordBits - 1) / wordBits
+	if a.w+nw > len(a.slab) {
+		return nil, fmt.Errorf("bitvec: arena slab exhausted: %d of %d words free, need %d", len(a.slab)-a.w, len(a.slab), nw)
+	}
+	if a.v >= len(a.vecs) {
+		return nil, fmt.Errorf("bitvec: arena vector headers exhausted after %d claims", a.v)
+	}
+	v := &a.vecs[a.v]
+	a.v++
+	v.words = a.slab[a.w : a.w+nw : a.w+nw]
+	v.n = n
+	a.w += nw
+	return v, nil
+}
+
+// ClaimFromLE carves an n-bit view and fills it from little-endian
+// 64-bit words — the binary record codec's payload layout — in one
+// bulk pass (Claim + a tight word loop, no per-word method calls: this
+// is the hot inner loop of indexed segment replay). data must hold at
+// least ceil(n/64) words; padding bits beyond n must be zero, matching
+// the codec's canonical-form rule, and dirty padding is rejected.
+func (a *Arena) ClaimFromLE(data []byte, n int) (*Vector, error) {
+	v, err := a.Claim(n)
+	if err != nil {
+		return nil, err
+	}
+	w := v.words
+	if len(data) < 8*len(w) {
+		return nil, fmt.Errorf("bitvec: %d payload bytes cannot hold %d bits", len(data), n)
+	}
+	data = data[:8*len(w)] // one bounds check for the whole fill
+	if littleEndianHost {
+		// Wire layout == memory layout: the fill is one memmove.
+		copy(wordBytes(w), data)
+	} else {
+		for i := range w {
+			w[i] = binary.LittleEndian.Uint64(data[8*i:])
+		}
+	}
+	if tail := uint(n) % wordBits; tail != 0 && w[len(w)-1]>>tail != 0 {
+		return nil, fmt.Errorf("bitvec: non-zero padding bits beyond length %d", n)
+	}
+	return v, nil
+}
+
+// WordsFree returns the slab words still available for Claim.
+func (a *Arena) WordsFree() int { return len(a.slab) - a.w }

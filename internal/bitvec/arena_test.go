@@ -1,0 +1,82 @@
+package bitvec
+
+import "testing"
+
+func TestArenaClaim(t *testing.T) {
+	var a Arena
+	a.Reset(4, 3)
+	v1, err := a.Claim(100) // 2 words
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := a.Claim(65) // 2 words
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Len() != 100 || v2.Len() != 65 {
+		t.Fatalf("lengths: %d, %d", v1.Len(), v2.Len())
+	}
+	// Views are writable and independent.
+	v1.SetWord(0, ^uint64(0))
+	v1.SetWord(1, ^uint64(0))
+	v2.SetWord(0, 0)
+	v2.SetWord(1, 0)
+	if v1.HammingWeight() != 100 {
+		t.Fatalf("v1 weight %d, want 100 (tail must be cleared by SetWord)", v1.HammingWeight())
+	}
+	if v2.HammingWeight() != 0 {
+		t.Fatalf("v2 weight %d, want 0", v2.HammingWeight())
+	}
+	if _, err := a.Claim(1); err == nil {
+		t.Fatal("claim beyond slab capacity succeeded")
+	}
+}
+
+func TestArenaVectorHeadersExhausted(t *testing.T) {
+	var a Arena
+	a.Reset(10, 1)
+	if _, err := a.Claim(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Claim(1); err == nil {
+		t.Fatal("claim beyond vector-header capacity succeeded")
+	}
+}
+
+func TestArenaResetReuses(t *testing.T) {
+	var a Arena
+	a.Reset(8, 4)
+	v, err := a.Claim(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.SetWord(0, 0xdeadbeef)
+	// A smaller Reset must not shrink capacity and must rewind the
+	// cursors so the same storage is claimable again.
+	a.Reset(2, 1)
+	if a.WordsFree() != 8 {
+		t.Fatalf("WordsFree after smaller Reset = %d, want 8", a.WordsFree())
+	}
+	w, err := a.Claim(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &w.words[0] != &v.words[0] {
+		t.Fatal("Reset did not rewind the slab")
+	}
+}
+
+func TestArenaZeroLengthClaim(t *testing.T) {
+	var a Arena
+	a.Reset(0, 1)
+	v, err := a.Claim(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 0 {
+		t.Fatalf("len %d, want 0", v.Len())
+	}
+	if _, err := a.Claim(-1); err == nil {
+		t.Fatal("negative claim succeeded")
+	}
+}

@@ -1,0 +1,24 @@
+package bitvec
+
+import "unsafe"
+
+// littleEndianHost reports whether the host stores multi-byte integers
+// little-endian, in which case the wire layout of the binary record
+// codec (little-endian uint64 words) matches the Vector's in-memory
+// word layout exactly and bulk decode degenerates to one memmove. On a
+// big-endian host every bulk path falls back to the per-word
+// byte-order loop; correctness never depends on this flag.
+var littleEndianHost = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// wordBytes views w's backing array as raw bytes. Callers must gate on
+// littleEndianHost — on a big-endian host the byte view would not be
+// the codec's wire layout.
+func wordBytes(w []uint64) []byte {
+	if len(w) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&w[0])), 8*len(w))
+}

@@ -10,12 +10,14 @@ import (
 )
 
 // TestBinaryArchiveReplayBitIdentical: one campaign, collected through
-// the rig tap, archived in BOTH formats — JSONL and binary — must
-// replay to bit-identical Results through every replay surface: the
-// single-process ArchiveSource (auto-detecting either format) and the
-// sharded archive source at shard counts 1, 2 and 7. This is the
-// format-equivalence oracle of DESIGN.md §5: the codec changes the
-// bytes on disk and on the wire, never a bit of the assessment.
+// the rig tap, archived in EVERY format — JSONL, un-indexed binary v1
+// and indexed binary v2 — must replay to bit-identical Results through
+// every replay surface: the in-memory ArchiveSource, the seek-based
+// OpenArchiveSource (trailer index on v2, fallback scan on v1/JSONL)
+// and the sharded archive source at shard counts 1, 2 and 7 on each
+// format. This is the format-equivalence oracle of DESIGN.md §5/§6:
+// codec and index change the bytes on disk and the I/O pattern of
+// replay, never a bit of the assessment.
 func TestBinaryArchiveReplayBitIdentical(t *testing.T) {
 	profile, err := silicon.ATmega32u4()
 	if err != nil {
@@ -34,6 +36,7 @@ func TestBinaryArchiveReplayBitIdentical(t *testing.T) {
 	dir := t.TempDir()
 	jsonlPath := filepath.Join(dir, "campaign.jsonl")
 	binPath := filepath.Join(dir, "campaign.bin")
+	v1Path := filepath.Join(dir, "campaign-v1.bin")
 	writeWith := func(path string, write func(*store.Archive, *os.File) error) {
 		f, err := os.Create(path)
 		if err != nil {
@@ -48,6 +51,19 @@ func TestBinaryArchiveReplayBitIdentical(t *testing.T) {
 	}
 	writeWith(jsonlPath, func(a *store.Archive, f *os.File) error { return a.WriteArchiveJSONL(f) })
 	writeWith(binPath, func(a *store.Archive, f *os.File) error { return a.WriteArchiveBinary(f) })
+	writeWith(v1Path, func(a *store.Archive, f *os.File) error {
+		// Board-major like WriteArchiveBinary, through the version-1
+		// writer: the archive shape older campaigns left on disk.
+		bw := store.NewBinaryWriterV1(f)
+		for _, b := range a.Boards() {
+			for _, rec := range a.Records(b) {
+				if err := bw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+		return bw.Flush()
+	})
 
 	jsonlInfo, err := os.Stat(jsonlPath)
 	if err != nil {
@@ -61,7 +77,10 @@ func TestBinaryArchiveReplayBitIdentical(t *testing.T) {
 		t.Fatalf("binary archive is %d bytes, JSONL %d — want at least a 2x reduction", binInfo.Size(), jsonlInfo.Size())
 	}
 
-	replay := func(path string) *Results {
+	paths := []string{jsonlPath, v1Path, binPath}
+
+	// In-memory replay (ReadArchive materialises, any format).
+	replayMem := func(path string) *Results {
 		f, err := os.Open(path)
 		if err != nil {
 			t.Fatal(err)
@@ -77,25 +96,45 @@ func TestBinaryArchiveReplayBitIdentical(t *testing.T) {
 		}
 		return runAssessment(t, src, window, shardTestMonths)
 	}
-	assertResultsBitIdentical(t, live, replay(jsonlPath))
-	assertResultsBitIdentical(t, live, replay(binPath))
-
-	for _, shards := range []int{1, 2, 7} {
-		src, err := NewShardedArchiveSource(binPath, shards, nil)
+	// Seek-based replay straight from the file.
+	replaySeek := func(path string) *Results {
+		src, err := OpenArchiveSource(path)
 		if err != nil {
-			t.Fatalf("shards=%d: %v", shards, err)
+			t.Fatalf("%s: %v", path, err)
 		}
+		defer src.Close()
 		months, err := src.AvailableMonths(window)
 		if err != nil {
-			t.Fatalf("shards=%d: %v", shards, err)
+			t.Fatalf("%s: %v", path, err)
 		}
 		if len(months) != len(shardTestMonths) {
-			t.Fatalf("shards=%d: discovered months %v, want %v", shards, months, shardTestMonths)
+			t.Fatalf("%s: discovered months %v, want %v", path, months, shardTestMonths)
 		}
-		got := runAssessment(t, src, window, months)
-		if err := src.Close(); err != nil {
-			t.Fatalf("shards=%d: close: %v", shards, err)
+		return runAssessment(t, src, window, months)
+	}
+	for _, path := range paths {
+		assertResultsBitIdentical(t, live, replayMem(path))
+		assertResultsBitIdentical(t, live, replaySeek(path))
+	}
+
+	for _, path := range paths {
+		for _, shards := range []int{1, 2, 7} {
+			src, err := NewShardedArchiveSource(path, shards, nil)
+			if err != nil {
+				t.Fatalf("%s shards=%d: %v", path, shards, err)
+			}
+			months, err := src.AvailableMonths(window)
+			if err != nil {
+				t.Fatalf("%s shards=%d: %v", path, shards, err)
+			}
+			if len(months) != len(shardTestMonths) {
+				t.Fatalf("%s shards=%d: discovered months %v, want %v", path, shards, months, shardTestMonths)
+			}
+			got := runAssessment(t, src, window, months)
+			if err := src.Close(); err != nil {
+				t.Fatalf("%s shards=%d: close: %v", path, shards, err)
+			}
+			assertResultsBitIdentical(t, live, got)
 		}
-		assertResultsBitIdentical(t, live, got)
 	}
 }

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"sync"
 	"time"
 
@@ -99,19 +98,15 @@ func buildShardBackend(spec shard.Spec) (shard.Backend, error) {
 	case shard.ModeRig:
 		return &rigShardBackend{spec: spec}, nil
 	case shard.ModeArchive:
-		f, err := os.Open(spec.ArchivePath)
+		ir, err := store.OpenIndexedFile(spec.ArchivePath)
 		if err != nil {
 			return nil, fmt.Errorf("%w: shard archive: %v", ErrConfig, err)
 		}
-		defer f.Close()
-		archive, err := store.ReadArchive(f)
-		if err != nil {
-			return nil, fmt.Errorf("%w: shard archive %s: %v", ErrConfig, spec.ArchivePath, err)
-		}
-		if archive.Len() == 0 {
+		if ir.TotalRecords() == 0 {
+			ir.Close()
 			return nil, fmt.Errorf("%w: empty shard archive %s", ErrConfig, spec.ArchivePath)
 		}
-		return &archiveShardBackend{archive: archive, boards: archive.Boards()}, nil
+		return &archiveShardBackend{ir: ir, boards: ir.Boards()}, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown shard mode %q", ErrConfig, spec.Mode)
 	}
@@ -220,20 +215,21 @@ func (b *rigShardBackend) Measure(ctx context.Context, month, size, workers int,
 	return b.src.Measure(ctx, month, size, func(int, *bitvec.Vector) error { return nil })
 }
 
-// archiveShardBackend replays a shard of an archive's boards. The
-// worker reads the full archive once (board discovery must agree
-// across workers), then Assign filters down to the assigned boards and
-// DROPS the full archive — after assignment the worker retains only
-// its ~1/N of the records, which is the memory shape sharding exists
-// for. Month discovery and window bounding reuse the archive source's
-// own logic on the filtered view.
+// archiveShardBackend replays a shard of an archive's boards over a
+// shared indexed reader. The worker opens the archive's index once
+// (board discovery must agree across workers, and on a v2 archive the
+// open reads only the footer), then Assign narrows the replay view to
+// the assigned boards: no records are ever materialised — each Measure
+// seeks straight to the shard's (board, month) segments, which is an
+// even better memory shape than the old keep-1/N-of-the-records one.
+// Month discovery and window bounding reuse the archive source's own
+// logic on the narrowed view. The backend holds the archive file open
+// for the session; shard.Serve closes it on exit.
 type archiveShardBackend struct {
-	archive  *store.Archive // full archive; released by Assign
-	boards   []int          // full board list, ascending: global device index order
-	filtered *store.Archive // the shard's boards only
-	indices  []int
-	shardBs  []int
-	src      *ArchiveSource
+	ir      *store.IndexedReader
+	boards  []int // full board list, ascending: global device index order
+	indices []int
+	src     *ArchiveSource // replay view over the assigned boards only
 }
 
 func (b *archiveShardBackend) Devices() int { return len(b.boards) }
@@ -242,23 +238,12 @@ func (b *archiveShardBackend) Assign(indices []int) error {
 	if err := validAssignment(indices, len(b.boards)); err != nil {
 		return err
 	}
-	filtered := store.NewArchive()
 	shardBs := make([]int, len(indices))
 	for d, g := range indices {
-		board := b.boards[g]
-		shardBs[d] = board
-		for _, rec := range b.archive.Records(board) {
-			if err := filtered.Append(rec); err != nil {
-				return err
-			}
-		}
+		shardBs[d] = b.boards[g]
 	}
-	src, err := NewArchiveSource(filtered)
-	if err != nil {
-		return err
-	}
-	b.indices, b.shardBs, b.filtered, b.src = indices, shardBs, filtered, src
-	b.archive = nil // the other shards' records are not this worker's business
+	b.indices = indices
+	b.src = newArchiveSourceOver(b.ir, shardBs)
 	return nil
 }
 
@@ -266,24 +251,19 @@ func (b *archiveShardBackend) Months(windowSize int) ([]int, error) {
 	return b.src.AvailableMonths(windowSize)
 }
 
-func (b *archiveShardBackend) Measure(ctx context.Context, month, size, _ int, emit func(device int, rec store.Record) error) error {
-	start := store.MonthlyWindowStart(month)
-	for d, board := range b.shardBs {
-		recs, err := b.filtered.WindowBounded(board, start, store.MonthlyWindowStart(month+1), size)
-		if err != nil {
-			return fmt.Errorf("%w: board %d month %d: %v", ErrShortWindow, board, month, err)
-		}
-		for i := range recs {
-			if err := ctx.Err(); err != nil {
-				return fmt.Errorf("core: board %d measurement %d: %w", board, i, err)
-			}
-			if err := emit(b.indices[d], recs[i]); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+// Measure replays the shard's boards with the worker's parallelism
+// budget; emit is safe for concurrent calls across distinct devices and
+// encodes the record synchronously, so the decoder's arena-backed
+// pattern storage can be reused between a board's deliveries.
+func (b *archiveShardBackend) Measure(ctx context.Context, month, size, workers int, emit func(device int, rec store.Record) error) error {
+	b.src.SetWorkers(workers)
+	return b.src.replay(ctx, month, size, func(d int, rec *store.Record) error {
+		return emit(b.indices[d], *rec)
+	})
 }
+
+// Close releases the archive file when the worker session ends.
+func (b *archiveShardBackend) Close() error { return b.ir.Close() }
 
 // validAssignment checks a shard assignment: ascending, unique, in
 // range.

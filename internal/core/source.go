@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/aging"
@@ -311,9 +312,24 @@ func (s *RigSource) Measure(ctx context.Context, month, size int, sink Sink) err
 // path of cmd/evaluate, promoted to a first-class source so archive
 // replay and live campaigns are the same Assessment call. Device index d
 // is the d-th board present in the archive (board IDs may be sparse).
+//
+// Replay is seek-based: the source sits on a store.IndexedReader, so an
+// indexed (v2) archive streams each month's window straight from the
+// file — the whole archive is never materialised in memory — and the
+// per-board segment decodes are fanned across the source's worker pool.
+// Un-indexed archives (v1, JSONL) get the same interface through the
+// reader's one-pass fallback scan.
 type ArchiveSource struct {
-	archive *store.Archive
-	boards  []int
+	ir     *store.IndexedReader
+	boards []int
+	pool   *stream.Pool
+	decs   sync.Pool // *store.SegmentDecoder, one per in-flight board job
+}
+
+func newArchiveSourceOver(ir *store.IndexedReader, boards []int) *ArchiveSource {
+	s := &ArchiveSource{ir: ir, boards: boards, pool: stream.NewPool(0)}
+	s.decs.New = func() any { return new(store.SegmentDecoder) }
+	return s
 }
 
 // NewArchiveSource wraps an in-memory archive.
@@ -321,7 +337,35 @@ func NewArchiveSource(a *store.Archive) (*ArchiveSource, error) {
 	if a == nil || a.Len() == 0 {
 		return nil, fmt.Errorf("%w: empty archive", ErrConfig)
 	}
-	return &ArchiveSource{archive: a, boards: a.Boards()}, nil
+	ir, err := store.IndexArchive(a)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	return newArchiveSourceOver(ir, ir.Boards()), nil
+}
+
+// NewIndexedArchiveSource wraps an open indexed reader. The source takes
+// over the reader's lifetime: Close closes it.
+func NewIndexedArchiveSource(ir *store.IndexedReader) (*ArchiveSource, error) {
+	if ir == nil || ir.TotalRecords() == 0 {
+		return nil, fmt.Errorf("%w: empty archive", ErrConfig)
+	}
+	return newArchiveSourceOver(ir, ir.Boards()), nil
+}
+
+// OpenArchiveSource opens the archive file at path for seek-based
+// replay (any archive format; a v2 index is used directly, v1 and JSONL
+// are scanned once to build one). The caller must Close the source.
+func OpenArchiveSource(path string) (*ArchiveSource, error) {
+	ir, err := store.OpenIndexedFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	if ir.TotalRecords() == 0 {
+		ir.Close()
+		return nil, fmt.Errorf("%w: empty archive %s", ErrConfig, path)
+	}
+	return newArchiveSourceOver(ir, ir.Boards()), nil
 }
 
 // Devices returns the number of boards present in the archive.
@@ -329,6 +373,18 @@ func (s *ArchiveSource) Devices() int { return len(s.boards) }
 
 // Boards returns the archive's board IDs in device-index order.
 func (s *ArchiveSource) Boards() []int { return append([]int(nil), s.boards...) }
+
+// Info describes the archive backing the source.
+func (s *ArchiveSource) Info() store.ArchiveInfo { return s.ir.Info() }
+
+// SetWorkers bounds the per-board replay parallelism (<= 0: one
+// goroutine per board).
+func (s *ArchiveSource) SetWorkers(n int) { s.pool = stream.NewPool(n) }
+
+// Close releases the underlying archive file (no-op for in-memory
+// backings). The engine does not close sources; whoever opened the
+// archive owns its lifetime.
+func (s *ArchiveSource) Close() error { return s.ir.Close() }
 
 // AvailableMonths returns the ascending month indices at which EVERY
 // board holds a complete window of the given size — the paper's "first
@@ -340,28 +396,29 @@ func (s *ArchiveSource) Boards() []int { return append([]int(nil), s.boards...) 
 // month complete on SOME boards and short on others while later months
 // are complete is a data defect (lost records) and is reported as an
 // error naming the month and boards, never silently skipped.
+//
+// Discovery is pure index arithmetic (per-board month record counts) —
+// on a v2 archive no record is decoded.
 func (s *ArchiveSource) AvailableMonths(windowSize int) ([]int, error) {
-	var last time.Time
-	for _, b := range s.boards {
-		recs := s.archive.Records(b)
-		if len(recs) > 0 && recs[len(recs)-1].Wall.After(last) {
-			last = recs[len(recs)-1].Wall
-		}
-	}
-	var months []int
-	partialMonth, partialBoards := -1, []int(nil)
 	// Archives are external input: a single corrupt far-future timestamp
 	// must not turn discovery into a ~100k-iteration scan, so the month
 	// walk is capped at 50 years past the campaign epoch.
 	const maxArchiveMonths = 600
-	for m := 0; m <= maxArchiveMonths; m++ {
-		start := store.MonthlyWindowStart(m)
-		if start.After(last) {
-			break
+	last := -1
+	for _, b := range s.boards {
+		if m, ok := s.ir.LastMonth(b); ok && m > last {
+			last = m
 		}
+	}
+	if last > maxArchiveMonths {
+		last = maxArchiveMonths
+	}
+	var months []int
+	partialMonth, partialBoards := -1, []int(nil)
+	for m := 0; m <= last; m++ {
 		var missing []int
 		for _, b := range s.boards {
-			if _, err := s.archive.WindowBounded(b, start, store.MonthlyWindowStart(m+1), windowSize); err != nil {
+			if s.ir.MonthRecords(b, m) < windowSize {
 				missing = append(missing, b)
 			}
 		}
@@ -384,23 +441,39 @@ func (s *ArchiveSource) AvailableMonths(windowSize int) ([]int, error) {
 	return months, nil
 }
 
-// Measure replays the month's window board by board, bounded to the
-// month's records like AvailableMonths.
-func (s *ArchiveSource) Measure(ctx context.Context, month, size int, sink Sink) error {
-	start := store.MonthlyWindowStart(month)
+// replay streams the month's windows with full record envelopes, one
+// segment job per board on the source's pool. The *store.Record (and
+// its arena-backed Data) is valid only inside fn — retainers must Clone,
+// the same reuse rule as the engine Sink.
+func (s *ArchiveSource) replay(ctx context.Context, month, size int, fn func(device int, rec *store.Record) error) error {
+	jobs := make([]func() error, len(s.boards))
 	for d, b := range s.boards {
-		recs, err := s.archive.WindowBounded(b, start, store.MonthlyWindowStart(month+1), size)
-		if err != nil {
-			return fmt.Errorf("%w: board %d month %d: %v", ErrShortWindow, b, month, err)
-		}
-		for i := range recs {
-			if err := ctx.Err(); err != nil {
-				return fmt.Errorf("core: board %d measurement %d: %w", b, i, err)
+		d, b := d, b
+		jobs[d] = func() error {
+			if n := s.ir.MonthRecords(b, month); n < size {
+				return fmt.Errorf("%w: board %d month %d: archive holds %d records in the month's window, want %d",
+					ErrShortWindow, b, month, n, size)
 			}
-			if err := sink(d, recs[i].Data); err != nil {
-				return err
-			}
+			dec := s.decs.Get().(*store.SegmentDecoder)
+			defer s.decs.Put(dec)
+			i := 0
+			return s.ir.ReadSegment(dec, b, month, size, func(rec *store.Record) error {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("core: board %d measurement %d: %w", b, i, err)
+				}
+				i++
+				return fn(d, rec)
+			})
 		}
 	}
-	return nil
+	return s.pool.Run(jobs...)
+}
+
+// Measure replays the month's window per board, bounded to the month's
+// records like AvailableMonths. Boards decode in parallel on the
+// source's pool; each board's measurements arrive in capture order.
+func (s *ArchiveSource) Measure(ctx context.Context, month, size int, sink Sink) error {
+	return s.replay(ctx, month, size, func(d int, rec *store.Record) error {
+		return sink(d, rec.Data)
+	})
 }

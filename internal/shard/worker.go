@@ -64,6 +64,14 @@ func Serve(ctx context.Context, rw io.ReadWriter, cfg ServerConfig) error {
 		backend Backend
 		indices []int
 	)
+	// Backends may hold resources open for the session (the archive
+	// backend keeps its indexed file open for seek-based replay); release
+	// them however the session ends.
+	defer func() {
+		if c, ok := backend.(io.Closer); ok {
+			c.Close()
+		}
+	}()
 	write := func(typ byte, v any) error {
 		wmu.Lock()
 		defer wmu.Unlock()

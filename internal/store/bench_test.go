@@ -2,6 +2,9 @@ package store
 
 import (
 	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -105,4 +108,137 @@ func BenchmarkArchiveReplayBinary(b *testing.B) {
 	benchArchiveReplay(b, func(a *Archive, buf *bytes.Buffer) error {
 		return a.WriteArchiveBinary(buf)
 	})
+}
+
+// BenchmarkArchiveReplayIndexed replays the same 400-record archive
+// through the v2 index: open from the trailer, then stream every
+// (board, month) segment through arena-backed seek decodes, boards in
+// parallel. This is cmd/evaluate's replay path; the speedup over
+// ...Binary (which materialises the whole archive) is the index's
+// reason to exist, and steady state must stay within the allocs gate —
+// decoders are reused, payload words live in per-decoder arenas.
+func BenchmarkArchiveReplayIndexed(b *testing.B) {
+	recs := benchRecordSet(b, 2, 200)
+	a := NewArchive()
+	for _, rec := range recs {
+		if err := a.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := a.WriteArchiveBinary(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	ra := bytes.NewReader(data)
+	r, err := OpenIndexed(ra, int64(len(data)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	segs := r.Segments()
+	decs := make([]*SegmentDecoder, len(segs))
+	for i := range decs {
+		decs[i] = new(SegmentDecoder)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		var replayed atomic.Int64
+		var firstErr atomic.Value
+		for j, seg := range segs {
+			wg.Add(1)
+			go func(d *SegmentDecoder, seg Segment) {
+				defer wg.Done()
+				n := 0
+				err := r.ReadSegment(d, seg.Board, seg.Month, 0, func(*Record) error {
+					n++
+					return nil
+				})
+				if err != nil {
+					firstErr.Store(err)
+				}
+				replayed.Add(int64(n))
+			}(decs[j], seg)
+		}
+		wg.Wait()
+		if err, ok := firstErr.Load().(error); ok {
+			b.Fatal(err)
+		}
+		if got := replayed.Load(); got != int64(len(recs)) {
+			b.Fatalf("replayed %d records, want %d", got, len(recs))
+		}
+	}
+}
+
+// BenchmarkArchiveSeekMonth opens an archive and replays ONLY its last
+// month. With the v2 trailer index the cost must be O(footer + one
+// month's bytes) — flat across archive sizes — where a scanning reader
+// pays for every earlier month. SetBytes counts just the month
+// replayed, so MB/s reflects the useful read rate.
+func BenchmarkArchiveSeekMonth(b *testing.B) {
+	for _, months := range []int{3, 24} {
+		b.Run(fmt.Sprintf("months=%d", months), func(b *testing.B) {
+			const boards, perMonth = 2, 100
+			a := NewArchive()
+			var monthBytes int64
+			for bd := 0; bd < boards; bd++ {
+				for m := 0; m < months; m++ {
+					start := MonthlyWindowStart(m)
+					for i := 0; i < perMonth; i++ {
+						v := bitvec.New(8192)
+						for j := (bd + i + m) % 17; j < 8192; j += 17 {
+							v.Set(j, true)
+						}
+						rec := Record{
+							Board: bd, Layer: bd % 2,
+							Seq: uint64(m*perMonth + i), Cycle: uint64(m*perMonth + i),
+							Wall: start.Add(time.Duration(i) * 5400 * time.Millisecond),
+							Data: v,
+						}
+						if err := a.Append(rec); err != nil {
+							b.Fatal(err)
+						}
+						if m == months-1 {
+							n, err := BinaryRecordSize(rec)
+							if err != nil {
+								b.Fatal(err)
+							}
+							monthBytes += int64(n)
+						}
+					}
+				}
+			}
+			var buf bytes.Buffer
+			if err := a.WriteArchiveBinary(&buf); err != nil {
+				b.Fatal(err)
+			}
+			data := buf.Bytes()
+			var dec SegmentDecoder
+			last := months - 1
+			b.SetBytes(monthBytes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := OpenIndexed(bytes.NewReader(data), int64(len(data)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				n := 0
+				for bd := 0; bd < boards; bd++ {
+					err := r.ReadSegment(&dec, bd, last, 0, func(*Record) error {
+						n++
+						return nil
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				if n != boards*perMonth {
+					b.Fatalf("replayed %d records, want %d", n, boards*perMonth)
+				}
+			}
+		})
+	}
 }

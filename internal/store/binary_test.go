@@ -184,15 +184,15 @@ func TestBinaryCorruptionRejected(t *testing.T) {
 		}
 	})
 	t.Run("bad archive magic", func(t *testing.T) {
-		if _, err := ReadBinary(strings.NewReader("SRPUFA\x00\x02rest")); !errors.Is(err, ErrBinary) {
-			t.Fatalf("version 2 magic: err = %v, want ErrBinary", err)
+		if _, err := ReadBinary(strings.NewReader("SRPUFA\x00\x03rest")); !errors.Is(err, ErrBinary) {
+			t.Fatalf("version 3 magic: err = %v, want ErrBinary", err)
 		}
 		if _, err := ReadBinary(strings.NewReader("short")); !errors.Is(err, ErrBinary) {
 			t.Fatalf("short magic: err = %v, want ErrBinary", err)
 		}
 		// Auto-detection must route a FUTURE format version to the
 		// binary reader's version error, not to the JSONL parser.
-		if _, err := ReadArchive(strings.NewReader("SRPUFA\x00\x02rest")); !errors.Is(err, ErrBinary) {
+		if _, err := ReadArchive(strings.NewReader("SRPUFA\x00\x03rest")); !errors.Is(err, ErrBinary) {
 			t.Fatalf("future version via ReadArchive: err = %v, want ErrBinary", err)
 		}
 	})

@@ -1,0 +1,888 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/bitvec"
+)
+
+// This file is the indexed side of the binary archive format (v2) and
+// the seek-based replay machinery built on it. The v2 layout:
+//
+//	"SRPUFA\x00\x02"                                   8 bytes
+//	record region: v1-encoded records, back to back    N bytes
+//	end sentinel (header-shaped, see below)            36 bytes
+//	index: entryCount varint entries                   variable
+//	trailer                                            24 bytes
+//
+// The end sentinel is shaped like a record header whose bits field is
+// 0xFFFFFFFF — a value no valid record can carry (the payload bound is
+// 1<<27 bits) — so a sequential reader discovers the end of the record
+// region without knowing the file size:
+//
+//	offset  size  field
+//	0       8     "SRPUFEND"
+//	8       8     total record count (uint64 LE)
+//	16      16    reserved, must be zero
+//	32      4     0xFFFFFFFF (the impossible bits field)
+//
+// Each index entry describes one RUN of consecutive records sharing a
+// (board, month) pair — interleaved collection streams produce many
+// short runs per (board, month); board-major rewrites produce one entry
+// per segment. Entries are delta/varint packed (~4-6 bytes each), and
+// byte offsets are implied: the first run starts right after the magic,
+// and runs tile the record region exactly:
+//
+//	varint  board delta vs previous entry (zigzag)
+//	varint  month delta vs previous entry (zigzag)
+//	uvarint record count of the run
+//	uvarint byte length of the run
+//
+// The trailer is fixed-size and lands at EOF, zip-EOCD style, so a
+// random-access reader finds the index in O(1):
+//
+//	offset  size  field
+//	0       8     byte offset of the first index entry (uint64 LE)
+//	8       8     index entry count (uint64 LE)
+//	16      8     "SRPUFIX2"
+//
+// Corruption policy: a v2 archive with a corrupt trailer, sentinel or
+// index is rejected with ErrBinary — there is NO rescue scan, because
+// index bytes could decode as plausible records and a "rescued" replay
+// might silently evaluate wrong months. The fallback scan applies only
+// to formats that never had an index (v1, JSONL): those are read once,
+// front to back, and the index is built in memory. Every seek-decoded
+// record is additionally validated against its segment's (board, month),
+// so even an index that lies cannot cause a wrong-month replay.
+
+const (
+	endSentinelMagic  = "SRPUFEND"
+	indexTrailerMagic = "SRPUFIX2"
+	indexTrailerLen   = 24
+)
+
+// endSentinelBits marks the end-of-records sentinel: a bits field no
+// valid record can have (far beyond maxBinaryRecordBits).
+const endSentinelBits = ^uint32(0)
+
+// Archive format names reported by IndexedReader.Format and ArchiveInfo.
+const (
+	FormatBinaryV2 = "binary-v2"
+	FormatBinaryV1 = "binary-v1"
+	FormatJSONL    = "jsonl"
+	FormatMemory   = "memory"
+)
+
+// indexEntry is one decoded index run.
+type indexEntry struct {
+	board, month int
+	count        int
+	length       int64
+}
+
+// decodeIndexEntries parses the varint index region, which must hold
+// exactly want entries and be fully consumed.
+func decodeIndexEntries(data []byte, want uint64) ([]indexEntry, error) {
+	if maxEntries := uint64(len(data) / 4); want > maxEntries {
+		return nil, fmt.Errorf("%w: trailer claims %d index entries, a %d-byte index holds at most %d", ErrBinary, want, len(data), maxEntries)
+	}
+	entries := make([]indexEntry, 0, want)
+	var board, month int64
+	for len(data) > 0 {
+		var deltas [2]int64
+		for i := range deltas {
+			d, n := binary.Varint(data)
+			if n <= 0 {
+				return nil, fmt.Errorf("%w: corrupt index entry %d (bad varint delta)", ErrBinary, len(entries))
+			}
+			deltas[i] = d
+			data = data[n:]
+		}
+		count, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: corrupt index entry %d (bad record count)", ErrBinary, len(entries))
+		}
+		data = data[n:]
+		length, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: corrupt index entry %d (bad byte length)", ErrBinary, len(entries))
+		}
+		data = data[n:]
+		board += deltas[0]
+		month += deltas[1]
+		switch {
+		case board != int64(int32(board)):
+			return nil, fmt.Errorf("%w: index entry %d board %d outside the record header domain", ErrBinary, len(entries), board)
+		case month != int64(int32(month)):
+			return nil, fmt.Errorf("%w: index entry %d month %d outside the record header domain", ErrBinary, len(entries), month)
+		case count == 0:
+			return nil, fmt.Errorf("%w: index entry %d is empty (zero records)", ErrBinary, len(entries))
+		case length > 1<<62 || int64(length) < int64(count)*binaryHeaderLen:
+			return nil, fmt.Errorf("%w: index entry %d: %d bytes cannot hold %d records", ErrBinary, len(entries), length, count)
+		}
+		entries = append(entries, indexEntry{board: int(board), month: int(month), count: int(count), length: int64(length)})
+	}
+	if uint64(len(entries)) != want {
+		return nil, fmt.Errorf("%w: index holds %d entries, trailer claims %d", ErrBinary, len(entries), want)
+	}
+	return entries, nil
+}
+
+// segKey identifies one (board, month) segment.
+type segKey struct{ board, month int }
+
+// segRun is one contiguous piece of a segment. For file backings off and
+// length are byte ranges; for the in-memory backing off is the record
+// index within the board's slice and length is unused.
+type segRun struct {
+	off    int64
+	length int64
+	count  int
+}
+
+// Segment summarises one (board, month) slice of an archive — the unit
+// of seek-based replay.
+type Segment struct {
+	Board, Month int
+	Count        int   // records in the segment
+	Bytes        int64 // encoded size (0 for the in-memory backing)
+	Runs         int   // contiguous runs (1 for board-major archives)
+}
+
+// IndexedReader is random (month-seekable) access to a measurement
+// archive. A v2 archive opens in O(1) via its trailer; v1 and JSONL
+// archives are scanned once, front to back, to build the same index in
+// memory (Indexed reports which case applies). All accessors and
+// ReadSegment are safe for concurrent use — give each goroutine its own
+// SegmentDecoder.
+type IndexedReader struct {
+	ra     io.ReaderAt
+	size   int64
+	format string
+	index  bool
+
+	boards []int
+	segs   map[segKey][]segRun
+	counts map[segKey]int
+	minM   int
+	maxM   int
+	total  int
+	mem    *Archive
+	closer io.Closer
+}
+
+// indexBuilder accumulates segment runs during open/scan.
+type indexBuilder struct {
+	segs   map[segKey][]segRun
+	counts map[segKey]int
+	boards map[int]bool
+	minM   int
+	maxM   int
+	total  int
+}
+
+func newIndexBuilder() *indexBuilder {
+	return &indexBuilder{
+		segs:   make(map[segKey][]segRun),
+		counts: make(map[segKey]int),
+		boards: make(map[int]bool),
+	}
+}
+
+// addRun appends one run. Consecutive calls for the same key extend the
+// previous run when contiguous, so a record-at-a-time scan coalesces
+// into the same runs the v2 writer would have emitted.
+func (b *indexBuilder) addRun(board, month int, off, length int64, count int) {
+	key := segKey{board, month}
+	runs := b.segs[key]
+	if n := len(runs); n > 0 && runs[n-1].off+runs[n-1].length == off {
+		runs[n-1].length += length
+		runs[n-1].count += count
+	} else {
+		runs = append(runs, segRun{off: off, length: length, count: count})
+	}
+	b.segs[key] = runs
+	b.counts[key] += count
+	if b.total == 0 || month < b.minM {
+		b.minM = month
+	}
+	if b.total == 0 || month > b.maxM {
+		b.maxM = month
+	}
+	b.boards[board] = true
+	b.total += count
+}
+
+func (b *indexBuilder) finish(r *IndexedReader) {
+	r.segs, r.counts, r.total = b.segs, b.counts, b.total
+	r.minM, r.maxM = b.minM, b.maxM
+	r.boards = make([]int, 0, len(b.boards))
+	for bd := range b.boards {
+		r.boards = append(r.boards, bd)
+	}
+	sort.Ints(r.boards)
+}
+
+// OpenIndexed opens a measurement archive for seek-based replay. The
+// format is detected from the leading bytes: v2 reads only the footer
+// (O(1) in archive size), v1 and JSONL fall back to a single front-to-
+// back scan that builds the index in memory. ra must support concurrent
+// ReadAt (os.File, bytes.Reader and io.SectionReader all do).
+func OpenIndexed(ra io.ReaderAt, size int64) (*IndexedReader, error) {
+	if size < 0 {
+		return nil, fmt.Errorf("%w: negative archive size %d", ErrBinary, size)
+	}
+	r := &IndexedReader{ra: ra, size: size}
+	var head [8]byte
+	if size >= int64(len(head)) {
+		if _, err := ra.ReadAt(head[:], 0); err != nil {
+			return nil, fmt.Errorf("store: reading archive head: %w", err)
+		}
+	}
+	switch {
+	case size >= 8 && string(head[:]) == BinaryMagicV2:
+		r.format, r.index = FormatBinaryV2, true
+		if err := r.openV2(); err != nil {
+			return nil, err
+		}
+	case size >= 8 && string(head[:]) == BinaryMagic:
+		r.format = FormatBinaryV1
+		if err := r.scanBinary(); err != nil {
+			return nil, err
+		}
+	case size >= 8 && string(head[:7]) == BinaryMagic[:7]:
+		return nil, fmt.Errorf("%w: bad archive magic % x (version mismatch)", ErrBinary, head)
+	default:
+		r.format = FormatJSONL
+		if err := r.scanJSONL(); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// OpenIndexedFile opens the archive at path; Close releases the file.
+func OpenIndexedFile(path string) (*IndexedReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r, err := OpenIndexed(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: archive %s: %w", path, err)
+	}
+	r.closer = f
+	return r, nil
+}
+
+// IndexArchive wraps an already-parsed in-memory archive in the same
+// seek interface, so replay sources have one code path whether the
+// records came from a file or from memory.
+func IndexArchive(a *Archive) (*IndexedReader, error) {
+	if a == nil {
+		return nil, fmt.Errorf("%w: nil archive", ErrBinary)
+	}
+	r := &IndexedReader{format: FormatMemory, mem: a}
+	b := newIndexBuilder()
+	for _, board := range a.Boards() {
+		for i, rec := range a.Records(board) {
+			b.addRun(board, MonthIndex(rec.Wall), int64(i), 1, 1)
+		}
+	}
+	b.finish(r)
+	return r, nil
+}
+
+// openV2 reads the trailer, sentinel and index of a v2 archive and
+// cross-checks them; any inconsistency is ErrBinary (no rescue scan).
+func (r *IndexedReader) openV2() error {
+	minSize := int64(len(BinaryMagicV2)) + binaryHeaderLen + indexTrailerLen
+	if r.size < minSize {
+		return fmt.Errorf("%w: %d-byte archive is too small for the v2 footer (min %d)", ErrBinary, r.size, minSize)
+	}
+	var tr [indexTrailerLen]byte
+	if _, err := r.ra.ReadAt(tr[:], r.size-indexTrailerLen); err != nil {
+		return fmt.Errorf("%w: reading index trailer: %v", ErrBinary, err)
+	}
+	if string(tr[16:24]) != indexTrailerMagic {
+		return fmt.Errorf("%w: bad index trailer magic % x", ErrBinary, tr[16:24])
+	}
+	indexOff := binary.LittleEndian.Uint64(tr[0:8])
+	entryCount := binary.LittleEndian.Uint64(tr[8:16])
+	sentinelOff := int64(indexOff) - binaryHeaderLen
+	if indexOff > uint64(r.size-indexTrailerLen) || sentinelOff < int64(len(BinaryMagicV2)) {
+		return fmt.Errorf("%w: trailer index offset %d outside the archive [44, %d]", ErrBinary, indexOff, r.size-indexTrailerLen)
+	}
+	var s [binaryHeaderLen]byte
+	if _, err := r.ra.ReadAt(s[:], sentinelOff); err != nil {
+		return fmt.Errorf("%w: reading end sentinel: %v", ErrBinary, err)
+	}
+	if string(s[0:8]) != endSentinelMagic || binary.LittleEndian.Uint32(s[32:36]) != endSentinelBits {
+		return fmt.Errorf("%w: corrupt end sentinel at offset %d", ErrBinary, sentinelOff)
+	}
+	for _, bb := range s[16:32] {
+		if bb != 0 {
+			return fmt.Errorf("%w: corrupt end sentinel (non-zero reserved bytes)", ErrBinary)
+		}
+	}
+	sentinelCount := binary.LittleEndian.Uint64(s[8:16])
+	idx := make([]byte, r.size-indexTrailerLen-int64(indexOff))
+	if _, err := r.ra.ReadAt(idx, int64(indexOff)); err != nil {
+		return fmt.Errorf("%w: reading index: %v", ErrBinary, err)
+	}
+	entries, err := decodeIndexEntries(idx, entryCount)
+	if err != nil {
+		return err
+	}
+	b := newIndexBuilder()
+	off := int64(len(BinaryMagicV2))
+	var recs uint64
+	// Per-board wall order implies per-board month order, so an index
+	// whose months go backwards for a board describes an archive the
+	// sequential reader would reject — catch that from the entries
+	// alone. (Disorder WITHIN a month segment is caught at read time by
+	// readBinarySegment's wall check.)
+	lastMonth := make(map[int]int)
+	for _, e := range entries {
+		if last, ok := lastMonth[e.board]; ok && e.month < last {
+			return fmt.Errorf("%w: board %d month %d indexed after month %d — records out of order", ErrBinary, e.board, e.month, last)
+		}
+		lastMonth[e.board] = e.month
+		b.addRun(e.board, e.month, off, e.length, e.count)
+		off += e.length
+		recs += uint64(e.count)
+	}
+	if off != sentinelOff {
+		return fmt.Errorf("%w: index covers record bytes [8, %d), archive's record region ends at %d", ErrBinary, off, sentinelOff)
+	}
+	if recs != sentinelCount {
+		return fmt.Errorf("%w: index counts %d records, end sentinel claims %d", ErrBinary, recs, sentinelCount)
+	}
+	b.finish(r)
+	return nil
+}
+
+// scanBinary builds the index for an un-indexed v1 archive with one
+// front-to-back decode pass, recording byte offsets as it goes. The scan
+// enforces the same per-board wall ordering ReadArchive does.
+func (r *IndexedReader) scanBinary() error {
+	br, err := NewBinaryReader(bufio.NewReaderSize(io.NewSectionReader(r.ra, 0, r.size), 256*1024))
+	if err != nil {
+		return err
+	}
+	b := newIndexBuilder()
+	lastWall := make(map[int]time.Time)
+	off := int64(len(BinaryMagic))
+	var rec Record
+	for i := 0; ; i++ {
+		err := br.Read(&rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("store: binary record %d: %w", i, err)
+		}
+		if last, ok := lastWall[rec.Board]; ok && rec.Wall.Before(last) {
+			return fmt.Errorf("%w: board %d: out-of-order record at %v", ErrBinary, rec.Board, rec.Wall)
+		}
+		lastWall[rec.Board] = rec.Wall
+		n := int64(binaryHeaderLen + 8*len(rec.Data.Words()))
+		b.addRun(rec.Board, MonthIndex(rec.Wall), off, n, 1)
+		off += n
+	}
+	b.finish(r)
+	return nil
+}
+
+// scanJSONL builds the index for a JSONL archive with one line-by-line
+// parse pass, recording line byte ranges. Lines are fully unmarshalled
+// (the scan validates exactly what ReadJSONL would), but only the index
+// is retained.
+func (r *IndexedReader) scanJSONL() error {
+	br := bufio.NewReaderSize(io.NewSectionReader(r.ra, 0, r.size), 256*1024)
+	b := newIndexBuilder()
+	lastWall := make(map[int]time.Time)
+	var off int64
+	for lineNo := 1; ; lineNo++ {
+		line, err := br.ReadBytes('\n')
+		if len(line) == 0 && err == io.EOF {
+			break
+		}
+		if err != nil && err != io.EOF {
+			return fmt.Errorf("store: %w", err)
+		}
+		n := int64(len(line))
+		trimmed := line
+		for len(trimmed) > 0 && (trimmed[len(trimmed)-1] == '\n' || trimmed[len(trimmed)-1] == '\r') {
+			trimmed = trimmed[:len(trimmed)-1]
+		}
+		if len(trimmed) > maxJSONLLineBytes {
+			return fmt.Errorf("store: line %d: %d bytes exceeds the %d-byte line bound", lineNo, len(trimmed), maxJSONLLineBytes)
+		}
+		if len(trimmed) > 0 {
+			var rec Record
+			if uerr := json.Unmarshal(trimmed, &rec); uerr != nil {
+				return fmt.Errorf("store: line %d: %w", lineNo, uerr)
+			}
+			if rec.Data == nil {
+				return fmt.Errorf("store: line %d: record has no data", lineNo)
+			}
+			if last, ok := lastWall[rec.Board]; ok && rec.Wall.Before(last) {
+				return fmt.Errorf("store: board %d: out-of-order record at %v", rec.Board, rec.Wall)
+			}
+			lastWall[rec.Board] = rec.Wall
+			b.addRun(rec.Board, MonthIndex(rec.Wall), off, n, 1)
+		}
+		off += n
+		if err == io.EOF {
+			break
+		}
+	}
+	b.finish(r)
+	return nil
+}
+
+// Format returns the archive's detected format (Format* constants).
+func (r *IndexedReader) Format() string { return r.format }
+
+// Indexed reports whether the index came from a v2 trailer (O(1) open)
+// rather than a fallback scan.
+func (r *IndexedReader) Indexed() bool { return r.index }
+
+// Size returns the archive's byte size (0 for the in-memory backing).
+func (r *IndexedReader) Size() int64 { return r.size }
+
+// TotalRecords returns the archive's record count.
+func (r *IndexedReader) TotalRecords() int { return r.total }
+
+// Boards returns the board IDs present, ascending.
+func (r *IndexedReader) Boards() []int { return append([]int(nil), r.boards...) }
+
+// MonthRecords returns how many records the archive holds for one
+// board in one campaign month — an index lookup, no decoding.
+func (r *IndexedReader) MonthRecords(board, month int) int {
+	return r.counts[segKey{board, month}]
+}
+
+// LastMonth returns the largest campaign month one board has records
+// in; ok is false when the board is absent.
+func (r *IndexedReader) LastMonth(board int) (last int, ok bool) {
+	for key := range r.segs {
+		if key.board == board && (!ok || key.month > last) {
+			last, ok = key.month, true
+		}
+	}
+	return last, ok
+}
+
+// MonthRange returns the smallest and largest campaign month present.
+// ok is false for an empty archive.
+func (r *IndexedReader) MonthRange() (minMonth, maxMonth int, ok bool) {
+	if r.total == 0 {
+		return 0, 0, false
+	}
+	return r.minM, r.maxM, true
+}
+
+// Segments lists the archive's (board, month) segments, board-major.
+func (r *IndexedReader) Segments() []Segment {
+	out := make([]Segment, 0, len(r.segs))
+	for key, runs := range r.segs {
+		s := Segment{Board: key.board, Month: key.month, Count: r.counts[key], Runs: len(runs)}
+		if r.mem == nil {
+			for _, run := range runs {
+				s.Bytes += run.length
+			}
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Board != out[j].Board {
+			return out[i].Board < out[j].Board
+		}
+		return out[i].Month < out[j].Month
+	})
+	return out
+}
+
+// Close releases the underlying file when the reader was opened via
+// OpenIndexedFile; otherwise it is a no-op.
+func (r *IndexedReader) Close() error {
+	if r.closer == nil {
+		return nil
+	}
+	c := r.closer
+	r.closer = nil
+	return c.Close()
+}
+
+// SegmentDecoder holds the reusable decode state of ReadSegment: the
+// chunked read-ahead buffer and the word arena the record payloads are
+// carved from. One decoder per goroutine; reusing a decoder across
+// segments reuses its buffers, which is what makes steady-state segment
+// replay allocation-free.
+type SegmentDecoder struct {
+	buf   []byte
+	rec   Record
+	arena bitvec.Arena
+}
+
+// segmentChunkBytes is the read-ahead unit of the binary segment
+// decoder; runs smaller than this are read in one ReadAt.
+const segmentChunkBytes = 1 << 20
+
+// ReadSegment streams one (board, month) segment to fn in capture
+// order, decoding at most limit records (limit <= 0: the whole
+// segment). It is an error if the segment holds fewer than limit
+// records, or if any decoded record disagrees with the index about its
+// board or month (a lying index must fail loudly, never replay a wrong
+// month). The Record passed to fn — including its arena-backed Data —
+// is valid only until the next delivery from the same decoder; retain
+// with Clone.
+func (r *IndexedReader) ReadSegment(d *SegmentDecoder, board, month, limit int, fn func(*Record) error) error {
+	key := segKey{board, month}
+	runs := r.segs[key]
+	want := r.counts[key]
+	if limit > 0 {
+		if limit > want {
+			return fmt.Errorf("%w: board %d month %d holds %d records, want %d", ErrBinary, board, month, want, limit)
+		}
+		want = limit
+	}
+	if want == 0 {
+		return nil
+	}
+	switch r.format {
+	case FormatMemory:
+		return r.readMemorySegment(board, want, runs, fn)
+	case FormatJSONL:
+		return r.readJSONLSegment(d, board, month, want, runs, fn)
+	default:
+		return r.readBinarySegment(d, board, month, want, runs, fn)
+	}
+}
+
+func (r *IndexedReader) readMemorySegment(board, want int, runs []segRun, fn func(*Record) error) error {
+	recs := r.mem.Records(board)
+	delivered := 0
+	for _, run := range runs {
+		for i := 0; i < run.count && delivered < want; i++ {
+			if err := fn(&recs[run.off+int64(i)]); err != nil {
+				return err
+			}
+			delivered++
+		}
+		if delivered >= want {
+			break
+		}
+	}
+	return nil
+}
+
+func (r *IndexedReader) readJSONLSegment(d *SegmentDecoder, board, month, want int, runs []segRun, fn func(*Record) error) error {
+	delivered := 0
+	for _, run := range runs {
+		sc := bufio.NewScanner(io.NewSectionReader(r.ra, run.off, run.length))
+		sc.Buffer(make([]byte, 0, 64*1024), maxJSONLLineBytes)
+		for sc.Scan() && delivered < want {
+			if len(sc.Bytes()) == 0 {
+				continue
+			}
+			d.rec = Record{}
+			if err := json.Unmarshal(sc.Bytes(), &d.rec); err != nil {
+				return fmt.Errorf("store: board %d month %d: %w", board, month, err)
+			}
+			if d.rec.Board != board || MonthIndex(d.rec.Wall) != month {
+				return fmt.Errorf("%w: index sent board %d month %d to a record of board %d month %d", ErrBinary, board, month, d.rec.Board, MonthIndex(d.rec.Wall))
+			}
+			if err := fn(&d.rec); err != nil {
+				return err
+			}
+			delivered++
+		}
+		if err := sc.Err(); err != nil {
+			return fmt.Errorf("store: board %d month %d: %w", board, month, err)
+		}
+		if delivered >= want {
+			break
+		}
+	}
+	if delivered < want {
+		return fmt.Errorf("%w: board %d month %d segment delivered %d of %d records", ErrBinary, board, month, delivered, want)
+	}
+	return nil
+}
+
+// monthBounds is the per-segment wall-clock validator: the month's
+// [start, next) window precomputed as Unix nanoseconds, so the hot
+// decode loop checks each record with two integer compares instead of
+// per-record calendar arithmetic. Months whose windows fall outside
+// the nanosecond-representable range (far outside any campaign) fall
+// back to the exact MonthIndex computation.
+type monthBounds struct {
+	month          int
+	startNs, endNs int64
+	fast           bool
+}
+
+func boundsForMonth(month int) monthBounds {
+	start, end := MonthlyWindowStart(month), MonthlyWindowStart(month+1)
+	mb := monthBounds{month: month}
+	if start.Year() >= 1700 && end.Year() <= 2200 {
+		mb.startNs, mb.endNs, mb.fast = start.UnixNano(), end.UnixNano(), true
+	}
+	return mb
+}
+
+func (mb monthBounds) contains(t time.Time) bool {
+	if mb.fast {
+		ns := t.UnixNano()
+		return ns >= mb.startNs && ns < mb.endNs
+	}
+	return MonthIndex(t) == mb.month
+}
+
+func (r *IndexedReader) readBinarySegment(d *SegmentDecoder, board, month, want int, runs []segRun, fn func(*Record) error) error {
+	// Size the arena from the index: the runs' byte lengths bound the
+	// payload words exactly, so the slab never grows mid-segment (growth
+	// would invalidate views already delivered).
+	var bytes int64
+	var count int
+	for _, run := range runs {
+		bytes += run.length
+		count += run.count
+	}
+	d.arena.Reset(int(bytes-int64(count)*binaryHeaderLen)/8, want)
+	mb := boundsForMonth(month)
+	delivered := 0
+	// prev enforces the archive's per-board wall order across the whole
+	// segment (runs are stored in file order): the v2 footer cannot
+	// prove record order, so the seek path re-checks what the
+	// sequential reader would have rejected.
+	var prev time.Time
+	for _, run := range runs {
+		if err := r.readBinaryRun(d, board, mb, run, want, &delivered, &prev, fn); err != nil {
+			return err
+		}
+		if delivered >= want {
+			break
+		}
+	}
+	if delivered < want {
+		return fmt.Errorf("%w: board %d month %d segment delivered %d of %d records", ErrBinary, board, month, delivered, want)
+	}
+	return nil
+}
+
+// readBinaryRun decodes one contiguous run with chunked read-ahead.
+func (r *IndexedReader) readBinaryRun(d *SegmentDecoder, board int, mb monthBounds, run segRun, want int, delivered *int, prev *time.Time, fn func(*Record) error) error {
+	month := mb.month
+	if cap(d.buf) < segmentChunkBytes {
+		n := segmentChunkBytes
+		if run.length < int64(n) {
+			n = int(run.length)
+		}
+		if cap(d.buf) < n {
+			d.buf = make([]byte, n)
+		}
+	}
+	buf := d.buf[:cap(d.buf)]
+	fileOff, fileRem := run.off, run.length
+	pos, valid := 0, 0
+	// refill slides the unconsumed tail to the front and tops the buffer
+	// up from the file; it returns false once the run is exhausted.
+	refill := func() (bool, error) {
+		copy(buf, buf[pos:valid])
+		valid -= pos
+		pos = 0
+		n := int64(len(buf) - valid)
+		if n > fileRem {
+			n = fileRem
+		}
+		if n == 0 {
+			return false, nil
+		}
+		if _, err := r.ra.ReadAt(buf[valid:valid+int(n)], fileOff); err != nil {
+			return false, fmt.Errorf("%w: reading segment board %d month %d: %v", ErrBinary, board, month, err)
+		}
+		fileOff += n
+		fileRem -= n
+		valid += int(n)
+		return true, nil
+	}
+	inRun := 0
+	for *delivered < want {
+		for valid-pos < binaryHeaderLen {
+			more, err := refill()
+			if err != nil {
+				return err
+			}
+			if !more {
+				if valid == pos {
+					// Run consumed exactly; cross-check its record count.
+					if inRun != run.count {
+						return fmt.Errorf("%w: board %d month %d run decoded %d records, index claims %d", ErrBinary, board, month, inRun, run.count)
+					}
+					return nil
+				}
+				return fmt.Errorf("%w: board %d month %d run ends mid-header", ErrBinary, board, month)
+			}
+		}
+		bits := binary.LittleEndian.Uint32(buf[pos+32:])
+		if bits > maxBinaryRecordBits {
+			return fmt.Errorf("%w: %d-bit payload exceeds the %d-bit bound", ErrBinary, bits, maxBinaryRecordBits)
+		}
+		total := binaryHeaderLen + 8*((int(bits)+63)/64)
+		if total > len(buf) {
+			grown := make([]byte, total)
+			copy(grown, buf[pos:valid])
+			valid -= pos
+			pos = 0
+			buf = grown
+			d.buf = grown
+		}
+		for valid-pos < total {
+			more, err := refill()
+			if err != nil {
+				return err
+			}
+			if !more {
+				return fmt.Errorf("%w: board %d month %d run ends mid-record", ErrBinary, board, month)
+			}
+		}
+		if err := d.decodeArena(buf[pos:pos+total], &d.rec); err != nil {
+			return err
+		}
+		pos += total
+		if d.rec.Board != board || !mb.contains(d.rec.Wall) {
+			return fmt.Errorf("%w: index sent board %d month %d to a record of board %d month %d", ErrBinary, board, month, d.rec.Board, MonthIndex(d.rec.Wall))
+		}
+		if d.rec.Wall.Before(*prev) {
+			return fmt.Errorf("%w: board %d month %d: out-of-order record at %v", ErrBinary, board, month, d.rec.Wall)
+		}
+		*prev = d.rec.Wall
+		if err := fn(&d.rec); err != nil {
+			return err
+		}
+		*delivered++
+		inRun++
+	}
+	return nil
+}
+
+// decodeArena decodes one record whose payload is carved from the
+// decoder's arena instead of heap-allocated — the zero-allocation
+// steady state of segment replay. Dirty padding bits are rejected like
+// RecordDecoder.Decode does (inside the arena's bulk word fill).
+func (d *SegmentDecoder) decodeArena(data []byte, rec *Record) error {
+	bits := int(binary.LittleEndian.Uint32(data[32:]))
+	v, err := d.arena.ClaimFromLE(data[binaryHeaderLen:], bits)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBinary, err)
+	}
+	rec.Board = int(int32(binary.LittleEndian.Uint32(data[0:])))
+	rec.Layer = int(int32(binary.LittleEndian.Uint32(data[4:])))
+	rec.Seq = binary.LittleEndian.Uint64(data[8:])
+	rec.Cycle = binary.LittleEndian.Uint64(data[16:])
+	rec.Wall = time.Unix(0, int64(binary.LittleEndian.Uint64(data[24:]))).UTC()
+	rec.Data = v
+	return nil
+}
+
+// ArchiveInfo summarises an archive for inspect/convert tooling.
+type ArchiveInfo struct {
+	Format   string // Format* constant
+	Indexed  bool   // true when a v2 trailer served the index
+	Size     int64  // archive bytes
+	Records  int
+	Boards   []int
+	Months   int // distinct campaign months present
+	Segments int // (board, month) segments
+}
+
+// Info summarises the open archive.
+func (r *IndexedReader) Info() ArchiveInfo {
+	months := make(map[int]bool)
+	for key := range r.segs {
+		months[key.month] = true
+	}
+	return ArchiveInfo{
+		Format:   r.format,
+		Indexed:  r.index,
+		Size:     r.size,
+		Records:  r.total,
+		Boards:   r.Boards(),
+		Months:   len(months),
+		Segments: len(r.segs),
+	}
+}
+
+// InspectFile opens the archive at path just far enough to describe it.
+func InspectFile(path string) (ArchiveInfo, error) {
+	r, err := OpenIndexedFile(path)
+	if err != nil {
+		return ArchiveInfo{}, err
+	}
+	defer r.Close()
+	return r.Info(), nil
+}
+
+// UpgradeFile rewrites the archive at path in the indexed v2 format
+// (board-major, one segment run per board and month), atomically via a
+// temp file and rename. It reports whether a rewrite happened: an
+// archive that already carries a v2 index is left untouched.
+func UpgradeFile(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	var head [8]byte
+	if n, _ := io.ReadFull(f, head[:]); n == len(head) && string(head[:]) == BinaryMagicV2 {
+		f.Close()
+		// Validate the existing index rather than trusting the magic.
+		r, err := OpenIndexedFile(path)
+		if err != nil {
+			return false, err
+		}
+		return false, r.Close()
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return false, err
+	}
+	a, err := ReadArchive(f)
+	f.Close()
+	if err != nil {
+		return false, fmt.Errorf("store: archive %s: %w", path, err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".v2-*")
+	if err != nil {
+		return false, err
+	}
+	defer os.Remove(tmp.Name())
+	if err := a.WriteArchiveBinary(tmp); err != nil {
+		tmp.Close()
+		return false, err
+	}
+	if err := tmp.Close(); err != nil {
+		return false, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return false, err
+	}
+	return true, nil
+}

@@ -1,0 +1,591 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bitvec"
+)
+
+// indexedRecords builds an INTERLEAVED record stream (cycle-major, the
+// shape a tapped rig campaign writes) spanning boards and months.
+func indexedRecords(t testing.TB, boards, months, perMonth, bits int) []Record {
+	t.Helper()
+	var recs []Record
+	for m := 0; m < months; m++ {
+		start := MonthlyWindowStart(m)
+		for i := 0; i < perMonth; i++ {
+			for b := 0; b < boards; b++ {
+				v := bitvec.New(bits)
+				for j := (b + i + m) % 13; j < bits; j += 13 {
+					v.Set(j, true)
+				}
+				recs = append(recs, Record{
+					Board: b,
+					Layer: b % 2,
+					Seq:   uint64(m*perMonth + i),
+					Cycle: uint64(m*perMonth + i),
+					Wall:  start.Add(time.Duration(i) * 5400 * time.Millisecond),
+					Data:  v,
+				})
+			}
+		}
+	}
+	return recs
+}
+
+func writeV2(t testing.TB, recs []Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	bw := NewBinaryWriter(&buf)
+	for _, rec := range recs {
+		if err := bw.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// collectSegment replays one (board, month) segment into a retained
+// slice (cloning the arena-backed payloads).
+func collectSegment(t testing.TB, r *IndexedReader, d *SegmentDecoder, board, month, limit int) []Record {
+	t.Helper()
+	var out []Record
+	err := r.ReadSegment(d, board, month, limit, func(rec *Record) error {
+		c := *rec
+		c.Data = rec.Data.Clone()
+		out = append(out, c)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ReadSegment(board=%d, month=%d): %v", board, month, err)
+	}
+	return out
+}
+
+func TestMonthIndex(t *testing.T) {
+	cases := []struct {
+		t    time.Time
+		want int
+	}{
+		{Epoch, 0},
+		{Epoch.Add(-time.Nanosecond), -1},
+		{MonthlyWindowStart(1).Add(-time.Nanosecond), 0},
+		{MonthlyWindowStart(1), 1},
+		{MonthlyWindowStart(24), 24},
+		{TestEnd.Add(-time.Nanosecond), 23},
+		{Epoch.AddDate(0, -13, 5), -13},
+		{time.Date(2017, 3, 1, 0, 0, 0, 0, time.UTC), 0}, // before the 8th: previous window
+		{time.Date(2017, 3, 8, 0, 0, 0, 0, time.UTC), 1}, // the 8th itself: new window
+		{time.Date(2018, 1, 15, 12, 0, 0, 0, time.UTC), 11},
+	}
+	for _, c := range cases {
+		if got := MonthIndex(c.t); got != c.want {
+			t.Errorf("MonthIndex(%v) = %d, want %d", c.t, got, c.want)
+		}
+	}
+	// MonthIndex inverts MonthlyWindowStart across a wide range, and
+	// every time inside a window maps to that window's index.
+	for m := -30; m < 120; m++ {
+		if got := MonthIndex(MonthlyWindowStart(m)); got != m {
+			t.Fatalf("MonthIndex(MonthlyWindowStart(%d)) = %d", m, got)
+		}
+		mid := MonthlyWindowStart(m).Add(13 * 24 * time.Hour)
+		if got := MonthIndex(mid); got != m {
+			t.Fatalf("MonthIndex(mid of %d) = %d", m, got)
+		}
+	}
+}
+
+// TestIndexedReaderV2 exercises the O(1) open path: segment counts,
+// month range and seek-decoded records must match the written stream.
+func TestIndexedReaderV2(t *testing.T) {
+	recs := indexedRecords(t, 3, 4, 5, 200)
+	data := writeV2(t, recs)
+	r, err := OpenIndexed(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Indexed() || r.Format() != FormatBinaryV2 {
+		t.Fatalf("Indexed=%v Format=%q, want indexed binary-v2", r.Indexed(), r.Format())
+	}
+	if r.TotalRecords() != len(recs) {
+		t.Fatalf("TotalRecords = %d, want %d", r.TotalRecords(), len(recs))
+	}
+	if got := r.Boards(); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("Boards = %v", got)
+	}
+	minM, maxM, ok := r.MonthRange()
+	if !ok || minM != 0 || maxM != 3 {
+		t.Fatalf("MonthRange = %d..%d (%v), want 0..3", minM, maxM, ok)
+	}
+	var d SegmentDecoder
+	for b := 0; b < 3; b++ {
+		for m := 0; m < 4; m++ {
+			if got := r.MonthRecords(b, m); got != 5 {
+				t.Fatalf("MonthRecords(%d, %d) = %d, want 5", b, m, got)
+			}
+			got := collectSegment(t, r, &d, b, m, 0)
+			want := 0
+			for _, rec := range recs {
+				if rec.Board == b && MonthIndex(rec.Wall) == m {
+					if !sameRecord(rec, got[want]) {
+						t.Fatalf("board %d month %d record %d differs", b, m, want)
+					}
+					want++
+				}
+			}
+			if len(got) != want {
+				t.Fatalf("board %d month %d: %d records, want %d", b, m, len(got), want)
+			}
+		}
+	}
+	// A limit caps the delivery; a limit beyond the segment is an error.
+	if got := collectSegment(t, r, &d, 1, 2, 3); len(got) != 3 {
+		t.Fatalf("limited segment delivered %d records, want 3", len(got))
+	}
+	var d2 SegmentDecoder
+	if err := r.ReadSegment(&d2, 1, 2, 6, func(*Record) error { return nil }); !errors.Is(err, ErrBinary) {
+		t.Fatalf("limit beyond segment: err = %v, want ErrBinary", err)
+	}
+	// An absent segment with no limit delivers nothing.
+	if err := r.ReadSegment(&d2, 7, 0, 0, func(*Record) error { t.Fatal("delivered"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIndexedReaderFallbackScan: v1 and JSONL archives must serve the
+// exact same segments through the one-pass in-memory index.
+func TestIndexedReaderFallbackScan(t *testing.T) {
+	recs := indexedRecords(t, 2, 3, 4, 128)
+	var v1, jl bytes.Buffer
+	w1 := NewBinaryWriterV1(&v1)
+	jw := NewJSONLWriter(&jl)
+	for _, rec := range recs {
+		if err := w1.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := jw.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string][]byte{FormatBinaryV1: v1.Bytes(), FormatJSONL: jl.Bytes()} {
+		r, err := OpenIndexed(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.Indexed() {
+			t.Fatalf("%s: fallback scan claims a trailer index", name)
+		}
+		if r.Format() != name {
+			t.Fatalf("format %q, want %q", r.Format(), name)
+		}
+		if r.TotalRecords() != len(recs) {
+			t.Fatalf("%s: TotalRecords = %d, want %d", name, r.TotalRecords(), len(recs))
+		}
+		var d SegmentDecoder
+		for b := 0; b < 2; b++ {
+			for m := 0; m < 3; m++ {
+				got := collectSegment(t, r, &d, b, m, 0)
+				i := 0
+				for _, rec := range recs {
+					if rec.Board == b && MonthIndex(rec.Wall) == m {
+						if !sameRecord(rec, got[i]) {
+							t.Fatalf("%s: board %d month %d record %d differs", name, b, m, i)
+						}
+						i++
+					}
+				}
+				if len(got) != i {
+					t.Fatalf("%s: board %d month %d: %d records, want %d", name, b, m, len(got), i)
+				}
+			}
+		}
+	}
+}
+
+// TestIndexArchiveMemory: the in-memory backing serves segments
+// identical to the file backings.
+func TestIndexArchiveMemory(t *testing.T) {
+	recs := indexedRecords(t, 2, 2, 3, 96)
+	a := NewArchive()
+	for _, rec := range recs {
+		if err := a.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := IndexArchive(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Format() != FormatMemory || r.Indexed() {
+		t.Fatalf("Format=%q Indexed=%v", r.Format(), r.Indexed())
+	}
+	var d SegmentDecoder
+	for b := 0; b < 2; b++ {
+		for m := 0; m < 2; m++ {
+			if got := r.MonthRecords(b, m); got != 3 {
+				t.Fatalf("MonthRecords(%d,%d) = %d, want 3", b, m, got)
+			}
+			got := collectSegment(t, r, &d, b, m, 0)
+			if len(got) != 3 {
+				t.Fatalf("board %d month %d: %d records", b, m, len(got))
+			}
+		}
+	}
+}
+
+// TestIndexedReaderCorruption: every corrupted byte region of a v2
+// archive must be rejected with ErrBinary — never opened with a wrong
+// index.
+func TestIndexedReaderCorruption(t *testing.T) {
+	recs := indexedRecords(t, 2, 2, 3, 128)
+	data := writeV2(t, recs)
+	open := func(b []byte) error {
+		_, err := OpenIndexed(bytes.NewReader(b), int64(len(b)))
+		return err
+	}
+	if err := open(data); err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(name string, f func(b []byte) []byte) {
+		t.Run(name, func(t *testing.T) {
+			b := append([]byte(nil), data...)
+			b = f(b)
+			if err := open(b); !errors.Is(err, ErrBinary) {
+				t.Fatalf("err = %v, want ErrBinary", err)
+			}
+		})
+	}
+	mutate("trailer magic", func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b })
+	mutate("trailer index offset", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[len(b)-24:], uint64(len(b)))
+		return b
+	})
+	mutate("trailer entry count", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[len(b)-16:], 1<<40)
+		return b
+	})
+	mutate("sentinel magic", func(b []byte) []byte {
+		off := binary.LittleEndian.Uint64(b[len(b)-24:]) - binaryHeaderLen
+		b[off] ^= 0xff
+		return b
+	})
+	mutate("sentinel record count", func(b []byte) []byte {
+		off := binary.LittleEndian.Uint64(b[len(b)-24:]) - binaryHeaderLen
+		binary.LittleEndian.PutUint64(b[off+8:], 7)
+		return b
+	})
+	mutate("index entry bytes", func(b []byte) []byte {
+		off := binary.LittleEndian.Uint64(b[len(b)-24:])
+		b[off] ^= 0xff
+		return b
+	})
+	mutate("truncated trailer", func(b []byte) []byte { return b[:len(b)-3] })
+	mutate("truncated mid-archive", func(b []byte) []byte { return b[:len(b)/2] })
+
+	// Sequential reads validate the same footer.
+	seq := func(b []byte) error { _, err := ReadBinary(bytes.NewReader(b)); return err }
+	if err := seq(data); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, 3, 24, 25} {
+		if err := seq(data[:len(data)-cut]); !errors.Is(err, ErrBinary) {
+			t.Fatalf("sequential read of archive cut by %d: err = %v, want ErrBinary", cut, err)
+		}
+	}
+}
+
+// TestIndexSegmentValidation: an index whose entries point at records
+// of a different (board, month) must fail the replay, not serve the
+// wrong month. The archive is forged by writing records for month 1
+// and patching the index entry to claim month 2.
+func TestIndexSegmentValidation(t *testing.T) {
+	recs := indexedRecords(t, 1, 2, 3, 64)
+	data := append([]byte(nil), writeV2(t, recs)...)
+	// The index is two entries (one per month, single board). Patch the
+	// second entry's month delta from +1 to +2: varint -> zigzag(1)=2,
+	// zigzag(2)=4.
+	idxOff := binary.LittleEndian.Uint64(data[len(data)-24:])
+	idx := data[idxOff : len(data)-24]
+	// entry 0: board=0 (zigzag 0), month=0 (zigzag 0), count, length...
+	// Find the second entry: decode forward.
+	var off int
+	for i := 0; i < 4; i++ { // skip 4 varints of entry 0
+		_, n := binary.Uvarint(idx[off:])
+		off += n
+	}
+	_, n := binary.Uvarint(idx[off:]) // entry 1 board delta
+	off += n
+	if idx[off] != 2 { // zigzag(+1)
+		t.Fatalf("unexpected index layout: month delta byte = %d", idx[off])
+	}
+	idx[off] = 4 // zigzag(+2): claims month 2 for month-1 records
+	r, err := OpenIndexed(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d SegmentDecoder
+	err = r.ReadSegment(&d, 0, 2, 0, func(*Record) error { return nil })
+	if !errors.Is(err, ErrBinary) {
+		t.Fatalf("forged month replay: err = %v, want ErrBinary", err)
+	}
+}
+
+// TestBinaryWriterFinalize: Flush seals an indexed archive; writes
+// after it must fail rather than corrupt the footer.
+func TestBinaryWriterFinalize(t *testing.T) {
+	recs := indexedRecords(t, 1, 1, 2, 64)
+	var buf bytes.Buffer
+	bw := NewBinaryWriter(&buf)
+	if err := bw.Write(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	n := buf.Len()
+	if err := bw.Write(recs[1]); !errors.Is(err, ErrBinary) {
+		t.Fatalf("write after finalize: err = %v, want ErrBinary", err)
+	}
+	if err := bw.Flush(); err != nil { // second Flush: plain drain, idempotent
+		t.Fatal(err)
+	}
+	if buf.Len() != n {
+		t.Fatalf("second Flush grew the archive: %d -> %d bytes", n, buf.Len())
+	}
+	// A v1 writer keeps Flush non-finalizing.
+	var v1 bytes.Buffer
+	w1 := NewBinaryWriterV1(&v1)
+	if err := w1.Write(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w1.Write(recs[1]); err != nil {
+		t.Fatalf("v1 write after Flush: %v", err)
+	}
+}
+
+// countingReaderAt counts ReadAt calls and bytes — the probe behind the
+// O(1) seek assertion.
+type countingReaderAt struct {
+	r     *bytes.Reader
+	calls atomic.Int64
+	bytes atomic.Int64
+}
+
+func (c *countingReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	n, err := c.r.ReadAt(p, off)
+	c.calls.Add(1)
+	c.bytes.Add(int64(n))
+	return n, err
+}
+
+// TestIndexedSeekIsBounded: opening a v2 archive and replaying ONE
+// month must read O(footer + that month's bytes), independent of how
+// many other months the archive holds — the seek property the format
+// exists for.
+func TestIndexedSeekIsBounded(t *testing.T) {
+	segBytes := func(months int) (open, seg int64) {
+		recs := indexedRecords(t, 2, months, 4, 256)
+		data := writeV2(t, recs)
+		cr := &countingReaderAt{r: bytes.NewReader(data)}
+		r, err := OpenIndexed(cr, int64(len(data)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		open = cr.bytes.Load()
+		var d SegmentDecoder
+		last := months - 1
+		for _, b := range r.Boards() {
+			if err := r.ReadSegment(&d, b, last, 0, func(*Record) error { return nil }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return open, cr.bytes.Load() - open
+	}
+	openSmall, segSmall := segBytes(2)
+	openBig, segBig := segBytes(12)
+	// The footer grows only with the entry count (~5 bytes per run), and
+	// one month's segment bytes do not depend on the archive's months.
+	if openBig > openSmall+1024 {
+		t.Fatalf("open cost scaled with archive size: %d -> %d bytes", openSmall, openBig)
+	}
+	if segBig != segSmall {
+		t.Fatalf("single-month replay read %d bytes in the small archive, %d in the big one", segSmall, segBig)
+	}
+}
+
+// TestUpgradeFile: v1 and JSONL archives upgrade in place to v2 with
+// identical content; an already-indexed archive is left byte-identical.
+func TestUpgradeFile(t *testing.T) {
+	recs := indexedRecords(t, 2, 2, 3, 128)
+	for _, tc := range []struct {
+		name  string
+		write func(w io.Writer) error
+	}{
+		{"jsonl", func(w io.Writer) error {
+			jw := NewJSONLWriter(w)
+			for _, rec := range recs {
+				if err := jw.Write(rec); err != nil {
+					return err
+				}
+			}
+			return jw.Flush()
+		}},
+		{"v1", func(w io.Writer) error {
+			bw := NewBinaryWriterV1(w)
+			for _, rec := range recs {
+				if err := bw.Write(rec); err != nil {
+					return err
+				}
+			}
+			return bw.Flush()
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := t.TempDir() + "/campaign.bin"
+			f, err := os.Create(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tc.write(f); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+			upgraded, err := UpgradeFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !upgraded {
+				t.Fatal("UpgradeFile reported no upgrade")
+			}
+			info, err := InspectFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !info.Indexed || info.Format != FormatBinaryV2 || info.Records != len(recs) {
+				t.Fatalf("after upgrade: %+v", info)
+			}
+			before, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			upgraded, err = UpgradeFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if upgraded {
+				t.Fatal("second UpgradeFile rewrote an indexed archive")
+			}
+			after, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(before, after) {
+				t.Fatal("idempotent upgrade changed the file")
+			}
+			// Content parity with the original records.
+			a, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer a.Close()
+			arch, err := ReadArchive(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if arch.Len() != len(recs) {
+				t.Fatalf("upgraded archive holds %d records, want %d", arch.Len(), len(recs))
+			}
+		})
+	}
+}
+
+// TestBinaryReaderTruncatedMidHeader: the single-ReadFull header path
+// must distinguish a clean v1 EOF from a record cut mid-header.
+func TestBinaryReaderTruncatedMidHeader(t *testing.T) {
+	rec := indexedRecords(t, 1, 1, 1, 64)[0]
+	var buf bytes.Buffer
+	bw := NewBinaryWriterV1(&buf)
+	if err := bw.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Clean v1 end: io.EOF exactly at a record boundary.
+	br, err := NewBinaryReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Record
+	if err := br.Read(&out); err != nil {
+		t.Fatal(err)
+	}
+	if err := br.Read(&out); err != io.EOF {
+		t.Fatalf("clean end: err = %v, want io.EOF", err)
+	}
+	// Every mid-header truncation of a SECOND record must be ErrBinary,
+	// not io.EOF — one byte in is not a clean end.
+	for _, extra := range []int{1, 17, binaryHeaderLen - 1} {
+		trunc := append(append([]byte(nil), data...), data[len(BinaryMagic):len(BinaryMagic)+extra]...)
+		br, err := NewBinaryReader(bytes.NewReader(trunc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := br.Read(&out); err != nil {
+			t.Fatal(err)
+		}
+		if err := br.Read(&out); !errors.Is(err, ErrBinary) {
+			t.Fatalf("mid-header truncation at %d bytes: err = %v, want ErrBinary", extra, err)
+		}
+	}
+}
+
+// TestJSONLRecordBoundRoundTrip: a record at the binary codec's payload
+// bound must survive the JSONL codec too — the scanner's line buffer is
+// sized from the same bound (a 16 MiB line cap used to reject what the
+// binary codec wrote fine).
+func TestJSONLRecordBoundRoundTrip(t *testing.T) {
+	v := bitvec.New(maxBinaryRecordBits)
+	for j := 0; j < maxBinaryRecordBits; j += 4099 {
+		v.Set(j, true)
+	}
+	rec := Record{Board: 0, Seq: 1, Cycle: 2, Wall: Epoch, Data: v}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, []Record{rec}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() <= 16*1024*1024 {
+		t.Fatalf("boundary line is only %d bytes; the regression needs one beyond the old 16 MiB cap", buf.Len())
+	}
+	a, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := a.Records(0)
+	if len(got) != 1 || !sameRecord(got[0], rec) {
+		t.Fatal("boundary record did not round-trip through JSONL")
+	}
+}

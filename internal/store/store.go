@@ -187,6 +187,25 @@ func MonthLabel(monthIndex int) string {
 	return fmt.Sprintf("%02d-%s", t.Year()%100, t.Format("Jan"))
 }
 
+// MonthIndex returns the campaign month a capture time falls in: the
+// unique m with MonthlyWindowStart(m) <= t < MonthlyWindowStart(m+1).
+// Times before the epoch yield negative indices. This is the inverse of
+// MonthlyWindowStart and the month assignment the archive index is built
+// from — identical, by construction, to the [start, next) bounds
+// WindowBounded evaluates, so an index-driven replay selects exactly the
+// records a full-scan replay would.
+func MonthIndex(t time.Time) int {
+	t = t.UTC()
+	m := (t.Year()-Epoch.Year())*12 + int(t.Month()) - int(Epoch.Month())
+	// t sits in calendar month Epoch.Month+m; the campaign month rolls
+	// over on the 8th, not the 1st, so times before the window start
+	// belong to the previous index.
+	if t.Before(MonthlyWindowStart(m)) {
+		m--
+	}
+	return m
+}
+
 // WriteJSONL streams records to w, one JSON object per line.
 func WriteJSONL(w io.Writer, recs []Record) error {
 	jw := NewJSONLWriter(w)
@@ -228,11 +247,18 @@ func (a *Archive) WriteArchiveJSONL(w io.Writer) error {
 	return nil
 }
 
+// maxJSONLLineBytes bounds one JSONL archive line. It is derived from
+// the binary codec's payload bound so the two formats accept the same
+// records: a maxBinaryRecordBits payload hex-encodes to two bytes per
+// payload byte, plus a small JSON envelope. (A fixed 16 MiB cap used to
+// reject hex lines for records the binary codec wrote fine.)
+const maxJSONLLineBytes = 2*(maxBinaryRecordBits/8) + 4096
+
 // ReadJSONL parses a JSON-lines stream into an archive.
 func ReadJSONL(r io.Reader) (*Archive, error) {
 	a := NewArchive()
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	sc.Buffer(make([]byte, 0, 64*1024), maxJSONLLineBytes)
 	line := 0
 	for sc.Scan() {
 		line++

@@ -90,4 +90,33 @@ echo "== sharded replay (2 shardworker subprocesses) of the binary archive"
 extract_table "$workdir/replay-bin-sharded.txt" > "$workdir/replay-bin-sharded.table"
 diff -u "$workdir/direct.table" "$workdir/replay-bin-sharded.table"
 
-echo "== smoke OK: sharded runs, JSONL and binary replays (plain and sharded) are byte-identical to the direct run"
+echo "== index sanity: collected .bin archive carries the v2 trailer index"
+tail -c 8 "$workdir/campaign.bin" | grep -q 'SRPUFIX2' || {
+    echo "campaign.bin does not end with the v2 index trailer magic" >&2
+    exit 1
+}
+
+echo "== evaluate -index upgrades a JSONL archive in place to indexed binary"
+cp "$workdir/campaign.jsonl" "$workdir/upgraded.bin"
+"$workdir/evaluate" -index -archive "$workdir/upgraded.bin" -window $WINDOW \
+    > "$workdir/replay-upgraded.txt"
+tail -c 8 "$workdir/upgraded.bin" | grep -q 'SRPUFIX2' || {
+    echo "upgraded.bin does not end with the v2 index trailer magic" >&2
+    exit 1
+}
+extract_table "$workdir/replay-upgraded.txt" > "$workdir/replay-upgraded.table"
+diff -u "$workdir/direct.table" "$workdir/replay-upgraded.table"
+
+echo "== evaluate -index is idempotent on an already-indexed archive"
+before=$(cksum < "$workdir/upgraded.bin")
+"$workdir/evaluate" -index -archive "$workdir/upgraded.bin" -window $WINDOW \
+    > "$workdir/replay-upgraded2.txt"
+after=$(cksum < "$workdir/upgraded.bin")
+if [ "$before" != "$after" ]; then
+    echo "evaluate -index rewrote an already-indexed archive" >&2
+    exit 1
+fi
+extract_table "$workdir/replay-upgraded2.txt" > "$workdir/replay-upgraded2.table"
+diff -u "$workdir/direct.table" "$workdir/replay-upgraded2.table"
+
+echo "== smoke OK: sharded runs, JSONL/binary/indexed replays (plain, sharded, upgraded) are byte-identical to the direct run"

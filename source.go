@@ -63,18 +63,51 @@ func NewRigSource(profile DeviceProfile, devices int, seed uint64, i2cErrorRate 
 
 // NewArchiveSource parses a measurement archive (as written by agingtest
 // -archive, a tapped RigSource, or a real rig using the same schema)
-// into a replay source. Both archive formats are accepted and detected
+// into a replay source. All archive formats are accepted and detected
 // by the leading bytes: the binary codec's versioned magic selects
 // binary decoding, anything else parses as JSON lines (see DESIGN.md §5
-// for the format trade-off). The source implements MonthLister, so an
-// Assessment without WithMonths evaluates exactly the months the archive
-// holds complete windows for.
+// and §6 for the format trade-offs). The source implements MonthLister,
+// so an Assessment without WithMonths evaluates exactly the months the
+// archive holds complete windows for.
+//
+// This constructor materialises the stream in memory first; for files,
+// OpenArchiveSource replays month windows straight from disk through
+// the archive index instead.
 func NewArchiveSource(r io.Reader) (*ArchiveSource, error) {
 	a, err := store.ReadArchive(r)
 	if err != nil {
 		return nil, err
 	}
 	return core.NewArchiveSource(a)
+}
+
+// OpenArchiveSource opens the measurement archive file at path for
+// seek-based replay: an indexed (.bin v2) archive opens in O(1) via its
+// trailer index and replays each month's windows directly from the file
+// without ever materialising the archive in memory; v1 binary and JSONL
+// archives are scanned once to build the same index. The caller must
+// Close the returned source.
+func OpenArchiveSource(path string) (*ArchiveSource, error) {
+	return core.OpenArchiveSource(path)
+}
+
+// ArchiveInfo describes a measurement archive: format, whether a
+// trailer index is present, and its record/board/month shape.
+type ArchiveInfo = store.ArchiveInfo
+
+// InspectArchive opens the archive at path just far enough to describe
+// it — for an indexed archive only the footer is read.
+func InspectArchive(path string) (ArchiveInfo, error) {
+	return store.InspectFile(path)
+}
+
+// UpgradeArchive rewrites the archive at path in the indexed binary
+// format (v2): board-major records plus a trailer index mapping every
+// (board, month) segment, so replays seek instead of scan. The rewrite
+// is atomic (temp file + rename) and idempotent — it reports false,
+// touching nothing, when the archive already carries a valid index.
+func UpgradeArchive(path string) (bool, error) {
+	return store.UpgradeFile(path)
 }
 
 // RecordWriter is a streaming archive sink: Write one Record at a time,
@@ -90,7 +123,10 @@ func NewJSONLRecordWriter(w io.Writer) RecordWriter { return store.NewJSONLWrite
 // NewBinaryRecordWriter returns a record writer in the binary codec —
 // a fixed header plus raw pattern words per record, roughly half the
 // bytes and none of the hex/JSON churn, the format for large campaigns
-// and machine-to-machine transport. NewArchiveSource detects it by its
+// and machine-to-machine transport. The writer emits the indexed v2
+// format: Flush appends a trailer index mapping every (board, month)
+// segment, so replay tools seek to a month in O(1) instead of scanning
+// the archive. NewArchiveSource detects either binary version by its
 // leading magic.
 func NewBinaryRecordWriter(w io.Writer) RecordWriter { return store.NewBinaryWriter(w) }
 
