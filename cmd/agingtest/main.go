@@ -58,7 +58,31 @@ func run() error {
 	shardWorker := flag.String("shardworker", "", "shardworker binary for -shards (default: in-process workers)")
 	csvDir := flag.String("csv", "", "directory for Fig. 6 series CSV export")
 	archive := flag.String("archive", "", "stream a measurement archive (forces -harness); a .bin path streams the binary codec, anything else JSON lines")
+	remote := flag.String("remote", "", "submit the campaign to an assessd service at this base URL instead of running locally")
+	remoteDetach := flag.Bool("remote-detach", false, "with -remote: submit and print the campaign ID without waiting")
+	remoteWatch := flag.String("remote-watch", "", "with -remote: stream an existing campaign ID instead of submitting")
+	remoteStatus := flag.String("remote-status", "", "with -remote: print a campaign's status and exit")
+	remoteCancel := flag.String("remote-cancel", "", "with -remote: cancel a campaign and exit")
 	flag.Parse()
+
+	if *remote != "" {
+		return runRemote(remoteFlags{
+			base:   *remote,
+			detach: *remoteDetach,
+			watch:  *remoteWatch,
+			status: *remoteStatus,
+			cancel: *remoteCancel,
+			spec: sramaging.ServeSpec{
+				Devices:  *devices,
+				Months:   *months,
+				Window:   *window,
+				Seed:     *seed,
+				I2CError: *i2cErr,
+				Workers:  *workers,
+				Shards:   *shards,
+			},
+		})
+	}
 
 	profile, err := sramaging.ATmega32u4()
 	if err != nil {
@@ -185,6 +209,85 @@ func run() error {
 		}
 		fmt.Println("series CSVs written to", *csvDir)
 	}
+	return nil
+}
+
+// remoteFlags bundles the -remote client mode's inputs.
+type remoteFlags struct {
+	base, watch, status, cancel string
+	detach                      bool
+	spec                        sramaging.ServeSpec
+}
+
+// runRemote drives an assessd service: submit (or attach to) a campaign,
+// stream its months as they finalise, and render the final table from
+// the streamed results — byte-identical to the local run of the same
+// parameters, since the service's rig path and the local sim path
+// produce the same measurement streams.
+func runRemote(rf remoteFlags) error {
+	ctx := context.Background()
+	client := &sramaging.ServeClient{Base: rf.base}
+	switch {
+	case rf.status != "":
+		st, err := client.Status(ctx, rf.status)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("campaign %s: %s, %d months done", st.ID, st.Status, st.MonthsDone)
+		if st.Error != "" {
+			fmt.Printf(" (%s: %s)", st.ErrKind, st.Error)
+		}
+		fmt.Println()
+		return nil
+	case rf.cancel != "":
+		st, err := client.Cancel(ctx, rf.cancel)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("campaign %s: %s\n", st.ID, st.Status)
+		return nil
+	}
+
+	onMonth := func(ev sramaging.MonthEval) {
+		fmt.Printf("month %2d (%s): WCHD %.3f%%\n", ev.Month, ev.Label,
+			100*ev.Avg(func(d sramaging.DeviceMonth) float64 { return d.WCHD }))
+	}
+	var (
+		id  string
+		res *sramaging.Results
+		err error
+	)
+	if rf.watch != "" {
+		id = rf.watch
+		fmt.Printf("streaming campaign %s from %s\n", id, rf.base)
+		res, err = client.Watch(ctx, id, onMonth)
+	} else {
+		if rf.detach {
+			st, err := client.Submit(ctx, rf.spec)
+			if err != nil {
+				return err
+			}
+			fmt.Println(st.ID)
+			return nil
+		}
+		fmt.Printf("submitting campaign to %s: %d devices, %d months, %d-measurement windows (shards=%d)\n",
+			rf.base, rf.spec.Devices, rf.spec.Months, rf.spec.Window, rf.spec.Shards)
+		id, res, err = client.Run(ctx, rf.spec, onMonth)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("campaign %s done\n", id)
+	fmt.Println()
+	fmt.Print(sramaging.RenderTableI(res.Table))
+	fmt.Println()
+	wchd := res.Series(func(d sramaging.DeviceMonth) float64 { return d.WCHD })
+	plot, err := sramaging.RenderLinePlot("Fig. 6a — WCHD development (one line per device)",
+		wchd, res.MonthLabels(), 12)
+	if err != nil {
+		return err
+	}
+	fmt.Println(plot)
 	return nil
 }
 

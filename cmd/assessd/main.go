@@ -1,0 +1,86 @@
+// Command assessd is the long-lived assessment service: campaign specs
+// arrive over HTTP, run concurrently under one global sampling budget,
+// stream their per-month results as NDJSON, and checkpoint every
+// measurement record to a binary archive in the data directory. A killed
+// or drained service resumes its interrupted campaigns on the next start
+// with results bit-identical to an uninterrupted run.
+//
+//	assessd -addr 127.0.0.1:8080 -data /var/lib/assessd -workers 8 -max-active 4
+//
+// The API (see package repro/internal/serve):
+//
+//	POST /v1/campaigns             submit a campaign spec (JSON)
+//	GET  /v1/campaigns             list campaigns
+//	GET  /v1/campaigns/{id}        one campaign's status
+//	GET  /v1/campaigns/{id}/months completed month evaluations
+//	GET  /v1/campaigns/{id}/stream NDJSON result stream
+//	POST /v1/campaigns/{id}/cancel cancel a campaign
+//
+// On SIGTERM/SIGINT the service drains gracefully: the listener closes,
+// running campaigns stop at their next month boundary, and every
+// campaign's state and archive are left checkpointed for the restart.
+// cmd/agingtest's -remote flag is the matching client.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "assessd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	data := flag.String("data", "assessd-data", "data directory (state files and checkpoint archives)")
+	workers := flag.Int("workers", 0, "global sampling budget shared by all campaigns (0: unbounded)")
+	maxActive := flag.Int("max-active", 0, "campaigns measuring concurrently (0: unlimited)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for campaigns to checkpoint on shutdown")
+	flag.Parse()
+
+	mgr, err := serve.NewManager(serve.Config{DataDir: *data, Workers: *workers, MaxActive: *maxActive})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: serve.Handler(mgr)}
+	fmt.Printf("assessd: listening on %s (data %s, workers %d, max-active %d)\n",
+		ln.Addr(), *data, *workers, *maxActive)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("assessd: draining (campaigns checkpoint at their next month boundary)")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	srv.Shutdown(drainCtx)
+	if err := mgr.Close(drainCtx); err != nil {
+		return err
+	}
+	fmt.Println("assessd: drained")
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -308,4 +309,53 @@ func ExamplePredictedWCHDTrajectory() {
 	// Output:
 	// WCHD month 0:  2.49%
 	// WCHD month 24: 2.97%
+}
+
+// ExampleAssessment_service runs a campaign through the long-lived
+// assessment service: an in-process assessd manager behind its HTTP API,
+// a spec submitted with the typed client, months streamed as they
+// finalise, and the assembled results — identical to running the same
+// campaign locally, but submitted, streamed and checkpointed by a
+// service that survives restarts.
+func ExampleAssessment_service() {
+	dir, err := os.MkdirTemp("", "assessd-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	mgr, err := sramaging.NewServeManager(sramaging.ServeConfig{DataDir: dir, Workers: 2, MaxActive: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := httptest.NewServer(sramaging.ServeHandler(mgr))
+	defer srv.Close()
+
+	client := &sramaging.ServeClient{Base: srv.URL}
+	ctx := context.Background()
+	id, res, err := client.Run(ctx,
+		sramaging.ServeSpec{Devices: 2, Months: 3, Window: 60},
+		func(ev sramaging.MonthEval) { fmt.Println("streamed", ev.Label) },
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := client.Status(ctx, id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("campaign", st.Status, "after", len(res.Monthly), "months")
+	if res.Table.WCHD.Avg.End > res.Table.WCHD.Avg.Start {
+		fmt.Println("reliability degrades with aging: WCHD increased")
+	}
+	if err := mgr.Close(ctx); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// streamed 17-Feb
+	// streamed 17-Mar
+	// streamed 17-Apr
+	// streamed 17-May
+	// campaign done after 4 months
+	// reliability degrades with aging: WCHD increased
 }

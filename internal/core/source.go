@@ -222,6 +222,7 @@ type RigSource struct {
 	rig      *harness.Rig
 	tap      func(store.Record) error
 	scenario aging.Scenario
+	pool     *stream.Pool // nil: pump in the caller's goroutine
 }
 
 // NewRigSource builds the two-layer rig with devices boards (an even
@@ -275,6 +276,13 @@ func (s *RigSource) Rig() *harness.Rig { return s.rig }
 // store.JSONLWriter archiving the campaign to disk as it runs.
 func (s *RigSource) SetTap(tap func(store.Record) error) { s.tap = tap }
 
+// SetPool routes the rig's window pump through a shared scheduler: the
+// pump (one job per Measure call) then counts against the pool's worker
+// budget. This is how a multi-campaign service keeps N concurrent rig
+// campaigns inside ONE global sampling budget; a nil or absent pool
+// keeps the historical direct pump.
+func (s *RigSource) SetPool(p *stream.Pool) { s.pool = p }
+
 // pointRigAtMonth aims the rig's cycle and sequence counters at a month's
 // evaluation window and returns the window's wall-clock start. It is the
 // single definition of the month-to-cycle mapping, shared by the
@@ -289,23 +297,31 @@ func pointRigAtMonth(rig *harness.Rig, month int) time.Time {
 // Measure ages every board to the month boundary, points the rig's cycle
 // and sequence counters at the month's window and pumps one full rig
 // window through the record tap — nothing is buffered in the Pi archive.
+// With SetPool, the pump runs as one job on the shared pool (the service's
+// global budget); otherwise it runs in the caller's goroutine.
 func (s *RigSource) Measure(ctx context.Context, month, size int, sink Sink) error {
-	for _, a := range s.rig.Arrays() {
-		if err := a.AgeTo(float64(month)); err != nil {
-			return err
-		}
-	}
-	return s.rig.StreamWindow(size, pointRigAtMonth(s.rig, month), func(rec store.Record) error {
-		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("core: board %d: %w", rec.Board, err)
-		}
-		if s.tap != nil {
-			if err := s.tap(rec); err != nil {
+	pump := func() error {
+		for _, a := range s.rig.Arrays() {
+			if err := a.AgeTo(float64(month)); err != nil {
 				return err
 			}
 		}
-		return sink(rec.Board, rec.Data)
-	})
+		return s.rig.StreamWindow(size, pointRigAtMonth(s.rig, month), func(rec store.Record) error {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("core: board %d: %w", rec.Board, err)
+			}
+			if s.tap != nil {
+				if err := s.tap(rec); err != nil {
+					return err
+				}
+			}
+			return sink(rec.Board, rec.Data)
+		})
+	}
+	if s.pool != nil {
+		return s.pool.Run(pump)
+	}
+	return pump()
 }
 
 // ArchiveSource replays a measurement archive — the offline-evaluation
@@ -380,6 +396,14 @@ func (s *ArchiveSource) Info() store.ArchiveInfo { return s.ir.Info() }
 // SetWorkers bounds the per-board replay parallelism (<= 0: one
 // goroutine per board).
 func (s *ArchiveSource) SetWorkers(n int) { s.pool = stream.NewPool(n) }
+
+// SetPool replaces the source's job scheduler with a shared one, so
+// replay segment decodes count against a service-wide worker budget.
+func (s *ArchiveSource) SetPool(p *stream.Pool) {
+	if p != nil {
+		s.pool = p
+	}
+}
 
 // Close releases the underlying archive file (no-op for in-memory
 // backings). The engine does not close sources; whoever opened the

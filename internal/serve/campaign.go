@@ -1,0 +1,278 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Status is a campaign's lifecycle state. The full walk is
+// submitted -> running -> (checkpointed -> resumed ->) done, with failed
+// and cancelled as the other terminal states: "checkpointed" is what a
+// non-terminal campaign becomes when the service dies under it (observed
+// only across a restart), and "resumed" is "running" for a campaign that
+// came back from its checkpoint archive.
+type Status string
+
+const (
+	StatusSubmitted    Status = "submitted"
+	StatusRunning      Status = "running"
+	StatusCheckpointed Status = "checkpointed"
+	StatusResumed      Status = "resumed"
+	StatusDone         Status = "done"
+	StatusFailed       Status = "failed"
+	StatusCancelled    Status = "cancelled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// Event is one entry of a campaign's result stream, NDJSON-encoded on
+// the wire. Exactly one of the optional payloads is set, per Type:
+// "status" (Status), "month" (Month), "done" (Table), "error" (ErrKind +
+// Error). A stream always ends with "done" or "error".
+type Event struct {
+	Type    string          `json:"type"`
+	Status  Status          `json:"status,omitempty"`
+	Month   *core.MonthEval `json:"month,omitempty"`
+	Table   *core.TableI    `json:"table,omitempty"`
+	ErrKind string          `json:"err_kind,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+// errKind maps an engine error to the stable wire label clients switch
+// on — the service's typed-error surface across the HTTP boundary.
+func errKind(err error) string {
+	var se savedError
+	switch {
+	case errors.As(err, &se):
+		return se.kind
+	case errors.Is(err, core.ErrConfig):
+		return "config"
+	case errors.Is(err, core.ErrShortWindow):
+		return "short_window"
+	case errors.Is(err, core.ErrUnknownDevice):
+		return "unknown_device"
+	case errors.Is(err, core.ErrNoMonths):
+		return "no_months"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return "cancelled"
+	default:
+		return "internal"
+	}
+}
+
+// CampaignState is the queryable snapshot of one campaign — the GET
+// status document, and (with Monthly attached) the persisted state file.
+type CampaignState struct {
+	ID         string       `json:"id"`
+	Spec       Spec         `json:"spec"`
+	Status     Status       `json:"status"`
+	MonthsDone int          `json:"months_done"`
+	Resumed    int          `json:"resumed_months,omitempty"` // months served from the checkpoint on the last resume
+	ErrKind    string       `json:"err_kind,omitempty"`
+	Error      string       `json:"error,omitempty"`
+	Table      *core.TableI `json:"table,omitempty"`
+	Updated    time.Time    `json:"updated"`
+}
+
+// persisted is the on-disk state file: the snapshot plus the monthly
+// series (kept out of list responses, needed to report a finished
+// campaign's results after restart).
+type persisted struct {
+	CampaignState
+	Monthly []core.MonthEval `json:"monthly,omitempty"`
+}
+
+// campaign is the manager's in-memory record of one submission.
+type campaign struct {
+	id   string
+	spec Spec
+
+	mu      sync.Mutex
+	status  Status
+	monthly []core.MonthEval
+	table   *core.TableI
+	err     error
+	resumed int
+	updated time.Time
+
+	history []Event // every event so far, replayed to new subscribers
+	subs    map[chan Event]bool
+
+	cancel     context.CancelFunc // set while running
+	userCancel bool               // distinguishes cancel-the-campaign from drain-the-service
+	quit       chan struct{}      // closed on user cancel; unblocks a queued campaign
+	admitted   chan struct{}      // closed by the manager's FIFO grant
+	granted    bool               // set with admitted, under mu via Manager.grant
+}
+
+func newCampaign(id string, spec Spec) *campaign {
+	return &campaign{
+		id:       id,
+		spec:     spec,
+		status:   StatusSubmitted,
+		updated:  time.Now().UTC(),
+		subs:     map[chan Event]bool{},
+		quit:     make(chan struct{}),
+		admitted: make(chan struct{}),
+	}
+}
+
+// publish appends an event to the history and fans it out. Subscriber
+// channels are buffered for a full campaign's event count; a consumer
+// that still manages to fall behind is dropped (its channel closed)
+// rather than allowed to wedge the measurement loop.
+func (c *campaign) publish(ev Event) {
+	c.history = append(c.history, ev)
+	for ch := range c.subs {
+		select {
+		case ch <- ev:
+		default:
+			delete(c.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// subscribe returns the full history so far plus a live channel (nil if
+// the campaign is already terminal). The caller must unsubscribe.
+func (c *campaign) subscribe() ([]Event, chan Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	hist := append([]Event(nil), c.history...)
+	if c.status.Terminal() {
+		return hist, nil
+	}
+	ch := make(chan Event, 2*len(c.spec.EvalMonths())+16)
+	c.subs[ch] = true
+	return hist, ch
+}
+
+func (c *campaign) unsubscribe(ch chan Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.subs[ch] {
+		delete(c.subs, ch)
+		close(ch)
+	}
+}
+
+// setStatus transitions the campaign and publishes the status event.
+func (c *campaign) setStatus(s Status) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.status = s
+	c.updated = time.Now().UTC()
+	c.publish(Event{Type: "status", Status: s})
+}
+
+// month records a completed evaluation and publishes it.
+func (c *campaign) month(ev core.MonthEval) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.monthly = append(c.monthly, ev)
+	c.updated = time.Now().UTC()
+	c.publish(Event{Type: "month", Month: &ev})
+}
+
+// finish terminates the campaign: on success the done event carries
+// Table I; on failure the error event carries the typed kind. closeSubs
+// detaches every subscriber after the terminal event.
+func (c *campaign) finish(res *core.Results, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.updated = time.Now().UTC()
+	switch {
+	case err != nil:
+		c.err = err
+		if c.userCancel && errKind(err) == "cancelled" {
+			c.status = StatusCancelled
+		} else {
+			c.status = StatusFailed
+		}
+		c.publish(Event{Type: "status", Status: c.status})
+		c.publish(Event{Type: "error", ErrKind: errKind(err), Error: err.Error()})
+	default:
+		c.status = StatusDone
+		c.monthly = res.Monthly
+		c.table = &res.Table
+		c.publish(Event{Type: "status", Status: StatusDone})
+		c.publish(Event{Type: "done", Table: c.table})
+	}
+	for ch := range c.subs {
+		delete(c.subs, ch)
+		close(ch)
+	}
+}
+
+// state snapshots the campaign for status responses.
+func (c *campaign) state() CampaignState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stateLocked()
+}
+
+func (c *campaign) stateLocked() CampaignState {
+	st := CampaignState{
+		ID:         c.id,
+		Spec:       c.spec,
+		Status:     c.status,
+		MonthsDone: len(c.monthly),
+		Resumed:    c.resumed,
+		Table:      c.table,
+		Updated:    c.updated,
+	}
+	if c.err != nil {
+		st.ErrKind, st.Error = errKind(c.err), c.err.Error()
+	}
+	return st
+}
+
+// statePath and archivePath name the campaign's two files in the data
+// directory: the JSON state document and the binary checkpoint archive.
+func statePath(dir, id string) string   { return filepath.Join(dir, id+".state.json") }
+func archivePath(dir, id string) string { return filepath.Join(dir, id+".bin") }
+
+// save persists the campaign state atomically (temp + rename): a crash
+// mid-write must leave the previous state readable, never a torn file.
+func (c *campaign) save(dir string) error {
+	c.mu.Lock()
+	doc := persisted{CampaignState: c.stateLocked(), Monthly: append([]core.MonthEval(nil), c.monthly...)}
+	c.mu.Unlock()
+	data, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	path := statePath(dir, c.id)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadState reads a persisted campaign state file.
+func loadState(path string) (persisted, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return persisted{}, err
+	}
+	var doc persisted
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return persisted{}, fmt.Errorf("serve: state %s: %w", path, err)
+	}
+	if doc.ID == "" {
+		return persisted{}, fmt.Errorf("serve: state %s: missing campaign id", path)
+	}
+	return doc, nil
+}

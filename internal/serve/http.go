@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/core"
+)
+
+// maxSpecBytes bounds a submission body; campaign specs are small and an
+// unbounded read is a trivial memory DoS on a long-lived service.
+const maxSpecBytes = 1 << 20
+
+// Handler serves the campaign API over m:
+//
+//	POST /v1/campaigns             submit a Spec, returns its state (201)
+//	GET  /v1/campaigns             list all campaigns
+//	GET  /v1/campaigns/{id}        one campaign's state
+//	GET  /v1/campaigns/{id}/months completed month evaluations so far
+//	GET  /v1/campaigns/{id}/stream NDJSON event stream (history + live)
+//	POST /v1/campaigns/{id}/cancel cancel a campaign
+//	GET  /v1/healthz               liveness
+//
+// Errors are JSON documents {"error": ..., "kind": ...} with the kind
+// labels of Event.ErrKind; invalid specs are 400, unknown IDs 404, a
+// draining service 503.
+func Handler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("POST /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+		if err != nil {
+			writeError(w, fmt.Errorf("%w: reading body: %v", core.ErrConfig, err))
+			return
+		}
+		if len(body) > maxSpecBytes {
+			writeError(w, fmt.Errorf("%w: spec exceeds %d bytes", core.ErrConfig, maxSpecBytes))
+			return
+		}
+		spec, err := DecodeSpec(body)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		st, err := m.Submit(spec)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, st)
+	})
+	mux.HandleFunc("GET /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.List())
+	})
+	mux.HandleFunc("GET /v1/campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/campaigns/{id}/months", func(w http.ResponseWriter, r *http.Request) {
+		monthly, err := m.Monthly(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, monthly)
+	})
+	mux.HandleFunc("POST /v1/campaigns/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		st, err := m.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/campaigns/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
+		streamCampaign(m, w, r)
+	})
+	return mux
+}
+
+// streamCampaign writes a campaign's events as NDJSON: full history
+// first, then live events until the terminal one (or client disconnect).
+func streamCampaign(m *Manager, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	hist, ch, err := m.Subscribe(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer m.Unsubscribe(id, ch)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	terminal := func(ev Event) bool { return ev.Type == "done" || ev.Type == "error" }
+	for _, ev := range hist {
+		if err := enc.Encode(ev); err != nil {
+			return
+		}
+		if terminal(ev) {
+			return
+		}
+	}
+	if ch == nil {
+		return
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				// Dropped as a slow consumer or the campaign finished
+				// while we flushed; either way the stream is over.
+				return
+			}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			if terminal(ev) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeJSON writes one JSON response document.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps a service error to its HTTP status and JSON document.
+func writeError(w http.ResponseWriter, err error) {
+	status, kind := http.StatusInternalServerError, errKind(err)
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status, kind = http.StatusNotFound, "not_found"
+	case errors.Is(err, ErrDraining):
+		status, kind = http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, core.ErrConfig), errors.Is(err, core.ErrNoMonths):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error(), "kind": kind})
+}

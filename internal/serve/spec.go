@@ -1,0 +1,207 @@
+// Package serve is the long-lived assessment service behind cmd/assessd:
+// campaign specs arrive over HTTP as JSON, run concurrently under ONE
+// global sampling budget, stream their per-month results as NDJSON, and
+// checkpoint every measurement record to a binary archive so a killed
+// service resumes interrupted campaigns bit-identically on restart.
+//
+// The package splits along the service's seams: Spec (this file) is the
+// validated admission contract, Manager (manager.go) owns campaign
+// lifecycle + checkpoint/resume, the HTTP surface lives in http.go, and
+// Client (client.go) is the typed consumer the CLI uses.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/aging"
+	"repro/internal/core"
+	"repro/internal/silicon"
+)
+
+// Condition is a campaign's environmental operating point — the oven the
+// simulated rig sits in (nominal room temperature when absent).
+type Condition struct {
+	TempC float64 `json:"temp_c"`
+	Volts float64 `json:"volts"`
+}
+
+// Spec is the admission contract of the assessment service: everything a
+// campaign needs, as the JSON body of POST /v1/campaigns. Zero fields
+// take the service defaults (the quick-demonstration campaign of
+// cmd/agingtest, not the paper's 16x24x1000 — a service client asks for
+// scale explicitly).
+//
+// Campaigns always run through the measurement-rig simulation: the rig's
+// record tap is what feeds the checkpoint archive, and the rig path is
+// bit-identical to direct sampling by construction, so nothing is lost.
+// The rig's two-layer topology is why Devices must be even.
+type Spec struct {
+	// Name is a human label echoed in listings; it does not key anything.
+	Name string `json:"name,omitempty"`
+	// Profile selects the simulated device family: "atmega32u4" (the
+	// paper's chip, the default) or "cmos65nm-accelerated".
+	Profile string `json:"profile,omitempty"`
+	// Devices is the number of boards under test (even, >= 2; default 4).
+	Devices int `json:"devices,omitempty"`
+	// Seed is the campaign seed (default 20170208, the paper's).
+	Seed uint64 `json:"seed,omitempty"`
+	// I2CError is the rig's I2C byte-corruption rate in [0, 1].
+	I2CError float64 `json:"i2c_error,omitempty"`
+	// Window is the measurements per monthly evaluation window (>= 2;
+	// default 200).
+	Window int `json:"window,omitempty"`
+	// Months is the campaign length: evaluations at months 0..Months
+	// inclusive (default 6). Exclusive with MonthList.
+	Months int `json:"months,omitempty"`
+	// MonthList is an explicit ascending evaluation schedule for sparse
+	// campaigns. Exclusive with Months.
+	MonthList []int `json:"month_list,omitempty"`
+	// Workers is the campaign's requested sampling parallelism; the
+	// manager clamps it to the campaign's share of the global budget.
+	Workers int `json:"workers,omitempty"`
+	// Shards fans the campaign's device population across N in-process
+	// shard workers (0: unsharded).
+	Shards int `json:"shards,omitempty"`
+	// Condition is the environmental operating point (default: the
+	// profile's nominal scenario).
+	Condition *Condition `json:"condition,omitempty"`
+}
+
+// Service defaults: the quick-demonstration campaign of cmd/agingtest.
+const (
+	defaultDevices = 4
+	defaultWindow  = 200
+	defaultMonths  = 6
+	defaultSeed    = 20170208
+)
+
+// Admission bounds. Specs are external input to a long-lived service: a
+// single absurd field must not allocate unbounded memory (a month range
+// is materialised as a slice, a worker budget as a semaphore). The caps
+// are far above any physical campaign — the archive layer itself stops
+// walking months at 50 years.
+const (
+	maxMonthIndex = 600     // 50 years, matching ArchiveSource's walk cap
+	maxDevices    = 1 << 10 // 64x the paper's fleet
+	maxWindow     = 1 << 20 // 1000x the paper's window
+	maxWorkers    = 1 << 12
+)
+
+// profileByName resolves a Spec.Profile string. Empty means the paper's
+// ATmega32u4.
+func profileByName(name string) (silicon.DeviceProfile, error) {
+	switch name {
+	case "", "atmega32u4", "ATmega32u4":
+		return silicon.ATmega32u4()
+	case "cmos65nm-accelerated", "CMOS65nm-accelerated":
+		return silicon.CMOS65nmAccelerated()
+	default:
+		return silicon.DeviceProfile{}, fmt.Errorf("%w: unknown profile %q (want atmega32u4 or cmos65nm-accelerated)", core.ErrConfig, name)
+	}
+}
+
+// DecodeSpec parses a campaign spec strictly: unknown fields, trailing
+// garbage and type mismatches are admission errors (ErrConfig), never
+// silently dropped — a typo'd field name must not silently run a default
+// campaign. The returned spec is already normalised and validated.
+func DecodeSpec(data []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("%w: %v", core.ErrConfig, err)
+	}
+	// A second value (or any non-space trailing bytes) is a malformed
+	// submission, not a spec.
+	if dec.More() {
+		return Spec{}, fmt.Errorf("%w: trailing data after spec", core.ErrConfig)
+	}
+	s.normalize()
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// normalize fills defaulted fields in place so persisted state and
+// re-encoded specs are canonical (encode(decode(x)) is a fixed point).
+func (s *Spec) normalize() {
+	if s.Devices == 0 {
+		s.Devices = defaultDevices
+	}
+	if s.Window == 0 {
+		s.Window = defaultWindow
+	}
+	if s.Months == 0 && len(s.MonthList) == 0 {
+		s.Months = defaultMonths
+	}
+	if s.Seed == 0 {
+		s.Seed = defaultSeed
+	}
+}
+
+// Validate checks the normalised spec; every failure wraps ErrConfig so
+// the HTTP layer maps it to 400 before a campaign is admitted.
+func (s Spec) Validate() error {
+	if _, err := profileByName(s.Profile); err != nil {
+		return err
+	}
+	switch {
+	case s.Devices < 2 || s.Devices%2 != 0:
+		return fmt.Errorf("%w: service campaigns run on the rig and need an even device count >= 2, got %d", core.ErrConfig, s.Devices)
+	case s.Devices > maxDevices:
+		return fmt.Errorf("%w: %d devices exceeds the service bound %d", core.ErrConfig, s.Devices, maxDevices)
+	case s.Window < 2:
+		return fmt.Errorf("%w: need >= 2 measurements per window, got %d", core.ErrConfig, s.Window)
+	case s.Window > maxWindow:
+		return fmt.Errorf("%w: window %d exceeds the service bound %d", core.ErrConfig, s.Window, maxWindow)
+	case s.Months < 0:
+		return fmt.Errorf("%w: negative campaign length %d", core.ErrConfig, s.Months)
+	case s.Months > maxMonthIndex:
+		return fmt.Errorf("%w: campaign length %d exceeds the service bound %d months", core.ErrConfig, s.Months, maxMonthIndex)
+	case s.Months > 0 && len(s.MonthList) > 0:
+		return fmt.Errorf("%w: months and month_list are exclusive", core.ErrConfig)
+	case s.Months == 0 && len(s.MonthList) == 0:
+		return fmt.Errorf("%w: no evaluation months", core.ErrConfig)
+	case s.I2CError < 0 || s.I2CError > 1:
+		return fmt.Errorf("%w: I2C error rate %v outside [0, 1]", core.ErrConfig, s.I2CError)
+	case s.Workers < 0:
+		return fmt.Errorf("%w: negative worker count %d", core.ErrConfig, s.Workers)
+	case s.Workers > maxWorkers:
+		return fmt.Errorf("%w: worker count %d exceeds the service bound %d", core.ErrConfig, s.Workers, maxWorkers)
+	case s.Shards < 0:
+		return fmt.Errorf("%w: negative shard count %d", core.ErrConfig, s.Shards)
+	case s.Shards > s.Devices:
+		return fmt.Errorf("%w: %d shards for %d devices (a shard needs at least one device)", core.ErrConfig, s.Shards, s.Devices)
+	}
+	for i, m := range s.MonthList {
+		if m < 0 || m > maxMonthIndex || (i > 0 && m <= s.MonthList[i-1]) {
+			return fmt.Errorf("%w: month_list must be ascending within [0, %d], got %v", core.ErrConfig, maxMonthIndex, s.MonthList)
+		}
+	}
+	if s.Condition != nil {
+		sc := aging.Condition(s.Condition.TempC, s.Condition.Volts)
+		if err := sc.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", core.ErrConfig, err)
+		}
+	}
+	return nil
+}
+
+// EvalMonths returns the campaign's ascending evaluation schedule.
+func (s Spec) EvalMonths() []int {
+	if len(s.MonthList) > 0 {
+		return append([]int(nil), s.MonthList...)
+	}
+	return core.MonthRange(s.Months)
+}
+
+// scenario resolves the campaign's operating point against its profile.
+func (s Spec) scenario(profile silicon.DeviceProfile) aging.Scenario {
+	if s.Condition == nil {
+		return profile.NominalScenario()
+	}
+	return aging.Condition(s.Condition.TempC, s.Condition.Volts)
+}

@@ -196,11 +196,22 @@ func NewBinaryWriter(w io.Writer) *BinaryWriter {
 // NewBinaryWriterV1 returns a writer in the un-indexed v1 format: a
 // plain record stream with no footer, readable by the same readers via
 // a one-pass fallback scan. Flush is a plain buffer drain (no
-// finalization), so v1 suits sinks that flush mid-stream.
+// finalization), so v1 suits sinks that flush mid-stream — the
+// crash-tolerant checkpoint format of a long-running campaign (a
+// truncated tail loses only the torn record, never the archive).
 func NewBinaryWriterV1(w io.Writer) *BinaryWriter {
 	bw := bufio.NewWriter(w)
 	bw.WriteString(BinaryMagic)
 	return &BinaryWriter{bw: bw, off: int64(len(BinaryMagic))}
+}
+
+// ContinueBinaryWriterV1 returns a v1 writer that does NOT emit the
+// archive magic — w is positioned at the end of an existing v1 record
+// stream (an append-mode file) and the writer continues it. This is the
+// resume path of a checkpointed campaign: recover the archive to its
+// last complete record, reopen it for append, and keep writing.
+func ContinueBinaryWriterV1(w io.Writer) *BinaryWriter {
+	return &BinaryWriter{bw: bufio.NewWriter(w), off: int64(len(BinaryMagic))}
 }
 
 // Write encodes one record.
@@ -304,6 +315,14 @@ func NewBinaryReader(r io.Reader) (*BinaryReader, error) {
 	}
 	return nil, fmt.Errorf("%w: bad archive magic % x (version mismatch or not a binary archive)", ErrBinary, magic)
 }
+
+// Offset returns the number of archive bytes consumed so far (magic plus
+// every fully decoded record) — the truncation point a checkpoint
+// recovery cuts a torn archive back to.
+func (r *BinaryReader) Offset() int64 { return r.off }
+
+// Records returns the number of records decoded so far.
+func (r *BinaryReader) Records() uint64 { return r.n }
 
 // Read decodes the next record into rec, reusing rec.Data when it
 // already has the record's bit length (pass the same rec to stream with

@@ -251,3 +251,57 @@ func TestWriteArchiveBinaryRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestContinueBinaryWriterV1 is the checkpoint-resume seam: a v1 archive
+// interrupted between records and reopened for append through
+// ContinueBinaryWriterV1 must read back as one continuous stream, with
+// Offset/Records tracking the recovery truncation point.
+func TestContinueBinaryWriterV1(t *testing.T) {
+	recs := testRecords(t, 129)
+	var buf bytes.Buffer
+	w := NewBinaryWriterV1(&buf)
+	for _, rec := range recs[:4] {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Append the rest as a resumed session: no second magic.
+	cw := ContinueBinaryWriterV1(&buf)
+	for _, rec := range recs[4:] {
+		if err := cw.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewBinaryReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Offset(); got != int64(len(BinaryMagic)) {
+		t.Fatalf("Offset() after magic = %d, want %d", got, len(BinaryMagic))
+	}
+	for i := range recs {
+		var rec Record
+		if err := r.Read(&rec); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !sameRecord(rec, recs[i]) {
+			t.Fatalf("record %d differs after continued write", i)
+		}
+	}
+	var rec Record
+	if err := r.Read(&rec); err != io.EOF {
+		t.Fatalf("want io.EOF after %d records, got %v", len(recs), err)
+	}
+	if got := r.Records(); got != uint64(len(recs)) {
+		t.Fatalf("Records() = %d, want %d", got, len(recs))
+	}
+	if got := r.Offset(); got != int64(buf.Len()) {
+		t.Fatalf("Offset() at EOF = %d, want %d", got, buf.Len())
+	}
+}

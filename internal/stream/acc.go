@@ -174,10 +174,9 @@ func (a *Ones) StableRatio() (float64, error) {
 
 // StableMask returns a fresh bitmap marking the stable cells — cells
 // whose one-count is exactly 0 or exactly the measurement count, the same
-// count-based classification as StableRatio. The condition sweep
-// intersects these masks across operating corners to find the cells that
-// are stable everywhere (and retains them, which is why this form
-// allocates; StableMaskInto is the reuse form).
+// count-based classification as StableRatio. Callers on a per-window hot
+// path (the condition sweep's cross-corner harvest) use StableMaskInto
+// with a reused mask instead; this form allocates per call.
 func (a *Ones) StableMask() (*bitvec.Vector, error) {
 	if a.count == 0 {
 		return nil, ErrNoMeasurements

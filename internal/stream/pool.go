@@ -3,6 +3,7 @@ package stream
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 )
 
 // Pool is the campaign engine's shared scheduler: a bounded worker pool
@@ -13,11 +14,19 @@ import (
 //
 // The bound is held by one semaphore owned by the Pool, not per Run call:
 // concurrent Run calls on the same Pool share the worker budget. That is
-// what lets a condition sweep run many grid points at once while the
-// total sampling parallelism stays at the configured bound.
+// what lets a condition sweep run many grid points at once — and the
+// assessment service run many concurrent campaigns — while the total
+// sampling parallelism stays at one bound.
 type Pool struct {
 	workers int
 	sem     chan struct{} // nil when unbounded
+
+	// Budget accounting: how many jobs hold a slot right now, and the
+	// highest that count has ever been. The high-watermark is what lets a
+	// multi-campaign service assert that its single global budget was
+	// never exceeded no matter how many campaigns ran concurrently.
+	inflight atomic.Int64
+	high     atomic.Int64
 }
 
 // NewPool returns a pool running at most workers jobs concurrently across
@@ -34,15 +43,26 @@ func NewPool(workers int) *Pool {
 // Workers returns the configured concurrency bound (0 = unbounded).
 func (p *Pool) Workers() int { return p.workers }
 
+// InFlight returns the number of jobs currently executing (holding a
+// worker slot) across all concurrent Run calls.
+func (p *Pool) InFlight() int { return int(p.inflight.Load()) }
+
+// MaxInFlight returns the highest concurrent job count the pool has ever
+// reached — the accounting a service's pool-budget test asserts against:
+// for a bounded pool it can never exceed Workers().
+func (p *Pool) MaxInFlight() int { return int(p.high.Load()) }
+
 // SplitBudget divides a total worker budget across parts — the
 // per-shard pool budgeting of a sharded campaign, where each worker
 // process runs its own Pool but the campaign's -workers bound should
-// govern the TOTAL sampling parallelism across all of them. A
-// non-positive total leaves every part unbounded (the single-process
-// default); otherwise every part gets total/parts with the remainder
-// spread over the first parts, and never less than 1 (a zero share would
-// mean "unbounded" to the receiving pool and overshoot the budget, so a
-// budget smaller than the shard count inflates to one worker per shard).
+// govern the TOTAL sampling parallelism across all of them, and the
+// per-campaign budgeting of a multi-campaign service admitting work
+// against one global budget. A non-positive total leaves every part
+// unbounded (the single-process default); otherwise every part gets
+// total/parts with the remainder spread over the first parts, and never
+// less than 1 (a zero share would mean "unbounded" to the receiving pool
+// and overshoot the budget, so a budget smaller than the part count
+// inflates to one worker per part).
 func SplitBudget(total, parts int) []int {
 	if parts < 1 {
 		return nil
@@ -81,6 +101,14 @@ func (p *Pool) Run(jobs ...func() error) error {
 				p.sem <- struct{}{}
 				defer func() { <-p.sem }()
 			}
+			n := p.inflight.Add(1)
+			for {
+				high := p.high.Load()
+				if n <= high || p.high.CompareAndSwap(high, n) {
+					break
+				}
+			}
+			defer p.inflight.Add(-1)
 			errs[i] = job()
 		}(i, job)
 	}

@@ -2,6 +2,8 @@ package stream
 
 import (
 	"reflect"
+	"runtime"
+	"sync"
 	"testing"
 )
 
@@ -39,5 +41,52 @@ func TestPoolWorkers(t *testing.T) {
 	}
 	if got := NewPool(0).Workers(); got != 0 {
 		t.Errorf("unbounded Workers() = %d, want 0", got)
+	}
+}
+
+// TestPoolAccountingSharedBudget is the pool-budget guarantee of the
+// assessment service: many concurrent Run calls (one per campaign) on one
+// bounded Pool never exceed the single global worker budget, and the
+// high-watermark proves the bound was actually contended (the budget was
+// used, not just never approached).
+func TestPoolAccountingSharedBudget(t *testing.T) {
+	const workers, campaigns, jobsPer = 3, 5, 8
+	p := NewPool(workers)
+	gate := make(chan struct{}) // holds every job until all are queued
+	var wg sync.WaitGroup
+	for c := 0; c < campaigns; c++ {
+		jobs := make([]func() error, jobsPer)
+		for j := range jobs {
+			jobs[j] = func() error {
+				if got := p.InFlight(); got > workers {
+					t.Errorf("InFlight() = %d during job, budget %d", got, workers)
+				}
+				<-gate
+				return nil
+			}
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Run(jobs...); err != nil {
+				t.Errorf("Run: %v", err)
+			}
+		}()
+	}
+	// Release the jobs only once the budget is observably saturated:
+	// exactly `workers` jobs hold slots and block on the gate.
+	for p.InFlight() < workers {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+	if got := p.MaxInFlight(); got > workers {
+		t.Fatalf("MaxInFlight() = %d, want <= %d: concurrent campaigns overshot the global budget", got, workers)
+	}
+	if got := p.MaxInFlight(); got != workers {
+		t.Fatalf("MaxInFlight() = %d, want %d: %d campaigns x %d jobs should saturate the budget", got, workers, campaigns, jobsPer)
+	}
+	if got := p.InFlight(); got != 0 {
+		t.Fatalf("InFlight() = %d after all Runs returned, want 0", got)
 	}
 }

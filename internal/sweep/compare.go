@@ -3,7 +3,6 @@ package sweep
 import (
 	"fmt"
 
-	"repro/internal/bitvec"
 	"repro/internal/core"
 )
 
@@ -54,7 +53,7 @@ const (
 // buildComparison assembles the cross-condition series. All points must
 // have evaluated the same month list (guaranteed when Config.Months is
 // set; archive-backed factories must agree among themselves).
-func buildComparison(points []PointResult, masks []*maskStore) (Comparison, error) {
+func buildComparison(points []PointResult, intersect *stableIntersector) (Comparison, error) {
 	ref := points[0].Results.Monthly
 	for _, pt := range points[1:] {
 		if err := sameMonths(ref, pt.Results.Monthly); err != nil {
@@ -84,7 +83,7 @@ func buildComparison(points []PointResult, masks []*maskStore) (Comparison, erro
 				c.WorstFHW[mi], c.WorstFHWCorner[mi] = v, pt.Scenario.Name
 			}
 		}
-		inter, err := stableIntersection(masks, ref[mi].Month)
+		inter, err := intersect.intersection(ref[mi].Month, len(points))
 		if err != nil {
 			return Comparison{}, err
 		}
@@ -104,31 +103,6 @@ func sameMonths(a, b []core.MonthEval) error {
 		}
 	}
 	return nil
-}
-
-// stableIntersection returns the device-averaged ratio of cells stable in
-// every point's window of the given month.
-func stableIntersection(masks []*maskStore, month int) (float64, error) {
-	devices := masks[0].devices
-	sum := 0.0
-	for d := 0; d < devices; d++ {
-		var inter *bitvec.Vector
-		for _, ms := range masks {
-			row := ms.byMonth[month]
-			if row == nil || d >= len(row) || row[d] == nil {
-				return 0, fmt.Errorf("sweep: missing stable mask for month %d device %d", month, d)
-			}
-			if inter == nil {
-				inter = row[d].Clone()
-				continue
-			}
-			if err := inter.AndInPlace(row[d]); err != nil {
-				return 0, err
-			}
-		}
-		sum += float64(inter.HammingWeight()) / float64(inter.Len())
-	}
-	return sum / float64(devices), nil
 }
 
 // tempSlopes regresses each device-averaged metric at the final evaluated

@@ -1,0 +1,54 @@
+package sweep
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/stream"
+)
+
+// TestMaskHarvestSteadyStateAllocs pins the PR 5 leftover: the sweep's
+// stable-mask harvest must not allocate per window. After the first
+// window of a (month, device) warms the scratch mask and the running
+// intersection, every further window is StableMaskInto + AndInPlace into
+// reused storage — zero allocations.
+func TestMaskHarvestSteadyStateAllocs(t *testing.T) {
+	const bits = 4096
+	ref := bitvec.New(bits)
+	dev := stream.NewDevice(ref)
+	flip := bitvec.New(bits)
+	flip.Set(7, true)
+	for _, m := range []*bitvec.Vector{ref, flip} {
+		if err := dev.Add(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	h := &maskHarvest{si: newStableIntersector()}
+	h.windowDone(0, 0, dev) // warm: allocates the scratch mask and the accumulator
+
+	if avg := testing.AllocsPerRun(200, func() { h.windowDone(0, 0, dev) }); avg != 0 {
+		t.Fatalf("stable-mask harvest allocates %v per window in steady state, want 0", avg)
+	}
+}
+
+// TestStableIntersectorMissingPoint: a month where one point never
+// contributed a device's mask is an error, not a silent partial
+// intersection.
+func TestStableIntersectorMissingPoint(t *testing.T) {
+	si := newStableIntersector()
+	mask := bitvec.New(64)
+	mask.SetAll(true)
+	si.absorb(3, 0, mask)
+	si.absorb(3, 1, mask)
+
+	if got, err := si.intersection(3, 1); err != nil || got != 1.0 {
+		t.Fatalf("complete month: got %v, %v; want 1.0", got, err)
+	}
+	if _, err := si.intersection(3, 2); err == nil {
+		t.Fatal("month with a missing point's masks did not error")
+	}
+	if _, err := si.intersection(9, 1); err == nil {
+		t.Fatal("never-evaluated month did not error")
+	}
+}

@@ -226,7 +226,7 @@ func RunPoints(ctx context.Context, cfg Config, points []aging.Scenario) (*Resul
 	}
 	sem := make(chan struct{}, limit)
 	results := make([]*core.Results, len(points))
-	masks := make([]*maskStore, len(points))
+	intersect := newStableIntersector()
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
@@ -263,15 +263,14 @@ func RunPoints(ctx context.Context, cfg Config, points []aging.Scenario) (*Resul
 			if closer, ok := src.(io.Closer); ok {
 				defer closer.Close()
 			}
-			store := &maskStore{devices: src.Devices(), byMonth: map[int][]*bitvec.Vector{}}
-			masks[i] = store
+			harvest := &maskHarvest{si: intersect}
 			acfg := core.AssessmentConfig{
 				Source:       src,
 				WindowSize:   cfg.WindowSize,
 				Months:       cfg.Months,
 				Metrics:      cfg.Metrics,
 				CrossMetrics: cfg.CrossMetrics,
-				WindowDone:   store.windowDone,
+				WindowDone:   harvest.windowDone,
 			}
 			if cfg.Progress != nil {
 				acfg.Progress = func(ev core.MonthEval) {
@@ -310,7 +309,7 @@ func RunPoints(ctx context.Context, cfg Config, points []aging.Scenario) (*Resul
 		}
 		out.Points[i] = PointResult{Scenario: sc, Results: results[i]}
 	}
-	cmp, err := buildComparison(out.Points, masks)
+	cmp, err := buildComparison(out.Points, intersect)
 	if err != nil {
 		return nil, err
 	}
@@ -318,24 +317,85 @@ func RunPoints(ctx context.Context, cfg Config, points []aging.Scenario) (*Resul
 	return out, nil
 }
 
-// maskStore collects one point's per-month, per-device stable-cell masks
-// from the engine's WindowDone hook. The engine invokes WindowDone from
-// its sequential window-finalisation loop and each point owns its own
-// store, so no locking is needed.
-type maskStore struct {
-	devices int
-	byMonth map[int][]*bitvec.Vector
+// maskHarvest is one point's stable-mask harvest from the engine's
+// WindowDone hook: one scratch mask per device, reused across every
+// window (StableMaskInto, no per-window allocation), its contents folded
+// straight into the shared cross-point intersection. The engine invokes
+// WindowDone from its sequential window-finalisation loop and each point
+// owns its own harvest, so the scratch needs no locking.
+type maskHarvest struct {
+	si      *stableIntersector
+	scratch []*bitvec.Vector
 }
 
-func (ms *maskStore) windowDone(month, device int, dev *stream.Device) {
-	mask, err := dev.StableMask()
-	if err != nil {
+func (h *maskHarvest) windowDone(month, device int, dev *stream.Device) {
+	for device >= len(h.scratch) {
+		h.scratch = append(h.scratch, nil)
+	}
+	mask := h.scratch[device]
+	if mask == nil || mask.Len() != dev.Ref().Len() {
+		mask = bitvec.New(dev.Ref().Len())
+		h.scratch[device] = mask
+	}
+	if err := dev.StableMaskInto(mask); err != nil {
 		return // unreachable: WindowDone fires only after a complete window
 	}
-	row := ms.byMonth[month]
-	if row == nil {
-		row = make([]*bitvec.Vector, ms.devices)
-		ms.byMonth[month] = row
+	h.si.absorb(month, device, mask)
+}
+
+// stableIntersector accumulates the cross-corner stable-cell
+// intersection in place: one running AND per (month, device), shared by
+// every sweep point, instead of retaining every point's every mask until
+// the end of the sweep. Points run concurrently, hence the lock.
+type stableIntersector struct {
+	mu      sync.Mutex
+	err     error
+	byMonth map[int][]*bitvec.Vector // running intersection per device
+	seen    map[int][]int            // points folded in per device
+}
+
+func newStableIntersector() *stableIntersector {
+	return &stableIntersector{byMonth: map[int][]*bitvec.Vector{}, seen: map[int][]int{}}
+}
+
+// absorb folds one point's (month, device) mask into the running
+// intersection. The mask is the caller's reusable scratch; absorb only
+// reads it.
+func (si *stableIntersector) absorb(month, device int, mask *bitvec.Vector) {
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	row, seen := si.byMonth[month], si.seen[month]
+	for device >= len(row) {
+		row, seen = append(row, nil), append(seen, 0)
 	}
-	row[device] = mask
+	if row[device] == nil {
+		row[device] = mask.Clone()
+	} else if err := row[device].AndInPlace(mask); err != nil && si.err == nil {
+		si.err = fmt.Errorf("sweep: stable mask for month %d device %d: %w", month, device, err)
+	}
+	seen[device]++
+	si.byMonth[month], si.seen[month] = row, seen
+}
+
+// intersection returns the device-averaged ratio of cells stable in
+// every point's window of the given month; points is the number of sweep
+// points whose masks must have been folded in.
+func (si *stableIntersector) intersection(month, points int) (float64, error) {
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	if si.err != nil {
+		return 0, si.err
+	}
+	row, seen := si.byMonth[month], si.seen[month]
+	if len(row) == 0 {
+		return 0, fmt.Errorf("sweep: missing stable masks for month %d", month)
+	}
+	sum := 0.0
+	for d, inter := range row {
+		if inter == nil || seen[d] != points {
+			return 0, fmt.Errorf("sweep: missing stable mask for month %d device %d", month, d)
+		}
+		sum += float64(inter.HammingWeight()) / float64(inter.Len())
+	}
+	return sum / float64(len(row)), nil
 }

@@ -120,3 +120,120 @@ extract_table "$workdir/replay-upgraded2.txt" > "$workdir/replay-upgraded2.table
 diff -u "$workdir/direct.table" "$workdir/replay-upgraded2.table"
 
 echo "== smoke OK: sharded runs, JSONL/binary/indexed replays (plain, sharded, upgraded) are byte-identical to the direct run"
+
+# ---------------------------------------------------------------------------
+# Service leg: the same bit-identity guarantee through assessd — a campaign
+# submitted over HTTP and streamed back must render the identical table; a
+# campaign hard-killed (SIGKILL) mid-run must resume from its checkpoint on
+# restart and still render the identical table; cancel must stick.
+# ---------------------------------------------------------------------------
+
+echo "== service leg: building assessd"
+go build -o "$workdir/assessd" ./cmd/assessd
+
+port=$((20000 + RANDOM % 20000))
+base="http://127.0.0.1:$port"
+datadir="$workdir/assessd-data"
+assessd_pid=""
+
+cleanup() {
+    [ -n "$assessd_pid" ] && kill -9 "$assessd_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+start_assessd() {
+    "$workdir/assessd" -addr "127.0.0.1:$port" -data "$datadir" \
+        -workers 4 -max-active 2 >> "$workdir/assessd.log" 2>&1 &
+    assessd_pid=$!
+    for _ in $(seq 1 100); do
+        if (exec 3<>"/dev/tcp/127.0.0.1/$port") 2>/dev/null; then
+            exec 3>&- || true
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "assessd did not start listening on :$port" >&2
+    cat "$workdir/assessd.log" >&2
+    exit 1
+}
+
+start_assessd
+
+echo "== service run over HTTP, streamed to completion"
+"$workdir/agingtest" -devices $DEVICES -months $MONTHS -window $WINDOW \
+    -remote "$base" > "$workdir/service.txt"
+extract_table "$workdir/service.txt" > "$workdir/service.table"
+diff -u "$workdir/direct.table" "$workdir/service.table"
+
+echo "== cancel: a long campaign cancelled mid-run ends cancelled"
+cancel_id=$("$workdir/agingtest" -devices 4 -months 300 -window 16 \
+    -remote "$base" -remote-detach)
+sleep 0.3
+# Cancellation is asynchronous: the request is acknowledged immediately,
+# the campaign reaches "cancelled" at its next cancellation point.
+"$workdir/agingtest" -remote "$base" -remote-cancel "$cancel_id" > /dev/null
+for _ in $(seq 1 100); do
+    if "$workdir/agingtest" -remote "$base" -remote-status "$cancel_id" \
+        | grep -q "cancelled"; then
+        cancelled=1
+        break
+    fi
+    sleep 0.1
+done
+if [ "${cancelled:-0}" -ne 1 ]; then
+    echo "campaign $cancel_id never reached cancelled" >&2
+    exit 1
+fi
+
+echo "== kill+restart resume: hard-kill assessd mid-campaign"
+RM=40 RW=60
+"$workdir/agingtest" -devices $DEVICES -months $RM -window $RW \
+    -harness > "$workdir/direct-resume.txt"
+extract_table "$workdir/direct-resume.txt" > "$workdir/direct-resume.table"
+
+resume_id=$("$workdir/agingtest" -devices $DEVICES -months $RM -window $RW \
+    -remote "$base" -remote-detach)
+for _ in $(seq 1 200); do
+    months_done=$("$workdir/agingtest" -remote "$base" -remote-status "$resume_id" \
+        | sed -n 's/.*, \([0-9]*\) months done.*/\1/p')
+    [ "${months_done:-0}" -ge 2 ] && break
+    sleep 0.05
+done
+if [ "${months_done:-0}" -lt 2 ]; then
+    echo "campaign $resume_id never reached 2 months" >&2
+    exit 1
+fi
+kill -9 "$assessd_pid"
+wait "$assessd_pid" 2>/dev/null || true
+assessd_pid=""
+
+echo "== restarting assessd over the same data dir"
+start_assessd
+for _ in $(seq 1 600); do
+    status=$("$workdir/agingtest" -remote "$base" -remote-status "$resume_id")
+    case "$status" in
+        *": done,"*) break ;;
+        *": failed,"*|*": cancelled,"*)
+            echo "resumed campaign $resume_id ended badly: $status" >&2
+            exit 1 ;;
+    esac
+    sleep 0.1
+done
+case "$status" in
+    *": done,"*) ;;
+    *) echo "resumed campaign $resume_id never finished: $status" >&2; exit 1 ;;
+esac
+
+echo "== resumed table must be byte-identical to the uninterrupted run"
+"$workdir/agingtest" -remote "$base" -remote-watch "$resume_id" \
+    > "$workdir/resumed.txt"
+extract_table "$workdir/resumed.txt" > "$workdir/resumed.table"
+diff -u "$workdir/direct-resume.table" "$workdir/resumed.table"
+
+echo "== graceful drain: SIGTERM leaves the service exitable"
+kill -TERM "$assessd_pid"
+wait "$assessd_pid" 2>/dev/null || true
+assessd_pid=""
+
+echo "== smoke OK: service submit/stream, cancel, and kill+restart resume are byte-identical to direct runs"

@@ -1,0 +1,54 @@
+package sramaging
+
+import (
+	"net/http"
+
+	"repro/internal/serve"
+)
+
+// Re-exported assessment-service types: the admission contract and typed
+// client of cmd/assessd, so external programs submit, stream and resume
+// long-lived campaigns without importing internal packages.
+type (
+	// ServeSpec is a service campaign submission: the JSON body of
+	// POST /v1/campaigns, validated (into ErrConfig) before admission.
+	ServeSpec = serve.Spec
+	// ServeCondition is a spec's environmental operating point.
+	ServeCondition = serve.Condition
+	// ServeConfig parameterises an in-process assessment service: data
+	// directory, global worker budget, concurrent-campaign bound.
+	ServeConfig = serve.Config
+	// ServeManager owns a service's campaigns — embed one behind
+	// ServeHandler to run the service inside another program.
+	ServeManager = serve.Manager
+	// ServeEvent is one entry of a campaign's NDJSON result stream.
+	ServeEvent = serve.Event
+	// ServeCampaignState is a campaign's queryable status snapshot.
+	ServeCampaignState = serve.CampaignState
+	// ServeClient is the typed HTTP client of an assessd instance.
+	ServeClient = serve.Client
+)
+
+// Campaign lifecycle statuses, as reported by the service.
+const (
+	ServeStatusSubmitted    = serve.StatusSubmitted
+	ServeStatusRunning      = serve.StatusRunning
+	ServeStatusCheckpointed = serve.StatusCheckpointed
+	ServeStatusResumed      = serve.StatusResumed
+	ServeStatusDone         = serve.StatusDone
+	ServeStatusFailed       = serve.StatusFailed
+	ServeStatusCancelled    = serve.StatusCancelled
+)
+
+// NewServeManager starts an assessment service manager: it recovers and
+// resumes every interrupted campaign found in the data directory, then
+// accepts submissions. Drain it with its Close.
+func NewServeManager(cfg ServeConfig) (*ServeManager, error) {
+	return serve.NewManager(cfg)
+}
+
+// ServeHandler returns the service's HTTP API over a manager — mount it
+// on any mux or server.
+func ServeHandler(m *ServeManager) http.Handler {
+	return serve.Handler(m)
+}
