@@ -76,6 +76,10 @@ type Assessment struct {
 	conditions    []Scenario
 	sweepProgress func(SweepProgress)
 	pointParallel int
+
+	// Key-lifecycle state (WithKeyLifecycle; see keylife.go).
+	keylife    bool
+	keylifeCfg KeyLifeConfig
 }
 
 // Option configures an Assessment.
@@ -309,12 +313,24 @@ func (a *Assessment) Run(ctx context.Context) (*Results, error) {
 			months = core.MonthRange(24)
 		}
 	}
+	metrics, crossMetrics := a.metrics, a.crossMetrics
+	if a.keylife {
+		// The workload screens the simulated population from (profile,
+		// devices, seed) regardless of src, so an archive replay of a
+		// recorded campaign derives the identical masks and series.
+		wl, err := a.keylifeWorkload(ctx, src.Devices())
+		if err != nil {
+			return nil, err
+		}
+		metrics = append(append([]Metric{}, metrics...), wl.Metrics()...)
+		crossMetrics = append(append([]CrossMetric{}, crossMetrics...), wl.CrossMetrics()...)
+	}
 	eng, err := core.NewAssessment(core.AssessmentConfig{
 		Source:       src,
 		WindowSize:   a.window,
 		Months:       months,
-		Metrics:      a.metrics,
-		CrossMetrics: a.crossMetrics,
+		Metrics:      metrics,
+		CrossMetrics: crossMetrics,
 		Progress:     a.progress,
 	})
 	if err != nil {

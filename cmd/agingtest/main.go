@@ -58,6 +58,7 @@ func run() error {
 	shardWorker := flag.String("shardworker", "", "shardworker binary for -shards (default: in-process workers)")
 	csvDir := flag.String("csv", "", "directory for Fig. 6 series CSV export")
 	archive := flag.String("archive", "", "stream a measurement archive (forces -harness); a .bin path streams the binary codec, anything else JSON lines")
+	keylife := flag.Bool("keylife", false, "run the key-lifecycle workload: burn-in screening + enrollment at month 0, streamed reconstruction metrics after")
 	remote := flag.String("remote", "", "submit the campaign to an assessd service at this base URL instead of running locally")
 	remoteDetach := flag.Bool("remote-detach", false, "with -remote: submit and print the campaign ID without waiting")
 	remoteWatch := flag.String("remote-watch", "", "with -remote: stream an existing campaign ID instead of submitting")
@@ -80,6 +81,7 @@ func run() error {
 				I2CError: *i2cErr,
 				Workers:  *workers,
 				Shards:   *shards,
+				KeyLife:  *keylife,
 			},
 		})
 	}
@@ -93,6 +95,11 @@ func run() error {
 		sramaging.WithMonths(*months),
 		sramaging.WithWindowSize(*window),
 		sramaging.WithWorkers(*workers),
+	}
+	if *keylife {
+		// ScreenSeed pins the screening round to the CLI seed even on the
+		// -archive path, where the assessment sees only a WithSource rig.
+		opts = append(opts, sramaging.WithKeyLifecycle(sramaging.KeyLifeConfig{ScreenSeed: *seed}))
 	}
 	harnessPath := *useHarness || *archive != ""
 	var transport sramaging.ShardTransport
@@ -194,6 +201,10 @@ func run() error {
 	fmt.Println()
 	fmt.Print(sramaging.RenderTableI(res.Table))
 	fmt.Println()
+	if kt := sramaging.RenderKeyLifeTable(res); kt != "" {
+		fmt.Print(kt)
+		fmt.Println()
+	}
 
 	wchd := res.Series(func(d sramaging.DeviceMonth) float64 { return d.WCHD })
 	plot, err := sramaging.RenderLinePlot("Fig. 6a — WCHD development (one line per device)",
@@ -281,6 +292,10 @@ func runRemote(rf remoteFlags) error {
 	fmt.Println()
 	fmt.Print(sramaging.RenderTableI(res.Table))
 	fmt.Println()
+	if kt := sramaging.RenderKeyLifeTable(res); kt != "" {
+		fmt.Print(kt)
+		fmt.Println()
+	}
 	wchd := res.Series(func(d sramaging.DeviceMonth) float64 { return d.WCHD })
 	plot, err := sramaging.RenderLinePlot("Fig. 6a — WCHD development (one line per device)",
 		wchd, res.MonthLabels(), 12)

@@ -40,6 +40,8 @@ func run() error {
 	shards := flag.Int("shards", 0, "fan the replay across N shard workers (0: single process)")
 	shardWorker := flag.String("shardworker", "", "shardworker binary for -shards (default: in-process workers)")
 	index := flag.Bool("index", false, "upgrade the archive in place to the indexed binary format (v2) before replaying")
+	keylife := flag.Bool("keylife", false, "replay the key-lifecycle workload: screening + enrollment re-derived from -seed, reconstruction from the archived measurements")
+	seed := flag.Uint64("seed", 20170208, "campaign seed of the recorded campaign (screens the population for -keylife)")
 	flag.Parse()
 	if *path == "" {
 		flag.Usage()
@@ -83,9 +85,17 @@ func run() error {
 
 	// No WithMonths: the archive source lists the months it holds
 	// complete windows for, and the assessment evaluates exactly those.
-	a, err := sramaging.NewAssessment(
+	opts := []sramaging.Option{
 		sramaging.WithSource(src),
 		sramaging.WithWindowSize(*window),
+	}
+	if *keylife {
+		// The replay's screening must re-derive the recorded population's
+		// masks: ScreenSeed carries the original campaign seed past the
+		// WithSource path (which never sets one).
+		opts = append(opts, sramaging.WithKeyLifecycle(sramaging.KeyLifeConfig{ScreenSeed: *seed}))
+	}
+	opts = append(opts,
 		sramaging.WithProgress(func(ev sramaging.MonthEval) {
 			fmt.Printf("%s: WCHD %.3f%%  HW %.2f%%  stable %.2f%%  Hnoise %.3f%%  BCHD %.2f%%  Hpuf %.2f%%\n",
 				ev.Label,
@@ -94,8 +104,8 @@ func run() error {
 				100*ev.Avg(func(d sramaging.DeviceMonth) float64 { return d.StableRatio }),
 				100*ev.Avg(func(d sramaging.DeviceMonth) float64 { return d.NoiseHmin }),
 				100*ev.BCHDMean, 100*ev.PUFHmin)
-		}),
-	)
+		}))
+	a, err := sramaging.NewAssessment(opts...)
 	if err != nil {
 		return err
 	}
@@ -109,6 +119,10 @@ func run() error {
 		fmt.Println()
 		fmt.Printf("Table I summary over months %d..%d:\n\n", first.Month, last.Month)
 		fmt.Print(sramaging.RenderTableI(res.Table))
+	}
+	if kt := sramaging.RenderKeyLifeTable(res); kt != "" {
+		fmt.Println()
+		fmt.Print(kt)
 	}
 	return nil
 }

@@ -49,6 +49,7 @@ func run() error {
 	shards := flag.Int("shards", 0, "fan every grid point across N shard workers (0: in-process points)")
 	shardWorker := flag.String("shardworker", "", "shardworker binary for -shards (default: in-process workers)")
 	csvPath := flag.String("csv", "", "file for the cross-condition comparison CSV")
+	keylife := flag.Bool("keylife", false, "run the key-lifecycle workload at every grid point (one shared screening, per-point enrollment + reconstruction)")
 	verbose := flag.Bool("v", false, "print every completed point-month as it finalises")
 	flag.Parse()
 
@@ -72,6 +73,9 @@ func run() error {
 	}
 	if *useHarness {
 		opts = append(opts, sramaging.WithHarness(), sramaging.WithI2CErrorRate(*i2cErr))
+	}
+	if *keylife {
+		opts = append(opts, sramaging.WithKeyLifecycle(sramaging.KeyLifeConfig{}))
 	}
 	if *shards > 0 {
 		opts = append(opts, sramaging.WithShards(*shards))
@@ -109,6 +113,14 @@ func run() error {
 	}
 	fmt.Println()
 	fmt.Print(sramaging.RenderCornerTable(res.Comparison))
+	if *keylife {
+		for _, pt := range res.Points {
+			if kt := sramaging.RenderKeyLifeTable(pt.Results); kt != "" {
+				fmt.Printf("\n%s\n", pt.Scenario.Name)
+				fmt.Print(kt)
+			}
+		}
+	}
 
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)

@@ -328,25 +328,44 @@ func (v *Vector) Slice(from, to int) *Vector {
 		panic(fmt.Sprintf("bitvec: invalid slice [%d,%d) of %d bits", from, to, v.n))
 	}
 	out := New(to - from)
-	for i := from; i < to; i++ {
-		if v.Get(i) {
-			out.Set(i-from, true)
+	if to == from {
+		return out
+	}
+	wi, off := from/wordBits, uint(from)%wordBits
+	if off == 0 {
+		copy(out.words, v.words[wi:wi+len(out.words)])
+	} else {
+		for i := range out.words {
+			w := v.words[wi+i] >> off
+			if wi+i+1 < len(v.words) {
+				w |= v.words[wi+i+1] << (wordBits - off)
+			}
+			out.words[i] = w
 		}
 	}
+	out.clearTail()
 	return out
 }
 
 // Concat returns the concatenation v || u as a new vector.
 func Concat(v, u *Vector) *Vector {
 	out := New(v.n + u.n)
-	for i := 0; i < v.n; i++ {
-		if v.Get(i) {
-			out.Set(i, true)
-		}
+	copy(out.words, v.words)
+	if u.n == 0 {
+		return out
 	}
-	for i := 0; i < u.n; i++ {
-		if u.Get(i) {
-			out.Set(v.n+i, true)
+	wi, off := v.n/wordBits, uint(v.n)%wordBits
+	if off == 0 {
+		copy(out.words[wi:], u.words)
+		return out
+	}
+	// v's tail invariant guarantees bits >= v.n of out.words[wi] are zero,
+	// so u's words can be OR-shifted in; u's own clean tail keeps bits
+	// beyond out.n zero.
+	for i, w := range u.words {
+		out.words[wi+i] |= w << off
+		if wi+i+1 < len(out.words) {
+			out.words[wi+i+1] = w >> (wordBits - off)
 		}
 	}
 	return out

@@ -411,3 +411,117 @@ func BenchmarkHammingWeight8K(b *testing.B) {
 		v.HammingWeight()
 	}
 }
+
+// naiveSlice is the bit-by-bit reference the word-wise Slice must match.
+func naiveSlice(v *Vector, from, to int) *Vector {
+	out := New(to - from)
+	for i := from; i < to; i++ {
+		if v.Get(i) {
+			out.Set(i-from, true)
+		}
+	}
+	return out
+}
+
+// naiveConcat is the bit-by-bit reference the word-wise Concat must match.
+func naiveConcat(v, u *Vector) *Vector {
+	out := New(v.Len() + u.Len())
+	for i := 0; i < v.Len(); i++ {
+		out.Set(i, v.Get(i))
+	}
+	for i := 0; i < u.Len(); i++ {
+		out.Set(v.Len()+i, u.Get(i))
+	}
+	return out
+}
+
+func randomVector(n int, seed uint64) *Vector {
+	v := New(n)
+	x := seed
+	for i := 0; i < n; i++ {
+		// xorshift64 — deterministic bit soup exercising every word lane.
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		v.Set(i, x&1 == 1)
+	}
+	return v
+}
+
+// TestSliceWordwiseMatchesNaive sweeps slice boundaries across word
+// edges (offsets 0, mid-word, word-aligned, full-vector) and checks the
+// word-wise kernel against the bit-by-bit oracle, including the tail
+// invariant of the result.
+func TestSliceWordwiseMatchesNaive(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 127, 128, 200, 1265} {
+		v := randomVector(n, uint64(n)*2654435761)
+		for _, from := range []int{0, 1, 63, 64, 65, n / 2, n - 1, n} {
+			if from < 0 || from > n {
+				continue
+			}
+			for _, to := range []int{from, from + 1, from + 63, from + 64, from + 65, n} {
+				if to < from || to > n {
+					continue
+				}
+				got, want := v.Slice(from, to), naiveSlice(v, from, to)
+				if !got.Equal(want) {
+					t.Fatalf("Slice(%d,%d) of %d bits differs from oracle", from, to, n)
+				}
+				if got.tailDirty() {
+					t.Fatalf("Slice(%d,%d) of %d bits has a dirty tail", from, to, n)
+				}
+			}
+		}
+	}
+}
+
+// TestConcatWordwiseMatchesNaive sweeps both operand lengths across word
+// boundaries and checks the word-wise kernel against the oracle.
+func TestConcatWordwiseMatchesNaive(t *testing.T) {
+	for _, vn := range []int{0, 1, 5, 63, 64, 65, 115, 128, 1265} {
+		for _, un := range []int{0, 1, 63, 64, 65, 150, 1265} {
+			v := randomVector(vn, uint64(vn)*40503+1)
+			u := randomVector(un, uint64(un)*9176+7)
+			got, want := Concat(v, u), naiveConcat(v, u)
+			if !got.Equal(want) {
+				t.Fatalf("Concat(%d,%d) differs from oracle", vn, un)
+			}
+			if got.tailDirty() {
+				t.Fatalf("Concat(%d,%d) has a dirty tail", vn, un)
+			}
+		}
+	}
+}
+
+// TestSliceConcatAllocs pins the allocation count of the reconstruction
+// hot path: one Vector header plus one word slice per result, nothing
+// proportional to the bit count.
+func TestSliceConcatAllocs(t *testing.T) {
+	v := randomVector(1265, 99)
+	u := randomVector(115, 3)
+	var sink *Vector
+	if got := testing.AllocsPerRun(200, func() { sink = v.Slice(3, 1200) }); got > 2 {
+		t.Errorf("Slice allocates %v objects, want <= 2", got)
+	}
+	if got := testing.AllocsPerRun(200, func() { sink = Concat(v, u) }); got > 2 {
+		t.Errorf("Concat allocates %v objects, want <= 2", got)
+	}
+	_ = sink
+}
+
+func BenchmarkSlice1265(b *testing.B) {
+	v := randomVector(8192, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.Slice(17, 17+1265)
+	}
+}
+
+func BenchmarkConcat1265(b *testing.B) {
+	v := randomVector(1265, 1)
+	u := randomVector(115, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Concat(v, u)
+	}
+}

@@ -18,10 +18,23 @@ import (
 	"repro/internal/bitvec"
 )
 
+// ErrNilInput is returned when a debiasing primitive is handed a nil
+// vector. The bitvec accessors would otherwise panic deep inside the
+// extractor, which is the wrong failure mode for data-driven callers.
+var ErrNilInput = errors.New("debias: nil input vector")
+
 // ClassicVonNeumann applies the classic von Neumann corrector: input bits
 // are taken in non-overlapping pairs; 01 emits 0, 10 emits 1, 00 and 11
 // emit nothing. The output is exactly unbiased when input bits are i.i.d.
-func ClassicVonNeumann(in *bitvec.Vector) *bitvec.Vector {
+//
+// Odd-length contract: the input is consumed in non-overlapping pairs, so
+// a trailing unpaired bit carries no von Neumann information and is
+// ignored. An odd-length input therefore yields exactly the output of its
+// even-length prefix.
+func ClassicVonNeumann(in *bitvec.Vector) (*bitvec.Vector, error) {
+	if in == nil {
+		return nil, ErrNilInput
+	}
 	var out []bool
 	for i := 0; i+1 < in.Len(); i += 2 {
 		a, b := in.Get(i), in.Get(i+1)
@@ -29,7 +42,7 @@ func ClassicVonNeumann(in *bitvec.Vector) *bitvec.Vector {
 			out = append(out, b)
 		}
 	}
-	return bitvec.FromBools(out)
+	return bitvec.FromBools(out), nil
 }
 
 // ExpectedCVNYield returns the expected output/input bit ratio of CVN for
@@ -41,7 +54,13 @@ func ExpectedCVNYield(p float64) float64 { return p * (1 - p) }
 // input with the given recursion depth. Depth 1 equals classic von
 // Neumann; higher depths recycle the XOR stream and the concordant pairs,
 // asymptotically extracting the full Shannon entropy of the input.
+//
+// The odd-length contract matches ClassicVonNeumann: a trailing unpaired
+// bit at any recursion level is ignored.
 func Peres(in *bitvec.Vector, depth int) (*bitvec.Vector, error) {
+	if in == nil {
+		return nil, ErrNilInput
+	}
 	if depth < 1 {
 		return nil, fmt.Errorf("debias: depth %d < 1", depth)
 	}
@@ -85,11 +104,29 @@ type IndexSelection struct {
 // keeps `pairs` positions that read 1 and `pairs` positions that read 0,
 // interleaved, chosen in position order.
 func NewIndexSelection(ref *bitvec.Vector, pairs int) (*IndexSelection, error) {
+	return NewIndexSelectionMasked(ref, nil, pairs)
+}
+
+// NewIndexSelectionMasked enrolls a selection like NewIndexSelection but
+// restricts eligible positions to those whose mask bit is set — the
+// burn-in screening path of key-lifecycle campaigns, where only cells
+// stable across stress corners may carry key material. A nil mask admits
+// every position.
+func NewIndexSelectionMasked(ref, mask *bitvec.Vector, pairs int) (*IndexSelection, error) {
+	if ref == nil {
+		return nil, ErrNilInput
+	}
 	if pairs < 1 {
 		return nil, fmt.Errorf("debias: need >= 1 pair, got %d", pairs)
 	}
+	if mask != nil && mask.Len() != ref.Len() {
+		return nil, fmt.Errorf("debias: mask has %d bits, reference has %d", mask.Len(), ref.Len())
+	}
 	var ones, zeros []int
 	for i := 0; i < ref.Len(); i++ {
+		if mask != nil && !mask.Get(i) {
+			continue
+		}
 		if ref.Get(i) {
 			ones = append(ones, i)
 		} else {
@@ -116,6 +153,9 @@ func (s *IndexSelection) OutputLen() int { return len(s.indices) }
 // Apply extracts the selected positions from a (fresh) measurement of the
 // same SRAM.
 func (s *IndexSelection) Apply(measurement *bitvec.Vector) (*bitvec.Vector, error) {
+	if measurement == nil {
+		return nil, ErrNilInput
+	}
 	if measurement.Len() != s.n {
 		return nil, fmt.Errorf("debias: measurement has %d bits, enrollment had %d", measurement.Len(), s.n)
 	}
@@ -129,6 +169,9 @@ func (s *IndexSelection) Apply(measurement *bitvec.Vector) (*bitvec.Vector, erro
 // Bias returns the fractional Hamming weight's distance from 1/2 — the
 // quantity debiasing is meant to minimise.
 func Bias(v *bitvec.Vector) (float64, error) {
+	if v == nil {
+		return 0, ErrNilInput
+	}
 	if v.Len() == 0 {
 		return 0, errors.New("debias: empty vector")
 	}

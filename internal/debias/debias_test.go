@@ -16,10 +16,19 @@ func biasedVector(src *rng.Source, n int, p float64) *bitvec.Vector {
 	return v
 }
 
+func mustCVN(t *testing.T, in *bitvec.Vector) *bitvec.Vector {
+	t.Helper()
+	out, err := ClassicVonNeumann(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
 func TestClassicVonNeumannRemovesBias(t *testing.T) {
 	src := rng.New(1)
 	in := biasedVector(src, 200000, 0.627) // the paper's measured bias
-	out := ClassicVonNeumann(in)
+	out := mustCVN(t, in)
 	if out.Len() == 0 {
 		t.Fatal("no output")
 	}
@@ -40,7 +49,7 @@ func TestClassicVonNeumannDeterministicPairs(t *testing.T) {
 	// 01 -> 0? Convention: emits the SECOND bit of a discordant pair:
 	// pair (0,1) emits 1, pair (1,0) emits 0.
 	in := bitvec.FromBools([]bool{false, true, true, false, true, true, false, false})
-	out := ClassicVonNeumann(in)
+	out := mustCVN(t, in)
 	if out.Len() != 2 {
 		t.Fatalf("output length = %d, want 2", out.Len())
 	}
@@ -51,7 +60,7 @@ func TestClassicVonNeumannDeterministicPairs(t *testing.T) {
 
 func TestClassicVonNeumannOddLength(t *testing.T) {
 	in := bitvec.FromBools([]bool{false, true, true}) // trailing bit ignored
-	out := ClassicVonNeumann(in)
+	out := mustCVN(t, in)
 	if out.Len() != 1 {
 		t.Fatalf("output length = %d", out.Len())
 	}
@@ -69,7 +78,7 @@ func TestExpectedCVNYield(t *testing.T) {
 func TestPeresBeatsCVNYield(t *testing.T) {
 	src := rng.New(2)
 	in := biasedVector(src, 100000, 0.627)
-	cvn := ClassicVonNeumann(in)
+	cvn := mustCVN(t, in)
 	peres3, err := Peres(in, 3)
 	if err != nil {
 		t.Fatal(err)
@@ -88,7 +97,7 @@ func TestPeresBeatsCVNYield(t *testing.T) {
 func TestPeresDepthOneEqualsCVN(t *testing.T) {
 	src := rng.New(3)
 	in := biasedVector(src, 10000, 0.7)
-	cvn := ClassicVonNeumann(in)
+	cvn := mustCVN(t, in)
 	p1, err := Peres(in, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -162,5 +171,97 @@ func TestBias(t *testing.T) {
 	}
 	if _, err := Bias(bitvec.New(0)); err == nil {
 		t.Error("empty vector accepted")
+	}
+}
+
+// TestNilInputsReturnTypedError: every data-driven entry point must fail
+// with ErrNilInput instead of panicking inside bitvec.
+func TestNilInputsReturnTypedError(t *testing.T) {
+	if _, err := ClassicVonNeumann(nil); err != ErrNilInput {
+		t.Errorf("ClassicVonNeumann(nil) = %v, want ErrNilInput", err)
+	}
+	if _, err := Peres(nil, 3); err != ErrNilInput {
+		t.Errorf("Peres(nil) = %v, want ErrNilInput", err)
+	}
+	if _, err := Bias(nil); err != ErrNilInput {
+		t.Errorf("Bias(nil) = %v, want ErrNilInput", err)
+	}
+	if _, err := NewIndexSelection(nil, 1); err != ErrNilInput {
+		t.Errorf("NewIndexSelection(nil) = %v, want ErrNilInput", err)
+	}
+	sel, err := NewIndexSelection(bitvec.FromBools([]bool{true, false}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sel.Apply(nil); err != ErrNilInput {
+		t.Errorf("Apply(nil) = %v, want ErrNilInput", err)
+	}
+}
+
+// TestOddLengthEqualsEvenPrefix pins the documented odd-length contract:
+// the trailing unpaired bit contributes nothing.
+func TestOddLengthEqualsEvenPrefix(t *testing.T) {
+	src := rng.New(7)
+	odd := biasedVector(src, 1001, 0.627)
+	even := odd.Slice(0, 1000)
+	if !mustCVN(t, odd).Equal(mustCVN(t, even)) {
+		t.Error("CVN of odd-length input differs from its even-length prefix")
+	}
+	po, err := Peres(odd, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := Peres(even, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !po.Equal(pe) {
+		t.Error("Peres of odd-length input differs from its even-length prefix")
+	}
+}
+
+// TestIndexSelectionMasked: only mask-eligible positions may be selected,
+// and the masked selection still balances ones and zeros exactly.
+func TestIndexSelectionMasked(t *testing.T) {
+	src := rng.New(8)
+	ref := biasedVector(src, 4096, 0.627)
+	mask := biasedVector(src, 4096, 0.8)
+	sel, err := NewIndexSelectionMasked(ref, mask, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range sel.Indices() {
+		if !mask.Get(idx) {
+			t.Fatalf("selected index %d is not in the mask", idx)
+		}
+	}
+	out, err := sel.Apply(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FractionalHammingWeight() != 0.5 {
+		t.Fatalf("masked selection on reference has FHW %v, want exactly 0.5", out.FractionalHammingWeight())
+	}
+	// A nil mask must behave exactly like the unmasked constructor.
+	a, err := NewIndexSelectionMasked(ref, nil, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewIndexSelection(ref, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ai, bi := a.Indices(), b.Indices()
+	if len(ai) != len(bi) {
+		t.Fatalf("nil-mask selection size %d != unmasked %d", len(ai), len(bi))
+	}
+	for i := range ai {
+		if ai[i] != bi[i] {
+			t.Fatalf("nil-mask selection diverges at %d: %d vs %d", i, ai[i], bi[i])
+		}
+	}
+	// Mask/reference length mismatch is rejected.
+	if _, err := NewIndexSelectionMasked(ref, bitvec.New(8), 1); err == nil {
+		t.Error("mismatched mask length accepted")
 	}
 }

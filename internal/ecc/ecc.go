@@ -50,6 +50,41 @@ func checkLen(v *bitvec.Vector, want int, what string) error {
 // Rate returns K/N for a code.
 func Rate(c Code) float64 { return float64(c.K()) / float64(c.N()) }
 
+// MinDistance returns the minimum Hamming distance of the code when it is
+// known analytically: n for repetition(n), 7 for Golay(23,12), the product
+// for concatenations, and the base distance for blocked codes (one block
+// failing corrupts the whole message). The second return is false for
+// codes without a known distance (polar codes under SC decoding).
+func MinDistance(c Code) (int, bool) {
+	switch v := c.(type) {
+	case *Repetition:
+		return v.n, true
+	case *Golay:
+		return 2*golayT + 1, true
+	case *Concatenated:
+		do, okOuter := MinDistance(v.outer)
+		di, okInner := MinDistance(v.inner)
+		if okOuter && okInner {
+			return do * di, true
+		}
+	case *Blocked:
+		return MinDistance(v.base)
+	}
+	return 0, false
+}
+
+// CorrectionRadius returns the guaranteed per-block correction budget
+// t = (d-1)/2 of the code, when its minimum distance is known. For a
+// Blocked code this is the budget of each base-code block, the quantity
+// the key-lifecycle margin metric is measured against.
+func CorrectionRadius(c Code) (int, bool) {
+	d, ok := MinDistance(c)
+	if !ok {
+		return 0, false
+	}
+	return (d - 1) / 2, true
+}
+
 // ---------------------------------------------------------------------------
 // Repetition code
 
@@ -122,6 +157,12 @@ func NewBlocked(base Code, blocks int) (*Blocked, error) {
 
 // Name implements Code.
 func (b *Blocked) Name() string { return fmt.Sprintf("%dx%s", b.blocks, b.base.Name()) }
+
+// Base returns the per-block base code.
+func (b *Blocked) Base() Code { return b.base }
+
+// Blocks returns the number of independent base-code blocks.
+func (b *Blocked) Blocks() int { return b.blocks }
 
 // K implements Code.
 func (b *Blocked) K() int { return b.blocks * b.base.K() }
@@ -196,6 +237,12 @@ func NewConcatenated(outer, inner Code) (*Concatenated, error) {
 func (c *Concatenated) Name() string {
 	return fmt.Sprintf("%s ∘ %s", c.outer.Name(), c.inner.Name())
 }
+
+// Outer returns the outer component code.
+func (c *Concatenated) Outer() Code { return c.outer }
+
+// Inner returns the inner component code.
+func (c *Concatenated) Inner() Code { return c.inner }
 
 // K implements Code.
 func (c *Concatenated) K() int { return c.outer.K() }

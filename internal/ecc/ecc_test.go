@@ -456,3 +456,53 @@ func BenchmarkPolarDecode512(b *testing.B) {
 		}
 	}
 }
+
+// TestMinDistanceAndRadius pins the analytic distances the key-lifecycle
+// margin metric relies on, including the paper's standard scheme:
+// 11 x (Golay(23,12) ∘ repetition(5)) has d = 7*5 = 35, t = 17 per block.
+func TestMinDistanceAndRadius(t *testing.T) {
+	rep5, err := NewRepetition(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golay := NewGolay()
+	concat, err := NewConcatenated(golay, rep5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked, err := NewBlocked(concat, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	polar, err := NewPolar(64, 16, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		code Code
+		d, t int
+		ok   bool
+	}{
+		{rep5, 5, 2, true},
+		{golay, 7, 3, true},
+		{concat, 35, 17, true},
+		{blocked, 35, 17, true},
+		{polar, 0, 0, false},
+	}
+	for _, tc := range cases {
+		d, ok := MinDistance(tc.code)
+		if ok != tc.ok || d != tc.d {
+			t.Errorf("%s: MinDistance = (%d,%v), want (%d,%v)", tc.code.Name(), d, ok, tc.d, tc.ok)
+		}
+		r, ok := CorrectionRadius(tc.code)
+		if ok != tc.ok || r != tc.t {
+			t.Errorf("%s: CorrectionRadius = (%d,%v), want (%d,%v)", tc.code.Name(), r, ok, tc.t, tc.ok)
+		}
+	}
+	if blocked.Base() != concat || blocked.Blocks() != 11 {
+		t.Error("Blocked accessors do not expose the construction")
+	}
+	if concat.Outer() != golay || concat.Inner() != rep5 {
+		t.Error("Concatenated accessors do not expose the construction")
+	}
+}

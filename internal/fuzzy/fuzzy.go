@@ -22,6 +22,7 @@ package fuzzy
 
 import (
 	"crypto/sha256"
+	"crypto/subtle"
 	"errors"
 	"fmt"
 
@@ -82,6 +83,9 @@ func (e *Extractor) Enroll(response *bitvec.Vector, src *rng.Source) (key []byte
 		return nil, HelperData{}, err
 	}
 	key = deriveKey(secret)
+	// The secret is recoverable from the key only through SHA-256; drop
+	// the plaintext copy as soon as the key exists.
+	secret.SetAll(false)
 	helper = HelperData{Offset: offset}
 	copy(helper.Check[:], checkDigest(key))
 	return key, helper, nil
@@ -108,9 +112,11 @@ func (e *Extractor) Reconstruct(response *bitvec.Vector, helper HelperData) ([]b
 		return nil, err
 	}
 	key := deriveKey(secret)
-	var chk [8]byte
-	copy(chk[:], checkDigest(key))
-	if chk != helper.Check {
+	secret.SetAll(false)
+	chk := checkDigest(key)
+	// Constant-time check: the comparison must not leak how many digest
+	// bytes of a near-miss reconstruction matched.
+	if subtle.ConstantTimeCompare(chk, helper.Check[:]) != 1 {
 		return nil, ErrReconstructFailed
 	}
 	return key, nil

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/keylife"
 	"repro/internal/store"
 	"repro/internal/stream"
 )
@@ -507,14 +508,30 @@ func (m *Manager) execute(ctx context.Context, c *campaign) (*core.Results, erro
 	}
 	defer f.Close()
 
+	// The key-lifecycle workload is rebuilt from (profile, devices, seed)
+	// on every execute — screening is deterministic, so a resume derives
+	// the same enrollment the killed run had and the replayed months
+	// re-stream identical series.
+	var metrics []core.Metric
+	var crossMetrics []core.CrossMetric
+	if spec.KeyLife {
+		wl, err := keylife.New(ctx, keylife.Config{Profile: profile, Devices: spec.Devices, Seed: spec.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("serve: campaign %s: key-lifecycle workload: %w", c.id, err)
+		}
+		metrics, crossMetrics = wl.Metrics(), wl.CrossMetrics()
+	}
+
 	// Per-month checkpoint barrier: the archive is flushed and the state
 	// file rewritten after every completed evaluation, so a kill at any
 	// moment loses at most the month in flight.
 	var flushErr error
 	eng, err := core.NewAssessment(core.AssessmentConfig{
-		Source:     src,
-		WindowSize: spec.Window,
-		Months:     months,
+		Source:       src,
+		WindowSize:   spec.Window,
+		Months:       months,
+		Metrics:      metrics,
+		CrossMetrics: crossMetrics,
 		Progress: func(ev core.MonthEval) {
 			c.month(ev)
 			if err := w.Flush(); err != nil && flushErr == nil {

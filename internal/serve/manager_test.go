@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/keylife"
 	"repro/internal/store"
 )
 
@@ -388,5 +389,71 @@ func TestManagerConfig(t *testing.T) {
 	}
 	if _, err := NewManager(Config{DataDir: dir}); err == nil {
 		t.Fatal("NewManager accepted a corrupt state file")
+	}
+}
+
+// TestServiceKeyLifeCampaign: a keylife spec streams the key-lifecycle
+// series through the service, bit-identical to the direct engine run of
+// the same campaign with the same workload registered.
+func TestServiceKeyLifeCampaign(t *testing.T) {
+	spec, err := DecodeSpec([]byte(`{"devices":2,"window":30,"months":2,"keylife":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.KeyLife {
+		t.Fatal("keylife field did not decode")
+	}
+
+	// Direct oracle: same rig campaign with its own workload instance.
+	profile, err := profileByName(spec.Profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := keylife.New(context.Background(), keylife.Config{Profile: profile, Devices: spec.Devices, Seed: spec.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := core.NewRigSourceAt(profile, spec.Devices, spec.Seed, spec.I2CError, spec.scenario(profile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewAssessment(core.AssessmentConfig{
+		Source:       src,
+		WindowSize:   spec.Window,
+		Months:       spec.EvalMonths(),
+		Metrics:      wl.Metrics(),
+		CrossMetrics: wl.CrossMetrics(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := NewManager(Config{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeManager(t, m)
+	st, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st = waitTerminal(t, m, st.ID); st.Status != StatusDone {
+		t.Fatalf("campaign finished %s (%s)", st.Status, st.Error)
+	}
+	monthly, err := m.Monthly(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Monthly, monthly) {
+		t.Fatal("key-lifecycle series differ between service and direct runs")
+	}
+	for _, ev := range monthly {
+		if ev.Custom[keylife.MetricSuccess] == nil {
+			t.Fatalf("month %d streamed no keylife.success series", ev.Month)
+		}
 	}
 }

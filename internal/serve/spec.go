@@ -67,6 +67,13 @@ type Spec struct {
 	// Condition is the environmental operating point (default: the
 	// profile's nominal scenario).
 	Condition *Condition `json:"condition,omitempty"`
+	// KeyLife enables the key-lifecycle workload: burn-in screening,
+	// debiasing and fuzzy-extractor enrollment at the first evaluated
+	// month, then streamed reconstruction success / bit-error / margin /
+	// failure-probability series every later month. Deterministic in
+	// (profile, devices, seed), so a resumed campaign re-derives the
+	// identical enrollment from its checkpoint replay.
+	KeyLife bool `json:"keylife,omitempty"`
 }
 
 // Service defaults: the quick-demonstration campaign of cmd/agingtest.

@@ -121,6 +121,13 @@ type Config struct {
 	Metrics      []core.Metric
 	CrossMetrics []core.CrossMetric
 
+	// PointMetrics, when non-nil, is invoked once per grid point as the
+	// point spins up and returns additional metrics registered with THAT
+	// point's engine only, after the shared Metrics/CrossMetrics. Stateful
+	// workloads (key-lifecycle enrollment) need one instance per point —
+	// a shared Metric would race across concurrently running points.
+	PointMetrics func(ctx context.Context, sc aging.Scenario) ([]core.Metric, []core.CrossMetric, error)
+
 	// Progress, when non-nil, receives every completed month of every
 	// point as it finalises. Points run concurrently, so Progress MUST be
 	// safe for concurrent calls.
@@ -263,13 +270,23 @@ func RunPoints(ctx context.Context, cfg Config, points []aging.Scenario) (*Resul
 			if closer, ok := src.(io.Closer); ok {
 				defer closer.Close()
 			}
+			metrics, crossMetrics := cfg.Metrics, cfg.CrossMetrics
+			if cfg.PointMetrics != nil {
+				ms, cms, err := cfg.PointMetrics(runCtx, sc)
+				if err != nil {
+					fail(sc, err)
+					return
+				}
+				metrics = append(append([]core.Metric{}, metrics...), ms...)
+				crossMetrics = append(append([]core.CrossMetric{}, crossMetrics...), cms...)
+			}
 			harvest := &maskHarvest{si: intersect}
 			acfg := core.AssessmentConfig{
 				Source:       src,
 				WindowSize:   cfg.WindowSize,
 				Months:       cfg.Months,
-				Metrics:      cfg.Metrics,
-				CrossMetrics: cfg.CrossMetrics,
+				Metrics:      metrics,
+				CrossMetrics: crossMetrics,
 				WindowDone:   harvest.windowDone,
 			}
 			if cfg.Progress != nil {

@@ -122,6 +122,45 @@ diff -u "$workdir/direct.table" "$workdir/replay-upgraded2.table"
 echo "== smoke OK: sharded runs, JSONL/binary/indexed replays (plain, sharded, upgraded) are byte-identical to the direct run"
 
 # ---------------------------------------------------------------------------
+# Key-lifecycle leg: the streamed enrollment -> reconstruction workload must
+# render byte-identical key tables across the direct run, the sharded run,
+# and the archive replay — screening and enrollment derive from
+# (profile, devices, seed) alone, never from the execution shape.
+# ---------------------------------------------------------------------------
+
+# extract_keytable prints the key-lifecycle block: banner, leakage line,
+# column header, and one row per evaluated month.
+extract_keytable() {
+    grep -A $((MONTHS + 3)) 'KEY LIFECYCLE' "$1"
+}
+
+echo "== key-lifecycle: direct run"
+"$workdir/agingtest" -devices $DEVICES -months $MONTHS -window $WINDOW \
+    -keylife > "$workdir/kl-direct.txt"
+extract_keytable "$workdir/kl-direct.txt" > "$workdir/kl-direct.keytable"
+recon=$(grep -c "$DEVICES/$DEVICES" "$workdir/kl-direct.keytable" || true)
+if [ "$recon" -ne $((MONTHS + 1)) ]; then
+    echo "key table reports $recon fully-reconstructed months, want $((MONTHS + 1)):" >&2
+    cat "$workdir/kl-direct.keytable" >&2
+    exit 1
+fi
+
+echo "== key-lifecycle: sharded run (2 shardworker subprocesses), binary archive streamed"
+"$workdir/agingtest" -devices $DEVICES -months $MONTHS -window $WINDOW \
+    -keylife -shards 2 -shardworker "$workdir/shardworker" \
+    -archive "$workdir/kl.bin" > "$workdir/kl-sharded.txt"
+extract_keytable "$workdir/kl-sharded.txt" > "$workdir/kl-sharded.keytable"
+diff -u "$workdir/kl-direct.keytable" "$workdir/kl-sharded.keytable"
+
+echo "== key-lifecycle: archive replay through evaluate -keylife"
+"$workdir/evaluate" -archive "$workdir/kl.bin" -window $WINDOW \
+    -keylife > "$workdir/kl-replay.txt"
+extract_keytable "$workdir/kl-replay.txt" > "$workdir/kl-replay.keytable"
+diff -u "$workdir/kl-direct.keytable" "$workdir/kl-replay.keytable"
+
+echo "== smoke OK: key-lifecycle tables are byte-identical across direct, sharded, and archive-replay runs"
+
+# ---------------------------------------------------------------------------
 # Service leg: the same bit-identity guarantee through assessd — a campaign
 # submitted over HTTP and streamed back must render the identical table; a
 # campaign hard-killed (SIGKILL) mid-run must resume from its checkpoint on

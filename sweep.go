@@ -173,6 +173,16 @@ func (a *Assessment) RunSweep(ctx context.Context) (*SweepResults, error) {
 	if a.shards > a.devices {
 		return nil, fmt.Errorf("%w: more shards (%d) than devices (%d)", ErrConfig, a.shards, a.devices)
 	}
+	// Key-lifecycle sweeps screen once (the masks depend only on the
+	// population, not the sweep point) and give every point its own
+	// workload: enrollment is stateful and points run concurrently.
+	var pointMetrics func(context.Context, Scenario) ([]Metric, []CrossMetric, error)
+	if a.keylife {
+		var err error
+		if pointMetrics, err = a.keylifePointMetrics(ctx); err != nil {
+			return nil, err
+		}
+	}
 	a.ran = true
 	return sweep.RunPoints(ctx, sweep.Config{
 		Profile:        profile,
@@ -188,6 +198,7 @@ func (a *Assessment) RunSweep(ctx context.Context) (*SweepResults, error) {
 		ShardTransport: a.shardTransport,
 		Metrics:        a.metrics,
 		CrossMetrics:   a.crossMetrics,
+		PointMetrics:   pointMetrics,
 		Progress:       a.sweepProgress,
 	}, a.conditions)
 }
