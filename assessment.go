@@ -55,6 +55,7 @@ type Assessment struct {
 
 	profile    DeviceProfile
 	profileSet bool
+	fleet      *core.Fleet
 	devices    int
 	seed       uint64
 	useRig     bool
@@ -251,6 +252,16 @@ func NewAssessment(opts ...Option) (*Assessment, error) {
 	if a.src != nil && a.shards > 0 {
 		return nil, fmt.Errorf("%w: WithShards is exclusive with WithSource (sharding builds the sources; shard an archive with NewShardedArchiveSource)", ErrConfig)
 	}
+	if a.fleet != nil {
+		switch {
+		case a.profileSet:
+			return nil, fmt.Errorf("%w: WithFleet is exclusive with WithProfile (the fleet carries its profiles)", ErrConfig)
+		case a.useRig:
+			return nil, fmt.Errorf("%w: WithFleet is exclusive with WithHarness (the measurement rig is a single-profile instrument)", ErrConfig)
+		case a.keylife:
+			return nil, fmt.Errorf("%w: WithFleet is exclusive with WithKeyLifecycle (the key-lifecycle workload is single-profile)", ErrConfig)
+		}
+	}
 	return a, nil
 }
 
@@ -278,6 +289,15 @@ func (a *Assessment) Run(ctx context.Context) (*Results, error) {
 		}
 		var err error
 		switch {
+		case a.fleet != nil && a.shards > 0:
+			var s *ShardedSource
+			s, err = NewShardedFleetSource(a.fleet, a.devices, a.seed, a.shards, a.shardTransport)
+			if s != nil {
+				defer s.Close()
+			}
+			src = s
+		case a.fleet != nil:
+			src, err = NewFleetSource(a.fleet, a.devices, a.seed)
 		case a.shards > 0 && a.useRig:
 			var s *ShardedSource
 			s, err = NewShardedRigSource(profile, a.devices, a.seed, a.i2cErr, a.shards, a.shardTransport)

@@ -48,6 +48,7 @@ func main() {
 
 func run() error {
 	devices := flag.Int("devices", 4, "boards under test (paper: 16)")
+	profileName := flag.String("profile", "", "registered device profile name (default atmega32u4, the paper's chip; see sramaging.RegisteredProfiles)")
 	months := flag.Int("months", 6, "campaign length in months (paper: 24)")
 	window := flag.Int("window", 200, "measurements per monthly window (paper: 1000)")
 	seed := flag.Uint64("seed", 20170208, "campaign seed")
@@ -74,6 +75,7 @@ func run() error {
 			status: *remoteStatus,
 			cancel: *remoteCancel,
 			spec: sramaging.ServeSpec{
+				Profile:  *profileName,
 				Devices:  *devices,
 				Months:   *months,
 				Window:   *window,
@@ -86,7 +88,7 @@ func run() error {
 		})
 	}
 
-	profile, err := sramaging.ATmega32u4()
+	profile, err := resolveProfile(*profileName)
 	if err != nil {
 		return err
 	}
@@ -221,6 +223,15 @@ func run() error {
 		fmt.Println("series CSVs written to", *csvDir)
 	}
 	return nil
+}
+
+// resolveProfile maps the -profile flag through the profile registry;
+// empty keeps the paper's chip.
+func resolveProfile(name string) (sramaging.DeviceProfile, error) {
+	if name == "" {
+		return sramaging.ATmega32u4()
+	}
+	return sramaging.ProfileByName(name)
 }
 
 // remoteFlags bundles the -remote client mode's inputs.

@@ -42,6 +42,7 @@ func run() error {
 	index := flag.Bool("index", false, "upgrade the archive in place to the indexed binary format (v2) before replaying")
 	keylife := flag.Bool("keylife", false, "replay the key-lifecycle workload: screening + enrollment re-derived from -seed, reconstruction from the archived measurements")
 	seed := flag.Uint64("seed", 20170208, "campaign seed of the recorded campaign (screens the population for -keylife)")
+	profileName := flag.String("profile", "", "registered profile name of the recorded campaign (screens the population for -keylife; default atmega32u4)")
 	flag.Parse()
 	if *path == "" {
 		flag.Usage()
@@ -91,9 +92,20 @@ func run() error {
 	}
 	if *keylife {
 		// The replay's screening must re-derive the recorded population's
-		// masks: ScreenSeed carries the original campaign seed past the
-		// WithSource path (which never sets one).
-		opts = append(opts, sramaging.WithKeyLifecycle(sramaging.KeyLifeConfig{ScreenSeed: *seed}))
+		// masks: ScreenSeed (and, for a non-default device family,
+		// ScreenProfile) carry the original campaign parameters past the
+		// WithSource path (which never sets them).
+		cfg := sramaging.KeyLifeConfig{ScreenSeed: *seed}
+		if *profileName != "" {
+			p, err := sramaging.ProfileByName(*profileName)
+			if err != nil {
+				return err
+			}
+			cfg.ScreenProfile = p
+		}
+		opts = append(opts, sramaging.WithKeyLifecycle(cfg))
+	} else if *profileName != "" {
+		return fmt.Errorf("-profile only steers the -keylife screening round; a plain replay takes its bits from the archive")
 	}
 	opts = append(opts,
 		sramaging.WithProgress(func(ev sramaging.MonthEval) {

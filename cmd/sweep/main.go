@@ -37,6 +37,7 @@ func main() {
 
 func run() error {
 	devices := flag.Int("devices", 4, "boards under test per grid point (paper: 16)")
+	profileName := flag.String("profile", "", "registered device profile name (default atmega32u4, the paper's chip)")
 	months := flag.Int("months", 6, "campaign length in months (paper: 24)")
 	window := flag.Int("window", 200, "measurements per monthly window (paper: 1000)")
 	seed := flag.Uint64("seed", 20170208, "campaign seed (all points measure the same chips)")
@@ -64,13 +65,22 @@ func run() error {
 
 	opts := []sramaging.Option{
 		sramaging.WithDevices(*devices),
+	}
+	if *profileName != "" {
+		p, err := sramaging.ProfileByName(*profileName)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, sramaging.WithProfile(p))
+	}
+	opts = append(opts,
 		sramaging.WithMonths(*months),
 		sramaging.WithWindowSize(*window),
 		sramaging.WithSeed(*seed),
 		sramaging.WithWorkers(*workers),
 		sramaging.WithPointConcurrency(*points),
 		sramaging.WithConditionGrid(tempsC, voltsV),
-	}
+	)
 	if *useHarness {
 		opts = append(opts, sramaging.WithHarness(), sramaging.WithI2CErrorRate(*i2cErr))
 	}

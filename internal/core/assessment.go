@@ -325,6 +325,10 @@ func (a *Assessment) evaluateMonth(ctx context.Context, month int) (*MonthEval, 
 	eval.BCHDMean, eval.BCHDMin, eval.BCHDMax = cr.BCHDMean, cr.BCHDMin, cr.BCHDMax
 	eval.PUFHmin = cr.PUFHmin
 
+	if pl, ok := a.cfg.Source.(ProfileLister); ok {
+		eval.ByProfile = profileBreakdown(pl.DeviceProfileNames(), eval.Devices)
+	}
+
 	if len(a.cfg.CrossMetrics) > 0 {
 		eval.CrossCustom = make(map[string]float64, len(a.cfg.CrossMetrics))
 		for _, m := range a.cfg.CrossMetrics {

@@ -135,6 +135,13 @@ type MonthEval struct {
 	// (one cross-device value per window), keyed by CrossMetric.Name.
 	// Nil when no cross metrics were registered.
 	CrossCustom map[string]float64
+
+	// ByProfile breaks the per-device reliability metrics down by fleet
+	// profile name. It is populated only for heterogeneous fleets —
+	// sources whose ProfileLister listing names more than one distinct
+	// profile — so homogeneous campaigns (and their serialized results)
+	// are unchanged.
+	ByProfile map[string]ProfileEval `json:",omitempty"`
 }
 
 // Avg returns the device average of a per-device metric. An evaluation

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/aging"
+	"repro/internal/rng"
+	"repro/internal/silicon"
+	"repro/internal/sram"
+	"repro/internal/stream"
+)
+
+// fleetAssignLabel derives the fleet's profile-assignment stream from
+// the campaign seed. Device streams derive with labels 1..devices, so a
+// label far outside any realistic population keeps the assignment draws
+// independent of every chip's own randomness (rng.Derive is label-based
+// and non-advancing).
+const fleetAssignLabel = 0xF1EE7A5516000000
+
+// Fleet maps every device index of a campaign onto one of a set of
+// device profiles, deterministically from the campaign seed — the same
+// (seed, device) pair resolves to the same profile in a direct source,
+// in every shard layout, and in the service, which is what keeps
+// heterogeneous campaigns replayable. All profiles of one fleet must
+// share a read-window width: the cross-device uniqueness metrics (BCHD,
+// PUF min-entropy) compare window-first patterns across ALL devices,
+// which is only meaningful over equal widths.
+type Fleet struct {
+	profiles []silicon.DeviceProfile
+}
+
+// NewFleet validates a profile mix into a Fleet: at least one valid
+// profile, distinct names (the name keys the per-profile result
+// breakdown), equal read windows.
+func NewFleet(profiles ...silicon.DeviceProfile) (*Fleet, error) {
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("%w: fleet needs >= 1 profile", ErrConfig)
+	}
+	seen := make(map[string]bool, len(profiles))
+	for i, p := range profiles {
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: fleet profile %d: %v", ErrConfig, i, err)
+		}
+		if seen[p.Name] {
+			return nil, fmt.Errorf("%w: fleet profile name %q appears twice (names key the per-profile breakdown)", ErrConfig, p.Name)
+		}
+		seen[p.Name] = true
+		if p.ReadWindowBits() != profiles[0].ReadWindowBits() {
+			return nil, fmt.Errorf("%w: fleet profile %q reads %d bits, %q reads %d — cross-device uniqueness metrics need one window width",
+				ErrConfig, p.Name, p.ReadWindowBits(), profiles[0].Name, profiles[0].ReadWindowBits())
+		}
+	}
+	return &Fleet{profiles: append([]silicon.DeviceProfile(nil), profiles...)}, nil
+}
+
+// Profiles returns the fleet's profile mix (copy).
+func (f *Fleet) Profiles() []silicon.DeviceProfile {
+	return append([]silicon.DeviceProfile(nil), f.profiles...)
+}
+
+// Size returns the number of distinct profiles in the mix.
+func (f *Fleet) Size() int { return len(f.profiles) }
+
+// ReadWindowBits returns the fleet's common read-window width.
+func (f *Fleet) ReadWindowBits() int { return f.profiles[0].ReadWindowBits() }
+
+// ProfileIndex returns which of the fleet's profiles the given GLOBAL
+// device index carries under the campaign seed. A single-profile fleet
+// short-circuits without touching the RNG, so wrapping a plain profile
+// in a fleet is exactly the plain campaign.
+func (f *Fleet) ProfileIndex(seed uint64, device int) int {
+	if len(f.profiles) == 1 {
+		return 0
+	}
+	return rng.New(seed).Derive(fleetAssignLabel).Derive(uint64(device) + 1).Intn(len(f.profiles))
+}
+
+// ProfileFor resolves the profile of one global device index.
+func (f *Fleet) ProfileFor(seed uint64, device int) silicon.DeviceProfile {
+	return f.profiles[f.ProfileIndex(seed, device)]
+}
+
+// AssignmentNames returns the profile name of every device 0..devices-1
+// under the campaign seed — the fleet's side of the ProfileLister
+// contract.
+func (f *Fleet) AssignmentNames(seed uint64, devices int) []string {
+	names := make([]string, devices)
+	for d := range names {
+		names[d] = f.profiles[f.ProfileIndex(seed, d)].Name
+	}
+	return names
+}
+
+// ProfileLister is implemented by sources that know which device
+// profile each of their devices carries (fleet-aware sources). The
+// engine uses it to break the per-device reliability series down by
+// profile; a homogeneous listing (or no listing at all) produces no
+// breakdown, so single-profile results are unchanged.
+type ProfileLister interface {
+	// DeviceProfileNames returns one profile name per device index, or
+	// nil when the source has no per-device profile knowledge.
+	DeviceProfileNames() []string
+}
+
+// NewSimFleetSource builds a direct-sampling source over a
+// heterogeneous fleet: device d's chip is built from the profile the
+// fleet assigns it, with the same per-device seed derivation the
+// single-profile source uses. Chips operate at their own profile's
+// nominal condition parameters under the shared ambient scenario.
+func NewSimFleetSource(fleet *Fleet, devices int, seed uint64) (*SimSource, error) {
+	if fleet == nil {
+		return nil, fmt.Errorf("%w: nil fleet", ErrConfig)
+	}
+	return NewSimFleetSourceAt(fleet, devices, seed, fleet.profiles[0].NominalScenario())
+}
+
+// NewSimFleetSourceAt is NewSimFleetSource at an explicit environmental
+// scenario — every chip's kinetics run at the shared ambient condition,
+// each through its own profile's acceleration parameters.
+func NewSimFleetSourceAt(fleet *Fleet, devices int, seed uint64, sc aging.Scenario) (*SimSource, error) {
+	if devices < 1 {
+		return nil, fmt.Errorf("%w: need >= 1 device, got %d", ErrConfig, devices)
+	}
+	indices := make([]int, devices)
+	for d := range indices {
+		indices[d] = d
+	}
+	return NewSimFleetSourceSubset(fleet, seed, sc, indices)
+}
+
+// NewSimFleetSourceSubset builds a fleet source over an arbitrary
+// subset of the campaign's device population (GLOBAL indices) — the
+// shard worker's slice of a heterogeneous fleet. Profile assignment
+// depends only on (seed, global index), so any shard layout builds
+// exactly the chips the full source would.
+func NewSimFleetSourceSubset(fleet *Fleet, seed uint64, sc aging.Scenario, indices []int) (*SimSource, error) {
+	if fleet == nil {
+		return nil, fmt.Errorf("%w: nil fleet", ErrConfig)
+	}
+	if len(indices) < 1 {
+		return nil, fmt.Errorf("%w: need >= 1 device index", ErrConfig)
+	}
+	conditioned := make([]silicon.DeviceProfile, len(fleet.profiles))
+	for i, p := range fleet.profiles {
+		cp, err := conditionedProfile(p, sc)
+		if err != nil {
+			return nil, err
+		}
+		conditioned[i] = cp
+	}
+	root := rng.New(seed)
+	arrays := make([]*sram.Array, len(indices))
+	names := make([]string, len(indices))
+	for d, g := range indices {
+		if g < 0 {
+			return nil, fmt.Errorf("%w: negative device index %d", ErrConfig, g)
+		}
+		p := conditioned[fleet.ProfileIndex(seed, g)]
+		a, err := sram.New(p, root.Derive(uint64(g)+1))
+		if err != nil {
+			return nil, err
+		}
+		if err := a.SetNoiseScale(p.NoiseScale()); err != nil {
+			return nil, err
+		}
+		arrays[d] = a
+		names[d] = p.Name
+	}
+	src := newSimSource(arrays, conditioned[0].ReadWindowBits(), stream.NewPool(0))
+	src.scenario = sc
+	src.profNames = names
+	return src, nil
+}
+
+// ProfileEval aggregates the per-device reliability metrics of the
+// devices carrying one fleet profile within one evaluation month.
+type ProfileEval struct {
+	// Devices is how many of the campaign's devices carry this profile.
+	Devices int
+	// WCHD / FHW / NoiseHmin / StableRatio are the profile's device
+	// averages of the corresponding DeviceMonth metrics.
+	WCHD        float64
+	FHW         float64
+	NoiseHmin   float64
+	StableRatio float64
+	// WCHDWorst is the profile's worst (highest) within-class Hamming
+	// distance — the reliability headline per family.
+	WCHDWorst float64
+}
+
+// profileBreakdown folds the per-device month metrics into per-profile
+// aggregates. It returns nil unless the listing names MORE than one
+// distinct profile — homogeneous campaigns keep their exact historical
+// results (including serialized forms; ByProfile is omitempty).
+func profileBreakdown(names []string, devices []DeviceMonth) map[string]ProfileEval {
+	if len(names) != len(devices) {
+		return nil
+	}
+	distinct := make(map[string]bool, 2)
+	for _, n := range names {
+		distinct[n] = true
+	}
+	if len(distinct) < 2 {
+		return nil
+	}
+	by := make(map[string]ProfileEval, len(distinct))
+	for d, n := range names {
+		pe := by[n]
+		m := devices[d]
+		pe.Devices++
+		pe.WCHD += m.WCHD
+		pe.FHW += m.FHW
+		pe.NoiseHmin += m.NoiseHmin
+		pe.StableRatio += m.StableRatio
+		if m.WCHD > pe.WCHDWorst {
+			pe.WCHDWorst = m.WCHD
+		}
+		by[n] = pe
+	}
+	for n, pe := range by {
+		c := float64(pe.Devices)
+		pe.WCHD /= c
+		pe.FHW /= c
+		pe.NoiseHmin /= c
+		pe.StableRatio /= c
+		by[n] = pe
+	}
+	return by
+}

@@ -83,6 +83,16 @@ func (s *ResumeSource) OnBeforeLive(fn func() error) { s.beforeLive = fn }
 // construction).
 func (s *ResumeSource) Devices() int { return s.live.Devices() }
 
+// DeviceProfileNames forwards the live source's per-device profile
+// listing (ProfileLister), so a resumed fleet campaign keeps its
+// per-profile breakdown on replayed months too.
+func (s *ResumeSource) DeviceProfileNames() []string {
+	if pl, ok := s.live.(ProfileLister); ok {
+		return pl.DeviceProfileNames()
+	}
+	return nil
+}
+
 // ArchivedMonths reports how many months the source serves from the
 // checkpoint archive.
 func (s *ResumeSource) ArchivedMonths() int { return len(s.done) }

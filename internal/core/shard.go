@@ -89,8 +89,13 @@ func ServeShardWorker(ctx context.Context, rw io.ReadWriter) error {
 func buildShardBackend(spec shard.Spec) (shard.Backend, error) {
 	if spec.Scenario == (aging.Scenario{}) {
 		// A spec without an explicit condition runs at the profile's
-		// nominal scenario, like the non-At source constructors.
-		spec.Scenario = spec.Profile.NominalScenario()
+		// nominal scenario, like the non-At source constructors. Fleet
+		// specs anchor on their first profile, matching NewSimFleetSource.
+		if len(spec.Fleet) > 0 {
+			spec.Scenario = spec.Fleet[0].NominalScenario()
+		} else {
+			spec.Scenario = spec.Profile.NominalScenario()
+		}
 	}
 	switch spec.Mode {
 	case shard.ModeSim:
@@ -128,7 +133,19 @@ func (b *simShardBackend) Assign(indices []int) error {
 	if err := validAssignment(indices, b.spec.Devices); err != nil {
 		return err
 	}
-	src, err := NewSimSourceSubset(b.spec.Profile, b.spec.Seed, b.spec.Scenario, indices)
+	var src *SimSource
+	var err error
+	if len(b.spec.Fleet) > 0 {
+		// A fleet spec rebuilds the coordinator's profile mix; the
+		// per-device assignment depends only on (seed, global index), so
+		// every shard layout builds exactly the full source's chips.
+		var fleet *Fleet
+		if fleet, err = NewFleet(b.spec.Fleet...); err == nil {
+			src, err = NewSimFleetSourceSubset(fleet, b.spec.Seed, b.spec.Scenario, indices)
+		}
+	} else {
+		src, err = NewSimSourceSubset(b.spec.Profile, b.spec.Seed, b.spec.Scenario, indices)
+	}
 	if err != nil {
 		return err
 	}
@@ -329,6 +346,10 @@ func (c pipeConn) Close() error {
 type ShardedSource struct {
 	co *shard.Coordinator
 
+	// profNames is the coordinator-side per-device profile listing of a
+	// fleet campaign (ProfileLister); nil for single-profile shards.
+	profNames []string
+
 	mu  sync.Mutex
 	tap func(store.Record) error
 }
@@ -361,6 +382,48 @@ func NewShardedSimSourceAt(profile silicon.DeviceProfile, devices int, seed uint
 		Seed:     seed,
 		Scenario: sc,
 	}, shards, transport)
+}
+
+// NewShardedSimFleetSource shards a heterogeneous fleet campaign: each
+// worker rebuilds the fleet's seed-deterministic profile assignment and
+// builds only its shard's chips, so any shard count produces the
+// bit-identical streams of NewSimFleetSource.
+func NewShardedSimFleetSource(fleet *Fleet, devices int, seed uint64, shards int, transport shard.Transport) (*ShardedSource, error) {
+	if fleet == nil {
+		return nil, fmt.Errorf("%w: nil fleet", ErrConfig)
+	}
+	return NewShardedSimFleetSourceAt(fleet, devices, seed, fleet.profiles[0].NominalScenario(), shards, transport)
+}
+
+// NewShardedSimFleetSourceAt is NewShardedSimFleetSource at an explicit
+// environmental scenario.
+func NewShardedSimFleetSourceAt(fleet *Fleet, devices int, seed uint64, sc aging.Scenario, shards int, transport shard.Transport) (*ShardedSource, error) {
+	if fleet == nil {
+		return nil, fmt.Errorf("%w: nil fleet", ErrConfig)
+	}
+	if devices < 1 {
+		return nil, fmt.Errorf("%w: need >= 1 device, got %d", ErrConfig, devices)
+	}
+	if err := validShardCount(shards, devices); err != nil {
+		return nil, err
+	}
+	for _, p := range fleet.profiles {
+		if _, err := conditionedProfile(p, sc); err != nil {
+			return nil, err
+		}
+	}
+	src, err := newShardedSource(shard.Spec{
+		Mode:     shard.ModeSim,
+		Fleet:    fleet.Profiles(),
+		Devices:  devices,
+		Seed:     seed,
+		Scenario: sc,
+	}, shards, transport)
+	if err != nil {
+		return nil, err
+	}
+	src.profNames = fleet.AssignmentNames(seed, devices)
+	return src, nil
 }
 
 // NewShardedRigSource shards a full-rig campaign: every worker runs the
@@ -420,6 +483,12 @@ func (s *ShardedSource) Devices() int { return s.co.Devices() }
 
 // Shards returns the worker count.
 func (s *ShardedSource) Shards() int { return s.co.Shards() }
+
+// DeviceProfileNames returns the fleet's per-device profile names
+// (ProfileLister), or nil for single-profile sharded campaigns.
+func (s *ShardedSource) DeviceProfileNames() []string {
+	return append([]string(nil), s.profNames...)
+}
 
 // SetWorkers sets the campaign's TOTAL sampling-parallelism budget,
 // split across the shards (stream.SplitBudget) so -workers keeps one

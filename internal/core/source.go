@@ -68,6 +68,10 @@ type SimSource struct {
 	bits     int
 	pool     *stream.Pool
 	scenario aging.Scenario
+
+	// profNames is the per-device profile-name listing of fleet-built
+	// sources (ProfileLister); nil for the single-profile constructors.
+	profNames []string
 }
 
 // NewSimSource builds devices simulated chips of the profile, with the
@@ -122,7 +126,7 @@ func NewSimSourceSubset(profile silicon.DeviceProfile, seed uint64, sc aging.Sce
 		if err != nil {
 			return nil, err
 		}
-		if err := a.SetNoiseScale(profile.Kinetics.NoiseScale()); err != nil {
+		if err := a.SetNoiseScale(profile.NoiseScale()); err != nil {
 			return nil, err
 		}
 		arrays[d] = a
@@ -156,6 +160,13 @@ func (s *SimSource) Devices() int { return len(s.arrays) }
 
 // Arrays exposes the simulated chips (for extension experiments).
 func (s *SimSource) Arrays() []*sram.Array { return s.arrays }
+
+// DeviceProfileNames returns the per-device profile names of a
+// fleet-built source, or nil for the single-profile constructors — the
+// ProfileLister contract behind per-profile result breakdowns.
+func (s *SimSource) DeviceProfileNames() []string {
+	return append([]string(nil), s.profNames...)
+}
 
 // SetWorkers bounds the per-device sampling parallelism.
 func (s *SimSource) SetWorkers(n int) { s.pool = stream.NewPool(n) }
@@ -252,7 +263,7 @@ func NewRigSourceAt(profile silicon.DeviceProfile, devices int, seed uint64, i2c
 		return nil, err
 	}
 	for _, a := range rig.Arrays() {
-		if err := a.SetNoiseScale(profile.Kinetics.NoiseScale()); err != nil {
+		if err := a.SetNoiseScale(profile.NoiseScale()); err != nil {
 			return nil, err
 		}
 	}

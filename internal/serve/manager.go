@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/keylife"
+	"repro/internal/silicon"
 	"repro/internal/store"
 	"repro/internal/stream"
 )
@@ -435,8 +436,15 @@ func (m *Manager) campaignBudget(requested int) int {
 // record into the archive, evaluate, and seal the archive on success.
 func (m *Manager) execute(ctx context.Context, c *campaign) (*core.Results, error) {
 	spec := c.spec
-	profile, err := profileByName(spec.Profile)
-	if err != nil {
+	var profile silicon.DeviceProfile
+	var fleet *core.Fleet
+	var err error
+	if len(spec.Fleet) > 0 {
+		if fleet, err = fleetByNames(spec.Fleet); err != nil {
+			return nil, err
+		}
+		profile = fleet.Profiles()[0]
+	} else if profile, err = profileByName(spec.Profile); err != nil {
 		return nil, err
 	}
 	sc := spec.scenario(profile)
@@ -449,7 +457,25 @@ func (m *Manager) execute(ctx context.Context, c *campaign) (*core.Results, erro
 	}
 
 	var live tappableSource
-	if spec.Shards > 0 {
+	switch {
+	case fleet != nil:
+		// Fleet campaigns sample the sharded sim source: it synthesises
+		// full record envelopes for the checkpoint tap (the rig harness is
+		// a single-profile instrument). One shard unless asked for more.
+		shards := spec.Shards
+		if shards < 1 {
+			shards = 1
+		}
+		s, err := core.NewShardedSimFleetSourceAt(fleet, spec.Devices, spec.Seed, sc, shards, nil)
+		if err != nil {
+			return nil, err
+		}
+		defer s.Close()
+		if b := m.campaignBudget(spec.Workers); b > 0 {
+			s.SetWorkers(b)
+		}
+		live = s
+	case spec.Shards > 0:
 		s, err := core.NewShardedRigSourceAt(profile, spec.Devices, spec.Seed, spec.I2CError, sc, spec.Shards, nil)
 		if err != nil {
 			return nil, err
@@ -459,7 +485,7 @@ func (m *Manager) execute(ctx context.Context, c *campaign) (*core.Results, erro
 			s.SetWorkers(b)
 		}
 		live = s
-	} else {
+	default:
 		s, err := core.NewRigSourceAt(profile, spec.Devices, spec.Seed, spec.I2CError, sc)
 		if err != nil {
 			return nil, err

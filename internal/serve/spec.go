@@ -40,9 +40,17 @@ type Condition struct {
 type Spec struct {
 	// Name is a human label echoed in listings; it does not key anything.
 	Name string `json:"name,omitempty"`
-	// Profile selects the simulated device family: "atmega32u4" (the
-	// paper's chip, the default) or "cmos65nm-accelerated".
+	// Profile selects the simulated device family by registry name
+	// (silicon.Names lists them; "atmega32u4", the paper's chip, is the
+	// default). Exclusive with Fleet.
 	Profile string `json:"profile,omitempty"`
+	// Fleet runs a heterogeneous campaign over a mix of registered
+	// profiles: every device is assigned one of the named profiles
+	// deterministically from the seed, and results carry a per-profile
+	// breakdown. Fleet campaigns sample the sharded sim source directly
+	// (the rig harness is a single-profile instrument), so Devices need
+	// not be even. Exclusive with Profile and KeyLife.
+	Fleet []string `json:"fleet,omitempty"`
 	// Devices is the number of boards under test (even, >= 2; default 4).
 	Devices int `json:"devices,omitempty"`
 	// Seed is the campaign seed (default 20170208, the paper's).
@@ -96,17 +104,35 @@ const (
 	maxWorkers    = 1 << 12
 )
 
-// profileByName resolves a Spec.Profile string. Empty means the paper's
-// ATmega32u4.
+// profileByName resolves a Spec.Profile string through the silicon
+// profile registry (case-insensitive). Empty means the paper's
+// ATmega32u4. Unknown names keep the service's typed admission error,
+// and the message lists the registered names dynamically — a profile
+// registered by an embedding program is admissible with no service
+// change.
 func profileByName(name string) (silicon.DeviceProfile, error) {
-	switch name {
-	case "", "atmega32u4", "ATmega32u4":
+	if name == "" {
 		return silicon.ATmega32u4()
-	case "cmos65nm-accelerated", "CMOS65nm-accelerated":
-		return silicon.CMOS65nmAccelerated()
-	default:
-		return silicon.DeviceProfile{}, fmt.Errorf("%w: unknown profile %q (want atmega32u4 or cmos65nm-accelerated)", core.ErrConfig, name)
 	}
+	p, err := silicon.Lookup(name)
+	if err != nil {
+		return silicon.DeviceProfile{}, fmt.Errorf("%w: %v", core.ErrConfig, err)
+	}
+	return p, nil
+}
+
+// fleetByNames resolves a Spec.Fleet name list into a validated
+// core.Fleet.
+func fleetByNames(names []string) (*core.Fleet, error) {
+	profiles := make([]silicon.DeviceProfile, len(names))
+	for i, name := range names {
+		p, err := profileByName(name)
+		if err != nil {
+			return nil, err
+		}
+		profiles[i] = p
+	}
+	return core.NewFleet(profiles...)
 }
 
 // DecodeSpec parses a campaign spec strictly: unknown fields, trailing
@@ -152,11 +178,23 @@ func (s *Spec) normalize() {
 // Validate checks the normalised spec; every failure wraps ErrConfig so
 // the HTTP layer maps it to 400 before a campaign is admitted.
 func (s Spec) Validate() error {
-	if _, err := profileByName(s.Profile); err != nil {
+	if len(s.Fleet) > 0 {
+		switch {
+		case s.Profile != "":
+			return fmt.Errorf("%w: profile and fleet are exclusive", core.ErrConfig)
+		case s.KeyLife:
+			return fmt.Errorf("%w: the key-lifecycle workload is single-profile; fleet and keylife are exclusive", core.ErrConfig)
+		}
+		if _, err := fleetByNames(s.Fleet); err != nil {
+			return err
+		}
+	} else if _, err := profileByName(s.Profile); err != nil {
 		return err
 	}
 	switch {
-	case s.Devices < 2 || s.Devices%2 != 0:
+	case s.Devices < 2:
+		return fmt.Errorf("%w: service campaigns need >= 2 devices, got %d", core.ErrConfig, s.Devices)
+	case len(s.Fleet) == 0 && s.Devices%2 != 0:
 		return fmt.Errorf("%w: service campaigns run on the rig and need an even device count >= 2, got %d", core.ErrConfig, s.Devices)
 	case s.Devices > maxDevices:
 		return fmt.Errorf("%w: %d devices exceeds the service bound %d", core.ErrConfig, s.Devices, maxDevices)

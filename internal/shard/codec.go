@@ -134,9 +134,14 @@ type Spec struct {
 	Protocol int                   `json:"protocol"`
 	Mode     Mode                  `json:"mode"`
 	Profile  silicon.DeviceProfile `json:"profile,omitempty"`
-	Devices  int                   `json:"devices,omitempty"`
-	Seed     uint64                `json:"seed,omitempty"`
-	Scenario aging.Scenario        `json:"scenario,omitempty"`
+	// Fleet is the heterogeneous profile mix of a fleet campaign
+	// (ModeSim only): the worker rebuilds the same seed-deterministic
+	// per-device profile assignment the coordinator uses. Exclusive
+	// with Profile.
+	Fleet    []silicon.DeviceProfile `json:"fleet,omitempty"`
+	Devices  int                     `json:"devices,omitempty"`
+	Seed     uint64                  `json:"seed,omitempty"`
+	Scenario aging.Scenario          `json:"scenario,omitempty"`
 	// I2CErrorRate is the rig's byte-corruption rate (ModeRig).
 	I2CErrorRate float64 `json:"i2c_error_rate,omitempty"`
 	// ArchivePath is the measurement archive to replay (ModeArchive) —
@@ -154,6 +159,14 @@ func (s Spec) Validate() error {
 	case ModeSim, ModeRig:
 		if s.Devices < 1 {
 			return fmt.Errorf("%w: %s spec needs >= 1 device, got %d", ErrProtocol, s.Mode, s.Devices)
+		}
+		if len(s.Fleet) > 0 {
+			if s.Mode != ModeSim {
+				return fmt.Errorf("%w: fleet campaigns shard the sim source, not %s", ErrProtocol, s.Mode)
+			}
+			if s.Profile.Name != "" {
+				return fmt.Errorf("%w: spec carries both a profile and a fleet", ErrProtocol)
+			}
 		}
 	case ModeArchive:
 		if s.ArchivePath == "" {

@@ -1,0 +1,111 @@
+package silicon
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestLambdaFloorContract pins each built-in model's tail-guard floor.
+// The floors are part of the model contract: the i.i.d. 0.1 is what the
+// paper's AVG-to-WC calibration was performed with (changing it silently
+// re-calibrates every campaign), and the correlated model deliberately
+// tightens it to 0.5 — large-array process control does not produce
+// 0.1·Lambda outliers, so such a draw is a modelling error.
+func TestLambdaFloorContract(t *testing.T) {
+	for name, want := range map[string]float64{ModelIID: 0.1, ModelCorrelated: 0.5} {
+		m, err := LookupModel(name)
+		if err != nil {
+			t.Fatalf("LookupModel(%q): %v", name, err)
+		}
+		if got := m.LambdaFloor(); got != want {
+			t.Errorf("model %q: LambdaFloor = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestSampleParamsClampsAtModelFloor is the regression test for the
+// tail guard: a profile with an absurd lambda jitter must never yield a
+// per-device lambda below floor·Lambda, and the clamp must land exactly
+// on floor·Lambda (not merely near it) — the calibration treats the
+// floor as a hard boundary, not a soft one.
+func TestSampleParamsClampsAtModelFloor(t *testing.T) {
+	base, err := ATmega32u4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.LambdaRelJitter = 5 // ~42% of draws fall below any sane floor
+	for _, name := range []string{ModelIID, ModelCorrelated} {
+		m, err := LookupModel(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		floor := m.LambdaFloor() * base.Lambda
+		clamped := 0
+		src := rng.New(42)
+		for i := 0; i < 2000; i++ {
+			d := m.SampleParams(base, src)
+			if d.Lambda < floor {
+				t.Fatalf("model %q: draw %d: lambda %v below floor %v", name, i, d.Lambda, floor)
+			}
+			if d.Lambda == floor {
+				clamped++
+			}
+		}
+		if clamped == 0 {
+			t.Errorf("model %q: no draw hit the floor exactly; the clamp is not exercised", name)
+		}
+	}
+}
+
+func TestLookupCaseInsensitive(t *testing.T) {
+	want, err := ATmega32u4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"atmega32u4", "ATmega32u4", "  AtMeGa32U4 "} {
+		got, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if got != want {
+			t.Errorf("Lookup(%q) = %+v, want the canonical profile", name, got)
+		}
+	}
+}
+
+func TestLookupUnknownListsRegisteredNames(t *testing.T) {
+	_, err := Lookup("no-such-chip")
+	if !errors.Is(err, ErrUnknownProfile) {
+		t.Fatalf("unknown name error is not ErrUnknownProfile: %v", err)
+	}
+	// The message must enumerate the live registry — a profile registered
+	// by an embedding program shows up with no error-message change.
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list registered profile %q", err, name)
+		}
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	// "atmega32u4" is registered by this package's init.
+	Register("ATmega32u4", buildATmega32u4)
+}
+
+func TestLookupModelEmptyIsIID(t *testing.T) {
+	m, err := LookupModel("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ModelName() != ModelIID {
+		t.Fatalf("empty model name resolved to %q, want %q", m.ModelName(), ModelIID)
+	}
+}

@@ -51,6 +51,23 @@ type DeviceProfile struct {
 	// Aging model.
 	Kinetics        aging.Kinetics
 	AgingDispersion float64 // per-cell aging-rate dispersion coefficient B
+
+	// Cell model selection. Model names a registered CellModel ("" is
+	// the calibrated i.i.d.-mismatch model, ModelIID); the fields below
+	// parameterise the non-default models and ride JSON with the rest of
+	// the profile, so a shard worker or service rebuilds the exact model
+	// from the wire spec.
+	Model string `json:",omitempty"`
+	// LineBits is the cache-line size in cells for the block-correlated
+	// model (0: one line spanning the whole array).
+	LineBits int `json:",omitempty"`
+	// LineCorr is the within-line mismatch correlation in [0, 1) for the
+	// block-correlated model.
+	LineCorr float64 `json:",omitempty"`
+	// NoiseRel scales the power-up noise sigma relative to the embedded
+	// reference (0 means 1 — large arrays read noisier relative to their
+	// mismatch, arXiv:1507.08514 §IV).
+	NoiseRel float64 `json:",omitempty"`
 }
 
 // Validate checks profile consistency.
@@ -68,8 +85,37 @@ func (p DeviceProfile) Validate() error {
 		return fmt.Errorf("silicon: negative bias jitter %v", p.BiasZJitter)
 	case p.AgingDispersion < 0:
 		return fmt.Errorf("silicon: negative aging dispersion %v", p.AgingDispersion)
+	case p.NoiseRel < 0:
+		return fmt.Errorf("silicon: negative relative noise sigma %v", p.NoiseRel)
+	}
+	model, err := p.CellModel()
+	if err != nil {
+		return err
+	}
+	if err := model.ValidateProfile(p); err != nil {
+		return err
 	}
 	return p.Kinetics.Validate()
+}
+
+// CellModel resolves the profile's cell model through the model
+// registry. An empty Model is the calibrated i.i.d. model.
+func (p DeviceProfile) CellModel() (CellModel, error) {
+	return LookupModel(p.Model)
+}
+
+// NoiseScale returns the relative power-up noise sigma of the profile's
+// operating point, through the profile's cell model — the single value
+// the source constructors hand to (*sram.Array).SetNoiseScale. It is
+// exactly 1 at an embedded profile's nominal scenario.
+func (p DeviceProfile) NoiseScale() float64 {
+	model, err := p.CellModel()
+	if err != nil {
+		// Validate reports the unknown model long before any sampling;
+		// fall back to the condition scale so the accessor stays total.
+		return p.Kinetics.NoiseScale()
+	}
+	return model.NoiseScale(p)
 }
 
 // Cells returns the number of SRAM bits on the device.
@@ -170,8 +216,12 @@ func baseNominalKinetics(tempC, voltage float64) aging.Kinetics {
 
 // ATmega32u4 returns the calibrated profile of the paper's device: the
 // SRAM of the ATmega32u4 microcontroller on an Arduino Leonardo board
-// (2.5 KByte SRAM, 5 V, room temperature, first 1 KByte read out).
-func ATmega32u4() (DeviceProfile, error) {
+// (2.5 KByte SRAM, 5 V, room temperature, first 1 KByte read out). It
+// is a registry-backed wrapper: Lookup("atmega32u4") resolves the same
+// profile.
+func ATmega32u4() (DeviceProfile, error) { return Lookup("atmega32u4") }
+
+func buildATmega32u4() (DeviceProfile, error) {
 	calOnce.Do(runCalibration)
 	if calErr != nil {
 		return DeviceProfile{}, calErr
@@ -199,7 +249,11 @@ func ATmega32u4() (DeviceProfile, error) {
 // trajectory runs from 5.3% to 7.2% over the first two years
 // (+1.28%/month). Time for this profile is *equivalent* time; the
 // aging.Kinetics acceleration machinery maps it back to oven wall-clock.
-func CMOS65nmAccelerated() (DeviceProfile, error) {
+// Registry-backed: Lookup("cmos65nm-accelerated") resolves the same
+// profile.
+func CMOS65nmAccelerated() (DeviceProfile, error) { return Lookup("cmos65nm-accelerated") }
+
+func buildCMOS65nmAccelerated() (DeviceProfile, error) {
 	calOnce.Do(runCalibration)
 	if calErr != nil {
 		return DeviceProfile{}, calErr
@@ -217,6 +271,150 @@ func CMOS65nmAccelerated() (DeviceProfile, error) {
 		BiasZJitter:      defaultBiasZJitter,
 		Kinetics:         kineticsFromCalibration(baseNominalKinetics(25, 1.2), calAcc.TotalDrift, calMonths.acc),
 		AgingDispersion:  calAcc.Dispersion,
+	}
+	return p, p.Validate()
+}
+
+// buildCacheArray returns a cache-line-structured large-array profile —
+// the SRAM-PUF-in-large-CPUs family of Van Aubel et al.
+// (arXiv:1507.08514): orders of magnitude more cells than the embedded
+// parts, organised in 64-byte cache lines whose cells share a common
+// mismatch component, read noisier relative to their mismatch, and
+// continuously powered (no duty-cycle relaxation). The population
+// mismatch is anchored to the paper's calibrated embedded model —
+// slightly noisier cells (0.85·λ) with a much weaker systematic bias
+// (0.25·μ, large-array peripheries are balanced by construction) — so
+// the family's reliability numbers stay commensurable with Table I.
+// sizeBytes ≥ MB-scale is the intended operating range; the 64 KiB
+// variant exists so demos and CI touch the same model without a
+// half-gigabyte per-device state.
+func buildCacheArray(name string, sizeBytes int) (DeviceProfile, error) {
+	calOnce.Do(runCalibration)
+	if calErr != nil {
+		return DeviceProfile{}, calErr
+	}
+	// Continuously powered server silicon at 0.9 V / 45 °C die
+	// temperature: full stress duty, weak recovery, a lower activation
+	// energy and the shallower sub-0.35 power-law slope reported for
+	// high-K metal-gate BTI.
+	k := aging.Kinetics{
+		Exponent:           0.28,
+		NBTIShare:          0.6, // PBTI is a first-order effect in advanced nodes
+		DutyOn:             1,
+		Recovery:           0.1,
+		TempC:              45,
+		Voltage:            0.9,
+		RefTempC:           45,
+		RefVoltage:         0.9,
+		ActivationEnergyEV: 0.12,
+		VoltageExponent:    3,
+	}
+	p := DeviceProfile{
+		Name:             name,
+		Technology:       "server-class cache SRAM (high-K metal gate)",
+		SRAMBytes:        sizeBytes,
+		ReadWindowBytes:  1024, // same 1 KiB read-out as the embedded parts: fleet windows stay comparable
+		OperatingVoltage: 0.9,
+		NominalTempC:     45,
+		Lambda:           0.85 * calNom.Lambda,
+		Mu:               0.25 * calNom.Mu,
+		LambdaRelJitter:  defaultLambdaRelJitter,
+		BiasZJitter:      defaultBiasZJitter,
+		Kinetics:         kineticsFromCalibration(k, 1.25*calNom.TotalDrift, calMonths.nom),
+		AgingDispersion:  calNom.Dispersion,
+		Model:            ModelCorrelated,
+		LineBits:         512, // 64-byte cache line
+		LineCorr:         0.35,
+		NoiseRel:         1.3,
+	}
+	return p, p.Validate()
+}
+
+// ProfileOption mutates a DeviceProfile under construction; see
+// NewProfile.
+type ProfileOption func(*DeviceProfile)
+
+// WithTechnology sets the free-text technology description.
+func WithTechnology(s string) ProfileOption { return func(p *DeviceProfile) { p.Technology = s } }
+
+// WithGeometry sets the total SRAM size and the per-power-up read
+// window, both in bytes.
+func WithGeometry(sramBytes, readWindowBytes int) ProfileOption {
+	return func(p *DeviceProfile) { p.SRAMBytes, p.ReadWindowBytes = sramBytes, readWindowBytes }
+}
+
+// WithOperatingPoint sets the nominal supply voltage and temperature.
+func WithOperatingPoint(voltage, tempC float64) ProfileOption {
+	return func(p *DeviceProfile) { p.OperatingVoltage, p.NominalTempC = voltage, tempC }
+}
+
+// WithMismatch sets the population mismatch-to-noise ratio and bias.
+func WithMismatch(lambda, mu float64) ProfileOption {
+	return func(p *DeviceProfile) { p.Lambda, p.Mu = lambda, mu }
+}
+
+// WithSpread sets the per-device spread parameters (relative lambda
+// jitter, bias z-score jitter).
+func WithSpread(lambdaRelJitter, biasZJitter float64) ProfileOption {
+	return func(p *DeviceProfile) { p.LambdaRelJitter, p.BiasZJitter = lambdaRelJitter, biasZJitter }
+}
+
+// WithKinetics sets the BTI aging kinetics.
+func WithKinetics(k aging.Kinetics) ProfileOption { return func(p *DeviceProfile) { p.Kinetics = k } }
+
+// WithAgingDispersion sets the per-cell aging-rate dispersion
+// coefficient.
+func WithAgingDispersion(b float64) ProfileOption {
+	return func(p *DeviceProfile) { p.AgingDispersion = b }
+}
+
+// WithCellModel selects a registered cell model by name ("" / ModelIID /
+// ModelCorrelated / externally registered).
+func WithCellModel(model string) ProfileOption { return func(p *DeviceProfile) { p.Model = model } }
+
+// WithLineStructure sets the block-correlation parameters of the
+// correlated cell model: the line size in cells and the within-line
+// mismatch correlation.
+func WithLineStructure(lineBits int, corr float64) ProfileOption {
+	return func(p *DeviceProfile) { p.LineBits, p.LineCorr = lineBits, corr }
+}
+
+// WithNoiseRel sets the power-up noise sigma relative to the embedded
+// reference.
+func WithNoiseRel(rel float64) ProfileOption { return func(p *DeviceProfile) { p.NoiseRel = rel } }
+
+// NewProfile builds a validated device profile from functional options,
+// starting from the paper's rig geometry, spread constants, and the
+// calibrated nominal mismatch/kinetics as defaults — a profile built
+// with no options is the paper's device under a different name. It is
+// the supported construction path for custom profiles: the profile is
+// validated — including its cell model's own field checks — at build
+// time, so an inconsistent profile fails here rather than deep inside a
+// campaign. Direct struct construction still works for compatibility
+// but is deprecated; see DESIGN.md ("Device models and fleets").
+func NewProfile(name string, opts ...ProfileOption) (DeviceProfile, error) {
+	if name == "" {
+		return DeviceProfile{}, fmt.Errorf("silicon: profile needs a name")
+	}
+	calOnce.Do(runCalibration)
+	if calErr != nil {
+		return DeviceProfile{}, calErr
+	}
+	p := DeviceProfile{
+		Name:             name,
+		SRAMBytes:        2560,
+		ReadWindowBytes:  1024,
+		OperatingVoltage: 5.0,
+		NominalTempC:     25,
+		Lambda:           calNom.Lambda,
+		Mu:               calNom.Mu,
+		LambdaRelJitter:  defaultLambdaRelJitter,
+		BiasZJitter:      defaultBiasZJitter,
+		Kinetics:         kineticsFromCalibration(baseNominalKinetics(25, 5.0), calNom.TotalDrift, calMonths.nom),
+		AgingDispersion:  calNom.Dispersion,
+	}
+	for _, opt := range opts {
+		opt(&p)
 	}
 	return p, p.Validate()
 }
@@ -242,17 +440,18 @@ type DeviceParams struct {
 	Mu     float64 // this board's mismatch mean
 }
 
-// SampleDeviceParams draws the instance parameters of one physical board.
-// The draw is deterministic in the supplied stream.
+// SampleDeviceParams draws the instance parameters of one physical board
+// through the profile's cell model (the model's own tail-guard floor
+// applies). The draw is deterministic in the supplied stream.
+//
+// Deprecated: callers holding a CellModel should invoke
+// model.SampleParams directly; this wrapper remains for compatibility.
 func SampleDeviceParams(p DeviceProfile, src *rng.Source) DeviceParams {
-	lambda := p.Lambda * (1 + p.LambdaRelJitter*src.NormFloat64())
-	if lambda < 0.1*p.Lambda {
-		lambda = 0.1 * p.Lambda // guard absurd tail draws
+	model, err := p.CellModel()
+	if err != nil {
+		model = iidModel{}
 	}
-	z0 := p.Mu / math.Sqrt(1+p.Lambda*p.Lambda)
-	z := z0 + p.BiasZJitter*src.NormFloat64()
-	mu := z * math.Sqrt(1+lambda*lambda)
-	return DeviceParams{Lambda: lambda, Mu: mu}
+	return model.SampleParams(p, src)
 }
 
 // ExpectedFHW returns the expected fractional Hamming weight of a device

@@ -30,6 +30,12 @@ type Array struct {
 	profile silicon.DeviceProfile
 	params  silicon.DeviceParams
 
+	// Aging response cached from the profile's cell model at construction:
+	// AgeTo integrates with these instead of reaching into profile fields,
+	// so a model can substitute its own kinetics.
+	kin  aging.Kinetics
+	disp float64
+
 	// Per-cell state. Skew quantities are in noise-sigma units.
 	static []float64 // static skew from process variation
 	dP1    []float64 // NBTI Vth shift of P1 (skew-weighted), stressed by state 1
@@ -58,10 +64,14 @@ func New(profile silicon.DeviceProfile, seed *rng.Source) (*Array, error) {
 	if err := profile.Validate(); err != nil {
 		return nil, err
 	}
+	model, err := profile.CellModel()
+	if err != nil {
+		return nil, err
+	}
 	n := profile.Cells()
 	a := &Array{
 		profile:    profile,
-		params:     silicon.SampleDeviceParams(profile, seed.Derive(0)),
+		params:     model.SampleParams(profile, seed.Derive(0)),
 		static:     make([]float64, n),
 		dP1:        make([]float64, n),
 		dP2:        make([]float64, n),
@@ -73,11 +83,9 @@ func New(profile silicon.DeviceProfile, seed *rng.Source) (*Array, error) {
 		noiseScale: 1,
 		pcache:     make([]float64, n),
 	}
+	a.kin, a.disp = model.AgingResponse(profile)
 	mfg := seed.Derive(1) // manufacturing variation stream
-	for i := 0; i < n; i++ {
-		a.static[i] = a.params.Mu + a.params.Lambda*mfg.NormFloat64()
-		a.gamma[i] = mfg.NormFloat64()
-	}
+	model.SampleSkew(profile, a.params, mfg, a.static, a.gamma)
 	return a, nil
 }
 
@@ -148,12 +156,12 @@ func (a *Array) AgeTo(months float64) error {
 	if months == a.ageMonths {
 		return nil
 	}
-	k := a.profile.Kinetics
+	k := a.kin
 	total := k.DriftIncrement(a.ageMonths, months)
 	if total > 0 {
 		steps := int(math.Ceil(total / maxDriftStep))
 		h := total / float64(steps)
-		b := a.profile.AgingDispersion
+		b := a.disp
 		for s := 0; s < steps; s++ {
 			for i := range a.static {
 				q := stats.PhiFast(a.Skew(i) / a.noiseScale)

@@ -76,6 +76,12 @@ type Config struct {
 	// Profile is the device family under test; each grid point runs its
 	// kinetics and noise model at the point's condition.
 	Profile silicon.DeviceProfile
+	// Fleet, when non-nil, sweeps a heterogeneous profile mix instead of
+	// Profile: every device's profile is assigned deterministically from
+	// Seed (core.Fleet), identically at every grid point and shard
+	// layout. Exclusive with UseRig — the measurement rig is one
+	// single-profile instrument.
+	Fleet *core.Fleet
 	// Devices is the number of boards per point.
 	Devices int
 	// Seed is the campaign seed. Every point derives the same per-device
@@ -189,6 +195,9 @@ func RunPoints(ctx context.Context, cfg Config, points []aging.Scenario) (*Resul
 			return nil, fmt.Errorf("%w: %v", core.ErrConfig, err)
 		}
 	}
+	if cfg.Fleet != nil && cfg.UseRig {
+		return nil, fmt.Errorf("%w: the measurement rig is a single-profile instrument; fleet sweeps sample directly", core.ErrConfig)
+	}
 	newSource := cfg.NewSource
 	switch {
 	case newSource != nil:
@@ -196,9 +205,12 @@ func RunPoints(ctx context.Context, cfg Config, points []aging.Scenario) (*Resul
 		newSource = func(sc aging.Scenario) (core.Source, error) {
 			var src *core.ShardedSource
 			var err error
-			if cfg.UseRig {
+			switch {
+			case cfg.UseRig:
 				src, err = core.NewShardedRigSourceAt(cfg.Profile, cfg.Devices, cfg.Seed, cfg.I2CErrorRate, sc, cfg.Shards, cfg.ShardTransport)
-			} else {
+			case cfg.Fleet != nil:
+				src, err = core.NewShardedSimFleetSourceAt(cfg.Fleet, cfg.Devices, cfg.Seed, sc, cfg.Shards, cfg.ShardTransport)
+			default:
 				src, err = core.NewShardedSimSourceAt(cfg.Profile, cfg.Devices, cfg.Seed, sc, cfg.Shards, cfg.ShardTransport)
 			}
 			if err != nil {
@@ -213,7 +225,13 @@ func RunPoints(ctx context.Context, cfg Config, points []aging.Scenario) (*Resul
 			if cfg.UseRig {
 				return core.NewRigSourceAt(cfg.Profile, cfg.Devices, cfg.Seed, cfg.I2CErrorRate, sc)
 			}
-			src, err := core.NewSimSourceAt(cfg.Profile, cfg.Devices, cfg.Seed, sc)
+			var src *core.SimSource
+			var err error
+			if cfg.Fleet != nil {
+				src, err = core.NewSimFleetSourceAt(cfg.Fleet, cfg.Devices, cfg.Seed, sc)
+			} else {
+				src, err = core.NewSimSourceAt(cfg.Profile, cfg.Devices, cfg.Seed, sc)
+			}
 			if err != nil {
 				return nil, err
 			}

@@ -141,7 +141,7 @@ func (a *Assessment) RunSweep(ctx context.Context) (*SweepResults, error) {
 		return nil, fmt.Errorf("%w: RunSweep needs WithConditions or WithConditionGrid", ErrConfig)
 	}
 	profile := a.profile
-	if !a.profileSet {
+	if !a.profileSet && a.fleet == nil {
 		var err error
 		if profile, err = ATmega32u4(); err != nil {
 			return nil, err
@@ -186,6 +186,7 @@ func (a *Assessment) RunSweep(ctx context.Context) (*SweepResults, error) {
 	a.ran = true
 	return sweep.RunPoints(ctx, sweep.Config{
 		Profile:        profile,
+		Fleet:          a.fleet,
 		Devices:        a.devices,
 		Seed:           a.seed,
 		UseRig:         a.useRig,
