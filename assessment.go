@@ -33,6 +33,10 @@ var (
 	ErrNoMonths = core.ErrNoMonths
 	// ErrAlreadyRun reports a second Run of a one-shot assessment.
 	ErrAlreadyRun = core.ErrAlreadyRun
+	// ErrScreenedOut reports a screening campaign whose pruning left
+	// fewer than the two devices the uniqueness metrics need, with
+	// evaluation months still remaining.
+	ErrScreenedOut = core.ErrScreenedOut
 )
 
 // Assessment is the composable campaign builder: one Source (simulated,
@@ -81,6 +85,10 @@ type Assessment struct {
 	// Key-lifecycle state (WithKeyLifecycle; see keylife.go).
 	keylife    bool
 	keylifeCfg KeyLifeConfig
+
+	// Screening / lazy-construction state (WithScreening, WithLazy).
+	screening *core.ScreeningConfig
+	lazy      bool
 }
 
 // Option configures an Assessment.
@@ -222,6 +230,68 @@ func WithCrossMetrics(ms ...CrossMetric) Option {
 	}
 }
 
+// WithScreening enables corner-screening mode: after every evaluated
+// month, devices whose stable-cell ratio fell below floor (in [0, 1))
+// are pruned from the campaign — they stop being sampled, each
+// subsequent MonthEval carries the survivor count and device-index
+// mapping, and per-profile attrition accumulates in MonthEval.Attrition.
+// The prune decision depends only on the month's metrics, so direct,
+// sharded and replayed executions prune identical devices. If pruning
+// ever leaves fewer than two devices with months remaining, Run reports
+// ErrScreenedOut. Exclusive with WithKeyLifecycle (the key workload
+// assumes a fixed population).
+func WithScreening(floor float64) Option {
+	return func(a *Assessment) error {
+		if floor < 0 || floor >= 1 {
+			return fmt.Errorf("%w: screening floor %v outside [0, 1)", ErrConfig, floor)
+		}
+		if a.screening == nil {
+			a.screening = &core.ScreeningConfig{}
+		}
+		a.screening.Floor = floor
+		return nil
+	}
+}
+
+// WithScreeningPerProfile overrides the screening floor for named fleet
+// profiles — corner-screening a mixed fleet against family-specific
+// limits. Profiles not listed use the WithScreening floor (0 if never
+// set: they are never pruned). Implies screening mode.
+func WithScreeningPerProfile(floors map[string]float64) Option {
+	return func(a *Assessment) error {
+		for name, f := range floors {
+			if f < 0 || f >= 1 {
+				return fmt.Errorf("%w: screening floor %v for profile %q outside [0, 1)", ErrConfig, f, name)
+			}
+		}
+		if a.screening == nil {
+			a.screening = &core.ScreeningConfig{}
+		}
+		if a.screening.PerProfile == nil {
+			a.screening.PerProfile = make(map[string]float64, len(floors))
+		}
+		for name, f := range floors {
+			a.screening.PerProfile[name] = f
+		}
+		return nil
+	}
+}
+
+// WithLazy selects on-demand chip construction for the simulated
+// sources: chips are derived from (seed, device index) inside the
+// worker slot that measures them and rebuilt per month, so the resident
+// array state is O(sampling workers), independent of the device count —
+// the construction behind million-device fleet screening. Streams are
+// bit-identical to the eager sources; the trade is O(months²) aging
+// replay per device, the right trade for huge populations over few
+// months. Exclusive with WithHarness and WithSource.
+func WithLazy() Option {
+	return func(a *Assessment) error {
+		a.lazy, a.simSet = true, true
+		return nil
+	}
+}
+
 // WithProgress installs the incremental result callback: every completed
 // month evaluation is delivered as soon as it finalises, before the next
 // month starts — streaming results for long campaigns, and the natural
@@ -262,6 +332,20 @@ func NewAssessment(opts ...Option) (*Assessment, error) {
 			return nil, fmt.Errorf("%w: WithFleet is exclusive with WithKeyLifecycle (the key-lifecycle workload is single-profile)", ErrConfig)
 		}
 	}
+	if a.screening != nil && a.keylife {
+		return nil, fmt.Errorf("%w: WithScreening is exclusive with WithKeyLifecycle (the key workload assumes a fixed population)", ErrConfig)
+	}
+	if a.screening != nil && len(a.conditions) > 0 {
+		return nil, fmt.Errorf("%w: WithScreening is exclusive with WithConditions (screen one corner at a time)", ErrConfig)
+	}
+	if a.lazy {
+		switch {
+		case a.useRig:
+			return nil, fmt.Errorf("%w: WithLazy is exclusive with WithHarness (the rig is a persistent coupled instrument)", ErrConfig)
+		case a.src != nil:
+			return nil, fmt.Errorf("%w: WithLazy is exclusive with WithSource (lazy construction builds the simulated sources)", ErrConfig)
+		}
+	}
 	return a, nil
 }
 
@@ -289,6 +373,13 @@ func (a *Assessment) Run(ctx context.Context) (*Results, error) {
 		}
 		var err error
 		switch {
+		case a.fleet != nil && a.shards > 0 && a.lazy:
+			var s *ShardedSource
+			s, err = core.NewShardedLazySimFleetSource(a.fleet, a.devices, a.seed, a.shards, a.shardTransport)
+			if s != nil {
+				defer s.Close()
+			}
+			src = s
 		case a.fleet != nil && a.shards > 0:
 			var s *ShardedSource
 			s, err = NewShardedFleetSource(a.fleet, a.devices, a.seed, a.shards, a.shardTransport)
@@ -296,8 +387,24 @@ func (a *Assessment) Run(ctx context.Context) (*Results, error) {
 				defer s.Close()
 			}
 			src = s
+		case a.fleet != nil && a.lazy:
+			src, err = core.NewLazySimFleetSource(a.fleet, a.devices, a.seed)
 		case a.fleet != nil:
 			src, err = NewFleetSource(a.fleet, a.devices, a.seed)
+		case a.lazy && a.shards > 0:
+			// Lazy single-profile shards ride the one-profile-fleet
+			// short-circuit, keeping the plain campaign's bits.
+			var fleet *Fleet
+			if fleet, err = NewFleet(profile); err == nil {
+				var s *ShardedSource
+				s, err = core.NewShardedLazySimFleetSource(fleet, a.devices, a.seed, a.shards, a.shardTransport)
+				if s != nil {
+					defer s.Close()
+				}
+				src = s
+			}
+		case a.lazy:
+			src, err = core.NewLazySimSource(profile, a.devices, a.seed)
 		case a.shards > 0 && a.useRig:
 			var s *ShardedSource
 			s, err = NewShardedRigSource(profile, a.devices, a.seed, a.i2cErr, a.shards, a.shardTransport)
@@ -352,6 +459,7 @@ func (a *Assessment) Run(ctx context.Context) (*Results, error) {
 		Metrics:      metrics,
 		CrossMetrics: crossMetrics,
 		Progress:     a.progress,
+		Screening:    a.screening,
 	})
 	if err != nil {
 		// Nothing was measured: a retry after a configuration error must

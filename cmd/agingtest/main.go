@@ -30,10 +30,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 
 	sramaging "repro"
 	"repro/internal/store"
@@ -49,6 +52,9 @@ func main() {
 func run() error {
 	devices := flag.Int("devices", 4, "boards under test (paper: 16)")
 	profileName := flag.String("profile", "", "registered device profile name (default atmega32u4, the paper's chip; see sramaging.RegisteredProfiles)")
+	fleetNames := flag.String("fleet", "", "comma-separated registered profile names: run a heterogeneous fleet campaign with per-profile breakdowns (exclusive with -profile, -harness, -archive, -keylife)")
+	screenFloor := flag.Float64("screen-floor", 0, "corner-screening stability floor in [0, 1): prune devices whose stable-cell ratio falls below it between months (0: off)")
+	lazy := flag.Bool("lazy", false, "derive each chip on demand inside its worker slot, holding O(workers) arrays instead of the whole population (default on for -fleet; bits identical either way)")
 	months := flag.Int("months", 6, "campaign length in months (paper: 24)")
 	window := flag.Int("window", 200, "measurements per monthly window (paper: 1000)")
 	seed := flag.Uint64("seed", 20170208, "campaign seed")
@@ -67,6 +73,24 @@ func run() error {
 	remoteCancel := flag.String("remote-cancel", "", "with -remote: cancel a campaign and exit")
 	flag.Parse()
 
+	var fleet []string
+	if *fleetNames != "" {
+		fleet = strings.Split(*fleetNames, ",")
+		if !flagWasSet("lazy") {
+			// Fleets are where populations get large; lazy construction is
+			// bit-identical, so it is the fleet default.
+			*lazy = true
+		}
+		switch {
+		case *profileName != "":
+			return errors.New("-fleet and -profile are exclusive (the fleet lists its profiles)")
+		case *useHarness || *archive != "":
+			return errors.New("-fleet campaigns sample the sim source directly; -harness/-archive are single-profile")
+		case *keylife:
+			return errors.New("the key-lifecycle workload is single-profile; -fleet and -keylife are exclusive")
+		}
+	}
+
 	if *remote != "" {
 		return runRemote(remoteFlags{
 			base:   *remote,
@@ -75,28 +99,53 @@ func run() error {
 			status: *remoteStatus,
 			cancel: *remoteCancel,
 			spec: sramaging.ServeSpec{
-				Profile:  *profileName,
-				Devices:  *devices,
-				Months:   *months,
-				Window:   *window,
-				Seed:     *seed,
-				I2CError: *i2cErr,
-				Workers:  *workers,
-				Shards:   *shards,
-				KeyLife:  *keylife,
+				Profile:     *profileName,
+				Fleet:       fleet,
+				Devices:     *devices,
+				Months:      *months,
+				Window:      *window,
+				Seed:        *seed,
+				I2CError:    *i2cErr,
+				Workers:     *workers,
+				Shards:      *shards,
+				KeyLife:     *keylife,
+				ScreenFloor: *screenFloor,
+				Lazy:        *lazy && len(fleet) > 0,
 			},
 		})
-	}
-
-	profile, err := resolveProfile(*profileName)
-	if err != nil {
-		return err
 	}
 
 	opts := []sramaging.Option{
 		sramaging.WithMonths(*months),
 		sramaging.WithWindowSize(*window),
 		sramaging.WithWorkers(*workers),
+	}
+	var profile sramaging.DeviceProfile
+	if len(fleet) > 0 {
+		profiles := make([]sramaging.DeviceProfile, len(fleet))
+		for i, name := range fleet {
+			p, err := resolveProfile(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			profiles[i] = p
+		}
+		fl, err := sramaging.NewFleet(profiles...)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, sramaging.WithFleet(fl), sramaging.WithDevices(*devices), sramaging.WithSeed(*seed))
+	} else {
+		var err error
+		if profile, err = resolveProfile(*profileName); err != nil {
+			return err
+		}
+	}
+	if *screenFloor > 0 {
+		opts = append(opts, sramaging.WithScreening(*screenFloor))
+	}
+	if *lazy {
+		opts = append(opts, sramaging.WithLazy())
 	}
 	if *keylife {
 		// ScreenSeed pins the screening round to the CLI seed even on the
@@ -139,14 +188,16 @@ func run() error {
 		}
 		opts = append(opts, sramaging.WithSource(rig))
 	} else {
-		opts = append(opts,
-			sramaging.WithProfile(profile),
-			sramaging.WithDevices(*devices),
-			sramaging.WithSeed(*seed))
-		if harnessPath {
+		if len(fleet) == 0 {
 			opts = append(opts,
-				sramaging.WithHarness(),
-				sramaging.WithI2CErrorRate(*i2cErr))
+				sramaging.WithProfile(profile),
+				sramaging.WithDevices(*devices),
+				sramaging.WithSeed(*seed))
+			if harnessPath {
+				opts = append(opts,
+					sramaging.WithHarness(),
+					sramaging.WithI2CErrorRate(*i2cErr))
+			}
 		}
 		if *shards > 0 {
 			opts = append(opts, sramaging.WithShards(*shards))
@@ -159,6 +210,12 @@ func run() error {
 	opts = append(opts, sramaging.WithProgress(func(ev sramaging.MonthEval) {
 		line := fmt.Sprintf("month %2d (%s): WCHD %.3f%%", ev.Month, ev.Label,
 			100*ev.Avg(func(d sramaging.DeviceMonth) float64 { return d.WCHD }))
+		if *screenFloor > 0 {
+			line += fmt.Sprintf(", %d survivors", ev.Survivors)
+			if len(ev.Pruned) > 0 {
+				line += fmt.Sprintf(" (pruned %v)", ev.Pruned)
+			}
+		}
 		if jw != nil {
 			line += fmt.Sprintf(", %d records archived", archived-prevArchived)
 			prevArchived = archived
@@ -207,6 +264,9 @@ func run() error {
 		fmt.Print(kt)
 		fmt.Println()
 	}
+	if *screenFloor > 0 {
+		printScreeningSummary(res, *devices)
+	}
 
 	wchd := res.Series(func(d sramaging.DeviceMonth) float64 { return d.WCHD })
 	plot, err := sramaging.RenderLinePlot("Fig. 6a — WCHD development (one line per device)",
@@ -232,6 +292,46 @@ func resolveProfile(name string) (sramaging.DeviceProfile, error) {
 		return sramaging.ATmega32u4()
 	}
 	return sramaging.ProfileByName(name)
+}
+
+// flagWasSet reports whether a flag was given explicitly on the command
+// line (as opposed to holding its default).
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// printScreeningSummary renders the corner-screening outcome: survivor
+// count and the month-by-month attrition, per profile where the campaign
+// knows one.
+func printScreeningSummary(res *sramaging.Results, devices int) {
+	last := res.Monthly[len(res.Monthly)-1]
+	fmt.Printf("screening: %d of %d devices survive\n", last.Survivors, devices)
+	for _, ev := range res.Monthly {
+		if len(ev.Pruned) == 0 {
+			continue
+		}
+		names := make([]string, 0, len(ev.Attrition))
+		for name := range ev.Attrition {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		parts := make([]string, 0, len(names))
+		for _, name := range names {
+			if name == "" {
+				parts = append(parts, fmt.Sprintf("%d", ev.Attrition[name]))
+			} else {
+				parts = append(parts, fmt.Sprintf("%s: %d", name, ev.Attrition[name]))
+			}
+		}
+		fmt.Printf("  after %s: pruned %s\n", ev.Label, strings.Join(parts, ", "))
+	}
+	fmt.Println()
 }
 
 // remoteFlags bundles the -remote client mode's inputs.

@@ -9,6 +9,12 @@
 // built with NewDeviceProfile) to show that registration makes a family
 // a first-class citizen: resolvable by name, admissible in fleets, and
 // usable from the CLIs' -profile flag.
+//
+// A second, screened campaign then runs the same fleet with lazy chip
+// construction (WithLazy — O(workers) resident arrays, the
+// million-device mode) and a stability floor (WithScreening) that
+// prunes weak devices between months, printing the survivor count and
+// per-profile attrition series.
 package main
 
 import (
@@ -16,12 +22,14 @@ import (
 	"fmt"
 	"log"
 	"sort"
+	"strings"
 
 	sramaging "repro"
 )
 
 func main() {
 	const devices, months, window = 8, 6, 150
+	const screenFloor = 0.87
 
 	// A custom family: the calibrated nominal device, but cache-line
 	// structured with correlated within-line mismatch — registered so it
@@ -83,4 +91,47 @@ func main() {
 
 	fmt.Println()
 	fmt.Print(sramaging.RenderTableI(res.Table))
+
+	// The screening variant: the same fleet at population scale. WithLazy
+	// derives each chip on demand from (seed, device index) inside a
+	// worker slot — resident memory is O(workers × array), so the same
+	// code runs a million-device fleet — and WithScreening prunes devices
+	// whose stable-cell ratio falls below the floor between months, the
+	// design-phase corner-screening workflow. Results are bit-identical
+	// to the eager source for any execution shape.
+	const screenDevices = 24
+	fmt.Println()
+	fmt.Printf("screened campaign: %d devices, lazy construction, stability floor %.2f\n",
+		screenDevices, screenFloor)
+	sa, err := sramaging.NewAssessment(
+		sramaging.WithFleet(fleet),
+		sramaging.WithDevices(screenDevices),
+		sramaging.WithMonths(months),
+		sramaging.WithWindowSize(window),
+		sramaging.WithLazy(),
+		sramaging.WithScreening(screenFloor),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sres, err := sa.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ev := range sres.Monthly {
+		fmt.Printf("  %-8s %2d of %d devices surviving", ev.Label, ev.Survivors, screenDevices)
+		if len(ev.Pruned) > 0 {
+			names := make([]string, 0, len(ev.Attrition))
+			for name := range ev.Attrition {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			parts := make([]string, 0, len(names))
+			for _, name := range names {
+				parts = append(parts, fmt.Sprintf("%s: %d", name, ev.Attrition[name]))
+			}
+			fmt.Printf("  (pruned %s)", strings.Join(parts, ", "))
+		}
+		fmt.Println()
+	}
 }

@@ -26,7 +26,59 @@ var (
 	ErrNoMonths = errors.New("assessment: no evaluation months")
 	// ErrAlreadyRun reports a second Run on a one-shot assessment.
 	ErrAlreadyRun = errors.New("assessment: already run (sources are stateful; build a fresh assessment per run)")
+	// ErrScreenedOut reports a screening campaign whose floor pruned the
+	// population below the two devices the uniqueness metrics need, with
+	// evaluation months still remaining.
+	ErrScreenedOut = errors.New("assessment: screening pruned the population below 2 devices")
 )
+
+// DevicePruner is implemented by sources that can stop sampling
+// individual devices mid-campaign — the screening contract. Indices are
+// the source's own device indices (the engine's device indexing); a
+// pruned device keeps its index (Devices() does not shrink) but is never
+// measured again. Pruning is monotonic and applies from the NEXT Measure
+// call on.
+type DevicePruner interface {
+	PruneDevices(indices []int) error
+}
+
+// ScreeningConfig is the corner-screening mode: after every evaluated
+// month, devices whose stable-cell ratio fell below the floor are pruned
+// — they stop being sampled (lazy sources simply never rebuild them),
+// and each subsequent MonthEval carries the survivor count, the
+// compacted device index mapping and the per-profile attrition. The
+// prune decision is a pure function of the month's metrics, so every
+// execution layout (direct, any shard count, archive replay, resume)
+// prunes the identical devices.
+type ScreeningConfig struct {
+	// Floor is the stability floor in [0, 1): a device with
+	// StableRatio < Floor after a month's evaluation is pruned.
+	Floor float64
+	// PerProfile optionally overrides Floor for named fleet profiles —
+	// corner-screening a mixed fleet against family-specific limits.
+	PerProfile map[string]float64
+}
+
+func (s *ScreeningConfig) validate() error {
+	if s.Floor < 0 || s.Floor >= 1 {
+		return fmt.Errorf("%w: screening floor %v outside [0, 1)", ErrConfig, s.Floor)
+	}
+	for name, f := range s.PerProfile {
+		if f < 0 || f >= 1 {
+			return fmt.Errorf("%w: screening floor %v for profile %q outside [0, 1)", ErrConfig, f, name)
+		}
+	}
+	return nil
+}
+
+// floorFor resolves the stability floor of one device given its profile
+// name ("" when the source has no per-device profile knowledge).
+func (s *ScreeningConfig) floorFor(profile string) float64 {
+	if f, ok := s.PerProfile[profile]; ok {
+		return f
+	}
+	return s.Floor
+}
 
 // MetricAccumulator folds the measurements of one device-window into one
 // custom statistic, one-pass like the built-in stream accumulators. One
@@ -142,6 +194,10 @@ type AssessmentConfig struct {
 	// the emitted Results untouched. The accumulator is engine-owned:
 	// inspect it synchronously, do not retain it.
 	WindowDone func(month, device int, dev *stream.Device)
+	// Screening, when non-nil, enables corner-screening: devices whose
+	// stability falls below the floor are pruned between months. The
+	// source must implement DevicePruner.
+	Screening *ScreeningConfig
 }
 
 // Assessment is the campaign engine behind the composable public API:
@@ -151,6 +207,17 @@ type Assessment struct {
 	cfg  AssessmentConfig
 	refs []*bitvec.Vector
 	ran  bool
+
+	// Screening state: the device indices still being sampled and the
+	// device→position lookup (-1 once pruned). Both nil without
+	// Screening, keeping the historical path untouched.
+	active []int
+	posOf  []int
+
+	// Per-device profile names, resolved once from the source's
+	// ProfileAssigner (preferred, compact) or ProfileLister.
+	profNames    []string
+	profResolved bool
 }
 
 // NewAssessment validates the configuration and resolves the month list.
@@ -186,13 +253,35 @@ func NewAssessment(cfg AssessmentConfig) (*Assessment, error) {
 		}
 		seenCross[name] = true
 	}
+	if cfg.Screening != nil {
+		if err := cfg.Screening.validate(); err != nil {
+			return nil, err
+		}
+		if _, ok := cfg.Source.(DevicePruner); !ok {
+			return nil, fmt.Errorf("%w: screening needs a source that can stop sampling pruned devices (DevicePruner); %T cannot", ErrConfig, cfg.Source)
+		}
+	}
 	if cfg.Months == nil {
-		if ml, ok := cfg.Source.(MonthLister); ok {
-			months, err := ml.AvailableMonths(cfg.WindowSize)
-			if err != nil {
-				return nil, err
+		// A screened archive legitimately loses pruned boards mid-archive,
+		// which the strict MonthLister rule reports as lost data — prefer
+		// the survivor-aware listing when screening is on.
+		if cfg.Screening != nil {
+			if ml, ok := cfg.Source.(SurvivingMonthLister); ok {
+				months, err := ml.AvailableMonthsSurviving(cfg.WindowSize)
+				if err != nil {
+					return nil, err
+				}
+				cfg.Months = months
 			}
-			cfg.Months = months
+		}
+		if cfg.Months == nil {
+			if ml, ok := cfg.Source.(MonthLister); ok {
+				months, err := ml.AvailableMonths(cfg.WindowSize)
+				if err != nil {
+					return nil, err
+				}
+				cfg.Months = months
+			}
 		}
 	}
 	if len(cfg.Months) == 0 {
@@ -218,11 +307,11 @@ func (a *Assessment) Run(ctx context.Context) (*Results, error) {
 	}
 	a.ran = true
 	res := &Results{}
-	for _, m := range a.cfg.Months {
+	for mi, m := range a.cfg.Months {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("assessment: month %d: %w", m, err)
 		}
-		eval, err := a.evaluateMonth(ctx, m)
+		eval, err := a.evaluateMonth(ctx, m, mi == len(a.cfg.Months)-1)
 		if err != nil {
 			return nil, fmt.Errorf("assessment: month %d: %w", m, err)
 		}
@@ -239,27 +328,88 @@ func (a *Assessment) Run(ctx context.Context) (*Results, error) {
 	return res, nil
 }
 
+// profileNames resolves the source's per-device profile names once —
+// preferring the compact ProfileAssigner contract (names + one byte per
+// device, what sharded fleets stream out of their workers) over the
+// O(devices) string listing of ProfileLister. Nil when the source has no
+// per-device profile knowledge.
+func (a *Assessment) profileNames() []string {
+	if a.profResolved {
+		return a.profNames
+	}
+	a.profResolved = true
+	devices := a.cfg.Source.Devices()
+	if pa, ok := a.cfg.Source.(ProfileAssigner); ok {
+		if names, idx := pa.ProfileAssignment(); len(idx) == devices && len(names) > 0 {
+			full := make([]string, devices)
+			ok := true
+			for d, i := range idx {
+				if int(i) >= len(names) {
+					ok = false
+					break
+				}
+				full[d] = names[i]
+			}
+			if ok {
+				a.profNames = full
+				return a.profNames
+			}
+		}
+	}
+	if pl, ok := a.cfg.Source.(ProfileLister); ok {
+		if names := pl.DeviceProfileNames(); len(names) == devices {
+			a.profNames = names
+		}
+	}
+	return a.profNames
+}
+
 // evaluateMonth streams one evaluation window from the source through the
 // per-device accumulators (built-in and custom) and finalises the month.
-func (a *Assessment) evaluateMonth(ctx context.Context, month int) (*MonthEval, error) {
+// Under screening the window covers only the active (unpruned) devices;
+// positions in the month's slices map back to device indices through
+// a.active, and the month ends with the prune decision for the next one.
+func (a *Assessment) evaluateMonth(ctx context.Context, month int, last bool) (*MonthEval, error) {
 	devices := a.cfg.Source.Devices()
-	accs := make([]*stream.Device, devices)
+	screening := a.cfg.Screening != nil
+	if screening && a.active == nil {
+		a.active = make([]int, devices)
+		a.posOf = make([]int, devices)
+		for d := range a.active {
+			a.active[d] = d
+			a.posOf[d] = d
+		}
+	}
+	count := devices
+	if screening {
+		count = len(a.active)
+	}
+	// deviceAt maps a window position to its campaign device index — the
+	// identity except under screening after the first prune.
+	deviceAt := func(p int) int {
+		if screening {
+			return a.active[p]
+		}
+		return p
+	}
+	accs := make([]*stream.Device, count)
 	custom := make([][]MetricAccumulator, len(a.cfg.Metrics))
 	for mi := range custom {
-		custom[mi] = make([]MetricAccumulator, devices)
+		custom[mi] = make([]MetricAccumulator, count)
 	}
-	for d := range accs {
+	for p := range accs {
+		d := deviceAt(p)
 		var ref *bitvec.Vector
 		if a.refs != nil {
 			ref = a.refs[d]
 		}
-		accs[d] = stream.NewDevice(ref)
+		accs[p] = stream.NewDevice(ref)
 		for mi, m := range a.cfg.Metrics {
 			acc, err := m.NewAccumulator(month, d, ref)
 			if err != nil {
 				return nil, fmt.Errorf("metric %q device %d: %w", m.Name(), d, err)
 			}
-			custom[mi][d] = acc
+			custom[mi][p] = acc
 		}
 	}
 
@@ -267,11 +417,17 @@ func (a *Assessment) evaluateMonth(ctx context.Context, month int) (*MonthEval, 
 		if d < 0 || d >= devices {
 			return fmt.Errorf("%w: device %d of %d", ErrUnknownDevice, d, devices)
 		}
-		if err := accs[d].Add(m); err != nil {
+		p := d
+		if screening {
+			if p = a.posOf[d]; p < 0 {
+				return fmt.Errorf("%w: device %d was pruned", ErrUnknownDevice, d)
+			}
+		}
+		if err := accs[p].Add(m); err != nil {
 			return err
 		}
 		for mi := range custom {
-			if err := custom[mi][d].Add(m); err != nil {
+			if err := custom[mi][p].Add(m); err != nil {
 				return fmt.Errorf("metric %q device %d: %w", a.cfg.Metrics[mi].Name(), d, err)
 			}
 		}
@@ -282,22 +438,25 @@ func (a *Assessment) evaluateMonth(ctx context.Context, month int) (*MonthEval, 
 	}
 
 	// The first evaluated month is enrollment: adopt each device's first
-	// read-out as its reference pattern (§IV-B1).
+	// read-out as its reference pattern (§IV-B1). Screening never prunes
+	// before the first evaluation, so the references cover everyone.
 	if a.refs == nil {
 		a.refs = make([]*bitvec.Vector, devices)
-		for d := range accs {
-			if accs[d].Ref() == nil {
+		for p := range accs {
+			d := deviceAt(p)
+			if accs[p].Ref() == nil {
 				return nil, fmt.Errorf("%w: device %d delivered no measurements", ErrShortWindow, d)
 			}
-			a.refs[d] = accs[d].Ref()
+			a.refs[d] = accs[p].Ref()
 		}
 	}
 
 	eval := &MonthEval{Month: month, Label: store.MonthLabel(month)}
-	eval.Devices = make([]DeviceMonth, devices)
+	eval.Devices = make([]DeviceMonth, count)
 	cross := stream.NewCross()
-	firsts := make([]*bitvec.Vector, 0, devices)
-	for d, acc := range accs {
+	firsts := make([]*bitvec.Vector, 0, count)
+	for p, acc := range accs {
+		d := deviceAt(p)
 		r, err := acc.Result()
 		if err != nil {
 			return nil, fmt.Errorf("device %d: %w", d, err)
@@ -306,7 +465,7 @@ func (a *Assessment) evaluateMonth(ctx context.Context, month int) (*MonthEval, 
 			return nil, fmt.Errorf("%w: device %d delivered %d of %d measurements",
 				ErrShortWindow, d, r.Count, a.cfg.WindowSize)
 		}
-		eval.Devices[d] = DeviceMonth{WCHD: r.WCHDMean, FHW: r.FHW, NoiseHmin: r.NoiseHmin, StableRatio: r.StableRatio}
+		eval.Devices[p] = DeviceMonth{WCHD: r.WCHDMean, FHW: r.FHW, NoiseHmin: r.NoiseHmin, StableRatio: r.StableRatio}
 		if a.cfg.WindowDone != nil {
 			a.cfg.WindowDone(month, d, acc)
 		}
@@ -325,8 +484,16 @@ func (a *Assessment) evaluateMonth(ctx context.Context, month int) (*MonthEval, 
 	eval.BCHDMean, eval.BCHDMin, eval.BCHDMax = cr.BCHDMean, cr.BCHDMin, cr.BCHDMax
 	eval.PUFHmin = cr.PUFHmin
 
-	if pl, ok := a.cfg.Source.(ProfileLister); ok {
-		eval.ByProfile = profileBreakdown(pl.DeviceProfileNames(), eval.Devices)
+	if names := a.profileNames(); names != nil {
+		if screening && count < devices {
+			activeNames := make([]string, count)
+			for p, d := range a.active {
+				activeNames[p] = names[d]
+			}
+			eval.ByProfile = profileBreakdown(activeNames, eval.Devices)
+		} else {
+			eval.ByProfile = profileBreakdown(names, eval.Devices)
+		}
 	}
 
 	if len(a.cfg.CrossMetrics) > 0 {
@@ -343,16 +510,66 @@ func (a *Assessment) evaluateMonth(ctx context.Context, month int) (*MonthEval, 
 	if len(a.cfg.Metrics) > 0 {
 		eval.Custom = make(map[string][]float64, len(a.cfg.Metrics))
 		for mi, m := range a.cfg.Metrics {
-			vals := make([]float64, devices)
-			for d, acc := range custom[mi] {
+			vals := make([]float64, count)
+			for p, acc := range custom[mi] {
 				v, err := acc.Value()
 				if err != nil {
-					return nil, fmt.Errorf("metric %q device %d: %w", m.Name(), d, err)
+					return nil, fmt.Errorf("metric %q device %d: %w", m.Name(), deviceAt(p), err)
 				}
-				vals[d] = v
+				vals[p] = v
 			}
 			eval.Custom[m.Name()] = vals
 		}
 	}
+
+	if screening {
+		if err := a.screenMonth(eval, devices, count, last); err != nil {
+			return nil, err
+		}
+	}
 	return eval, nil
+}
+
+// screenMonth applies the prune decision after one evaluated month: the
+// survivor bookkeeping lands in eval, the source is told to stop sampling
+// the pruned devices, and the active set shrinks for the next month. The
+// decision reads only eval's metrics, so every execution layout prunes
+// identically.
+func (a *Assessment) screenMonth(eval *MonthEval, devices, count int, last bool) error {
+	eval.Survivors = count
+	if count < devices {
+		eval.DeviceIndex = append([]int(nil), a.active...)
+	}
+	names := a.profileNames()
+	var pruned []int
+	survivors := a.active[:0]
+	for p, d := range a.active {
+		name := ""
+		if names != nil {
+			name = names[d]
+		}
+		if eval.Devices[p].StableRatio < a.cfg.Screening.floorFor(name) {
+			pruned = append(pruned, d)
+			if eval.Attrition == nil {
+				eval.Attrition = make(map[string]int, 2)
+			}
+			eval.Attrition[name]++
+			a.posOf[d] = -1
+		} else {
+			survivors = append(survivors, d)
+		}
+	}
+	if len(pruned) == 0 {
+		a.active = survivors
+		return nil
+	}
+	eval.Pruned = pruned
+	a.active = survivors
+	for p, d := range a.active {
+		a.posOf[d] = p
+	}
+	if len(a.active) < 2 && !last {
+		return fmt.Errorf("%w: %d of %d devices survive the stability floor", ErrScreenedOut, len(a.active), devices)
+	}
+	return a.cfg.Source.(DevicePruner).PruneDevices(pruned)
 }

@@ -39,6 +39,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"repro/internal/bitvec"
@@ -142,6 +143,44 @@ type MonthEval struct {
 	// profile — so homogeneous campaigns (and their serialized results)
 	// are unchanged.
 	ByProfile map[string]ProfileEval `json:",omitempty"`
+
+	// Screening fields, populated only under ScreeningConfig — every one
+	// is omitempty, so non-screened results (and their serialized forms)
+	// are byte-identical to the historical shape.
+
+	// Survivors is the number of devices still being sampled this month
+	// (the length of Devices).
+	Survivors int `json:",omitempty"`
+	// DeviceIndex maps each position of Devices (and Custom values) back
+	// to its original campaign device index. Nil while no device has been
+	// pruned (positions are the identity).
+	DeviceIndex []int `json:",omitempty"`
+	// Pruned lists the device indices screened out AFTER this month's
+	// evaluation (their metrics are still in Devices; they stop being
+	// sampled from the next month on). Ascending.
+	Pruned []int `json:",omitempty"`
+	// Attrition counts this month's pruned devices per profile name —
+	// the per-profile attrition series of a screened fleet. Keys follow
+	// the fleet's profile names; single-profile campaigns use "". Nil
+	// when nothing was pruned this month.
+	Attrition map[string]int `json:",omitempty"`
+}
+
+// DeviceMonthAt returns the month's metrics for original campaign device
+// index d, resolving a screened month's compacted Devices slice through
+// DeviceIndex. ok is false when the device was pruned before this month.
+func (m MonthEval) DeviceMonthAt(d int) (DeviceMonth, bool) {
+	if m.DeviceIndex == nil {
+		if d >= 0 && d < len(m.Devices) {
+			return m.Devices[d], true
+		}
+		return DeviceMonth{}, false
+	}
+	i := sort.SearchInts(m.DeviceIndex, d)
+	if i < len(m.DeviceIndex) && m.DeviceIndex[i] == d {
+		return m.Devices[i], true
+	}
+	return DeviceMonth{}, false
 }
 
 // Avg returns the device average of a per-device metric. An evaluation
@@ -485,7 +524,10 @@ func BuildTable(start, end MonthEval, months int) TableI {
 }
 
 // Series extracts a per-device metric time series for the Fig. 6 plots:
-// one slice per device, indexed by month.
+// one slice per device, indexed by month. In a screened campaign a
+// device's series carries NaN from the month it stopped being sampled
+// (its position resolved through DeviceIndex); unscreened campaigns are
+// the exact historical rectangle.
 func (r *Results) Series(f func(DeviceMonth) float64) [][]float64 {
 	if len(r.Monthly) == 0 {
 		return nil
@@ -494,7 +536,11 @@ func (r *Results) Series(f func(DeviceMonth) float64) [][]float64 {
 	for d := range out {
 		s := make([]float64, len(r.Monthly))
 		for m := range r.Monthly {
-			s[m] = f(r.Monthly[m].Devices[d])
+			if dm, ok := r.Monthly[m].DeviceMonthAt(d); ok {
+				s[m] = f(dm)
+			} else {
+				s[m] = math.NaN()
+			}
 		}
 		out[d] = s
 	}

@@ -36,6 +36,11 @@ func NewFleet(profiles ...silicon.DeviceProfile) (*Fleet, error) {
 	if len(profiles) == 0 {
 		return nil, fmt.Errorf("%w: fleet needs >= 1 profile", ErrConfig)
 	}
+	if len(profiles) > 256 {
+		// The compact assignment contract (ProfileAssigner, shard frames)
+		// indexes profiles with one byte per device.
+		return nil, fmt.Errorf("%w: fleet holds %d profiles, max 256", ErrConfig, len(profiles))
+	}
 	seen := make(map[string]bool, len(profiles))
 	for i, p := range profiles {
 		if err := p.Validate(); err != nil {
@@ -85,10 +90,51 @@ func (f *Fleet) ProfileFor(seed uint64, device int) silicon.DeviceProfile {
 // contract.
 func (f *Fleet) AssignmentNames(seed uint64, devices int) []string {
 	names := make([]string, devices)
+	if len(f.profiles) == 1 {
+		for d := range names {
+			names[d] = f.profiles[0].Name
+		}
+		return names
+	}
+	assign := rng.New(seed).Derive(fleetAssignLabel)
+	var dev rng.Source
 	for d := range names {
-		names[d] = f.profiles[f.ProfileIndex(seed, d)].Name
+		assign.DeriveInto(uint64(d)+1, &dev)
+		names[d] = f.profiles[dev.Intn(len(f.profiles))].Name
 	}
 	return names
+}
+
+// ProfileNames returns the fleet's distinct profile names in profile
+// order — the names side of the compact ProfileAssigner contract.
+func (f *Fleet) ProfileNames() []string {
+	names := make([]string, len(f.profiles))
+	for i, p := range f.profiles {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// AssignmentIndices returns the profile index of every device in indices
+// (GLOBAL device indices) under the campaign seed, one byte per device —
+// the idx side of the compact ProfileAssigner contract and the payload a
+// shard worker streams back for its slice.
+// The assignment stream is hoisted out of the device loop (ProfileIndex
+// rebuilds it per call) and each device's substream derived into a reused
+// scratch, so assigning a million-device fleet allocates one Source, not
+// three per device.
+func (f *Fleet) AssignmentIndices(seed uint64, indices []int) []uint8 {
+	idx := make([]uint8, len(indices))
+	if len(f.profiles) == 1 {
+		return idx
+	}
+	assign := rng.New(seed).Derive(fleetAssignLabel)
+	var dev rng.Source
+	for d, g := range indices {
+		assign.DeriveInto(uint64(g)+1, &dev)
+		idx[d] = uint8(dev.Intn(len(f.profiles)))
+	}
+	return idx
 }
 
 // ProfileLister is implemented by sources that know which device
@@ -100,6 +146,19 @@ type ProfileLister interface {
 	// DeviceProfileNames returns one profile name per device index, or
 	// nil when the source has no per-device profile knowledge.
 	DeviceProfileNames() []string
+}
+
+// ProfileAssigner is the compact, fleet-scale form of ProfileLister:
+// the distinct profile names once, plus one byte per device indexing
+// into them — 1 B/device instead of a string header per device, and the
+// exact shape shard workers stream back in their measure-done frames so
+// the coordinator never recomputes a million-device assignment. The
+// engine prefers this contract when a source offers both. A fleet holds
+// at most 256 profiles (NewFleet enforces it), so uint8 cannot overflow.
+type ProfileAssigner interface {
+	// ProfileAssignment returns (names, idx) with len(idx) == Devices()
+	// and every idx value < len(names), or (nil, nil) when unknown.
+	ProfileAssignment() ([]string, []uint8)
 }
 
 // NewSimFleetSource builds a direct-sampling source over a

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/aging"
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+	"repro/internal/silicon"
+	"repro/internal/sram"
+	"repro/internal/stream"
+)
+
+// LazySimSource is the fleet-scale direct-sampling source: instead of
+// materialising one sram.Array per device up front (O(devices × array)
+// memory — a million-device mixed fleet is dead on arrival), it derives
+// each chip on demand from (campaign seed, global device index) inside
+// the worker slot that measures it. A slot holds one reusable Array per
+// fleet profile; measuring a device Resets the slot's array of that
+// device's profile to the device's seed, replays its aging trajectory,
+// fast-forwards its noise stream past the windows earlier months
+// consumed (one cached rng.Jump, composed per measured month), and
+// samples normally. Resident array state is O(slots × profiles × array),
+// independent of the device count.
+//
+// The streams are bit-identical to the eager SimSource: chip derivation
+// is label-based and order-independent (rng.Derive never advances the
+// parent), the aging integrator's float trajectory is replayed with the
+// exact AgeTo call sequence the eager source performs, aging consumes no
+// noise draws, and each Bernoulli power-up of n cells consumes exactly n
+// uniform draws — so a jump of (windows so far × size × bits) lands the
+// rebuilt chip's noise stream precisely where the persistent chip's
+// would be.
+//
+// The trade: rebuilding replays every prior month's aging integration,
+// so a campaign of M evaluated months costs O(M²) aging work per device
+// instead of O(M). That is the right trade exactly where this source is
+// meant to run — huge populations over few months (screening), where
+// memory, not aging arithmetic, is the binding constraint.
+type LazySimSource struct {
+	fleet       *Fleet
+	seed        uint64
+	scenario    aging.Scenario
+	conditioned []silicon.DeviceProfile
+	indices     []int // global device index per local device
+	profIdx     []uint8
+	bits        int
+	pool        *stream.Pool
+	workers     int
+
+	root    *rng.Source
+	visited []int // months already measured, ascending
+	cum     *rng.Jump
+	jumps   map[uint64]*rng.Jump
+
+	slots  []*lazySlot
+	pruned []bool
+	alive  int
+}
+
+// lazySlot is one worker slot's scratch: a reusable chip per fleet
+// profile, rebuilt in place for every device the slot measures, plus the
+// per-device derivation and measurement scratch that keeps the device
+// loop allocation-free.
+type lazySlot struct {
+	arrays  []*sram.Array
+	seed    rng.Source
+	scratch *bitvec.Vector
+}
+
+// NewLazySimSource builds a lazy single-profile source over the full
+// population — the drop-in counterpart of NewSimSource.
+func NewLazySimSource(profile silicon.DeviceProfile, devices int, seed uint64) (*LazySimSource, error) {
+	return NewLazySimSourceAt(profile, devices, seed, profile.NominalScenario())
+}
+
+// NewLazySimSourceAt is NewLazySimSource at an explicit environmental
+// scenario.
+func NewLazySimSourceAt(profile silicon.DeviceProfile, devices int, seed uint64, sc aging.Scenario) (*LazySimSource, error) {
+	fleet, err := NewFleet(profile)
+	if err != nil {
+		return nil, err
+	}
+	return NewLazySimFleetSourceAt(fleet, devices, seed, sc)
+}
+
+// NewLazySimFleetSource builds a lazy source over a heterogeneous fleet
+// — the drop-in counterpart of NewSimFleetSource, and the construction
+// that makes a million-device mixed fleet fit in memory.
+func NewLazySimFleetSource(fleet *Fleet, devices int, seed uint64) (*LazySimSource, error) {
+	if fleet == nil {
+		return nil, fmt.Errorf("%w: nil fleet", ErrConfig)
+	}
+	return NewLazySimFleetSourceAt(fleet, devices, seed, fleet.profiles[0].NominalScenario())
+}
+
+// NewLazySimFleetSourceAt is NewLazySimFleetSource at an explicit
+// environmental scenario.
+func NewLazySimFleetSourceAt(fleet *Fleet, devices int, seed uint64, sc aging.Scenario) (*LazySimSource, error) {
+	if devices < 1 {
+		return nil, fmt.Errorf("%w: need >= 1 device, got %d", ErrConfig, devices)
+	}
+	indices := make([]int, devices)
+	for d := range indices {
+		indices[d] = d
+	}
+	return NewLazySimFleetSourceSubset(fleet, seed, sc, indices)
+}
+
+// NewLazySimFleetSourceSubset builds a lazy fleet source over an
+// arbitrary subset of the campaign's population (GLOBAL indices) — the
+// shard worker's lazy slice. A single-profile fleet short-circuits the
+// assignment RNG exactly like the eager subset source, so wrapping a
+// plain profile keeps the plain campaign's bits.
+func NewLazySimFleetSourceSubset(fleet *Fleet, seed uint64, sc aging.Scenario, indices []int) (*LazySimSource, error) {
+	if fleet == nil {
+		return nil, fmt.Errorf("%w: nil fleet", ErrConfig)
+	}
+	if len(indices) < 1 {
+		return nil, fmt.Errorf("%w: need >= 1 device index", ErrConfig)
+	}
+	conditioned := make([]silicon.DeviceProfile, len(fleet.profiles))
+	for i, p := range fleet.profiles {
+		cp, err := conditionedProfile(p, sc)
+		if err != nil {
+			return nil, err
+		}
+		conditioned[i] = cp
+	}
+	for _, g := range indices {
+		if g < 0 {
+			return nil, fmt.Errorf("%w: negative device index %d", ErrConfig, g)
+		}
+	}
+	s := &LazySimSource{
+		fleet:       fleet,
+		seed:        seed,
+		scenario:    sc,
+		conditioned: conditioned,
+		indices:     append([]int(nil), indices...),
+		profIdx:     fleet.AssignmentIndices(seed, indices),
+		bits:        conditioned[0].ReadWindowBits(),
+		pool:        stream.NewPool(0),
+		root:        rng.New(seed),
+		pruned:      make([]bool, len(indices)),
+		alive:       len(indices),
+	}
+	return s, nil
+}
+
+// Devices returns the population size, pruned devices included — a
+// pruned device keeps its index, it just stops being sampled.
+func (s *LazySimSource) Devices() int { return len(s.indices) }
+
+// Alive returns how many devices are still being sampled.
+func (s *LazySimSource) Alive() int { return s.alive }
+
+// Scenario returns the environmental condition the chips operate at.
+func (s *LazySimSource) Scenario() aging.Scenario { return s.scenario }
+
+// SetWorkers bounds sampling parallelism AND the live-array slot count
+// (<= 0: one slot per logical CPU).
+func (s *LazySimSource) SetWorkers(n int) {
+	s.workers = n
+	s.pool = stream.NewPool(n)
+	s.slots = nil
+}
+
+// SetPool replaces the source's job scheduler with a shared one (the
+// sweep/service budget); slot count follows the pool's worker bound.
+func (s *LazySimSource) SetPool(p *stream.Pool) {
+	if p != nil {
+		s.pool = p
+		s.slots = nil
+	}
+}
+
+// ProfileAssignment implements the compact ProfileAssigner contract:
+// the fleet's profile names plus one byte per device.
+func (s *LazySimSource) ProfileAssignment() ([]string, []uint8) {
+	return s.fleet.ProfileNames(), append([]uint8(nil), s.profIdx...)
+}
+
+// DeviceProfileNames implements ProfileLister for callers that want the
+// expanded per-device listing.
+func (s *LazySimSource) DeviceProfileNames() []string {
+	names := s.fleet.ProfileNames()
+	out := make([]string, len(s.profIdx))
+	for d, i := range s.profIdx {
+		out[d] = names[i]
+	}
+	return out
+}
+
+// PruneDevices stops sampling the given (local) device indices from the
+// next Measure on — the lazy source simply never rebuilds them again.
+func (s *LazySimSource) PruneDevices(indices []int) error {
+	for _, d := range indices {
+		if d < 0 || d >= len(s.pruned) {
+			return fmt.Errorf("%w: prune index %d of %d devices", ErrConfig, d, len(s.pruned))
+		}
+		if !s.pruned[d] {
+			s.pruned[d] = true
+			s.alive--
+		}
+	}
+	return nil
+}
+
+// slotCount resolves how many worker slots (and so live arrays) Measure
+// keeps: the explicit worker bound, else the pool's, else one per
+// logical CPU — never more than the devices still alive.
+func (s *LazySimSource) slotCount() int {
+	n := s.workers
+	if n <= 0 {
+		n = s.pool.Workers()
+	}
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > s.alive {
+		n = s.alive
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// jumpFor returns (building once, then caching) the noise jump of one
+// evaluation window's draw count.
+func (s *LazySimSource) jumpFor(draws uint64) *rng.Jump {
+	if s.jumps == nil {
+		s.jumps = make(map[uint64]*rng.Jump, 1)
+	}
+	j := s.jumps[draws]
+	if j == nil {
+		j = rng.NewJump(draws)
+		s.jumps[draws] = j
+	}
+	return j
+}
+
+// Measure streams one evaluation window: a fixed set of slot workers
+// claim alive devices off a shared counter (device order within the
+// sink is irrelevant — the engine accumulates per device), rebuild each
+// into their slot's per-profile scratch array and sample its window.
+// Allocation is O(slots); the device loop reuses everything.
+func (s *LazySimSource) Measure(ctx context.Context, month, size int, sink Sink) error {
+	if len(s.visited) > 0 && month <= s.visited[len(s.visited)-1] {
+		return fmt.Errorf("%w: month %d not after already-measured month %d (lazy sources replay history in ascending order)",
+			ErrConfig, month, s.visited[len(s.visited)-1])
+	}
+	nslots := s.slotCount()
+	if s.slots == nil || len(s.slots) < nslots {
+		s.slots = make([]*lazySlot, nslots)
+		for i := range s.slots {
+			s.slots[i] = &lazySlot{arrays: make([]*sram.Array, len(s.conditioned))}
+		}
+	}
+	var next atomic.Int64
+	jobs := make([]func(slot int) error, nslots)
+	for i := range jobs {
+		jobs[i] = func(slot int) error {
+			sl := s.slots[slot]
+			for {
+				d := int(next.Add(1)) - 1
+				if d >= len(s.indices) {
+					return nil
+				}
+				if s.pruned[d] {
+					continue
+				}
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("core: device %d: %w", d, err)
+				}
+				if err := s.measureDevice(ctx, sl, d, month, size, sink); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := s.pool.RunSlotted(nslots, jobs...); err != nil {
+		return err
+	}
+	s.visited = append(s.visited, month)
+	cum := s.jumpFor(uint64(size) * uint64(s.bits))
+	if s.cum != nil {
+		cum = s.cum.Mul(cum)
+	}
+	s.cum = cum
+	return nil
+}
+
+// measureDevice rebuilds local device d into the slot's scratch array
+// for its profile and samples its window. The rebuild is the lazy
+// construction contract: Reset to the device's seed stream, replay the
+// exact aging trajectory of the already-measured months, jump the noise
+// stream over their consumed draws, then sample this month normally.
+func (s *LazySimSource) measureDevice(ctx context.Context, sl *lazySlot, d, month, size int, sink Sink) error {
+	g := s.indices[d]
+	pi := s.profIdx[d]
+	prof := s.conditioned[pi]
+	s.root.DeriveInto(uint64(g)+1, &sl.seed)
+	a := sl.arrays[pi]
+	if a == nil {
+		var err error
+		if a, err = sram.New(prof, &sl.seed); err != nil {
+			return err
+		}
+		sl.arrays[pi] = a
+	} else {
+		a.Reset(&sl.seed)
+	}
+	if err := a.SetNoiseScale(prof.NoiseScale()); err != nil {
+		return err
+	}
+	for _, vm := range s.visited {
+		if err := a.AgeTo(float64(vm)); err != nil {
+			return err
+		}
+	}
+	if err := a.AgeTo(float64(month)); err != nil {
+		return err
+	}
+	if s.cum != nil {
+		a.JumpNoise(s.cum)
+	}
+	if sl.scratch == nil {
+		sl.scratch = bitvec.New(s.bits)
+	}
+	for n := 0; n < size; n++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: device %d measurement %d: %w", d, n, err)
+		}
+		if err := a.PowerUpWindowInto(sl.scratch); err != nil {
+			return err
+		}
+		if err := sink(d, sl.scratch); err != nil {
+			return err
+		}
+	}
+	return nil
+}

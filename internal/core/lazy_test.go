@@ -1,0 +1,175 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/silicon"
+)
+
+// collectWindows drives a source over the given months and collects
+// every device's windows per month, in capture order.
+func collectWindows(t *testing.T, src Source, months []int, size int) map[int]map[int][]*bitvec.Vector {
+	t.Helper()
+	out := make(map[int]map[int][]*bitvec.Vector, len(months))
+	var mu sync.Mutex
+	for _, m := range months {
+		byDev := make(map[int][]*bitvec.Vector)
+		sink := func(d int, v *bitvec.Vector) error {
+			mu.Lock()
+			byDev[d] = append(byDev[d], v.Clone())
+			mu.Unlock()
+			return nil
+		}
+		if err := src.Measure(context.Background(), m, size, sink); err != nil {
+			t.Fatalf("Measure month %d: %v", m, err)
+		}
+		out[m] = byDev
+	}
+	return out
+}
+
+func diffWindows(t *testing.T, label string, eager, lazy map[int]map[int][]*bitvec.Vector) {
+	t.Helper()
+	if len(eager) != len(lazy) {
+		t.Fatalf("%s: month count %d vs %d", label, len(eager), len(lazy))
+	}
+	for m, ebd := range eager {
+		lbd := lazy[m]
+		if len(ebd) != len(lbd) {
+			t.Fatalf("%s month %d: device count %d vs %d", label, m, len(ebd), len(lbd))
+		}
+		for d, ews := range ebd {
+			lws := lbd[d]
+			if len(ews) != len(lws) {
+				t.Fatalf("%s month %d device %d: window count %d vs %d", label, m, d, len(ews), len(lws))
+			}
+			for i := range ews {
+				if !ews[i].Equal(lws[i]) {
+					t.Fatalf("%s month %d device %d window %d: bits differ", label, m, d, i)
+				}
+			}
+		}
+	}
+}
+
+// TestLazyMatchesEagerPlain pins the lazy construction contract for a
+// single-profile population: every device's every window, at every
+// evaluated month (including skipped months in between), is
+// bit-identical to the eager SimSource — the rebuilt chip's aging
+// trajectory and noise-stream position reproduce the persistent chip's
+// exactly.
+func TestLazyMatchesEagerPlain(t *testing.T) {
+	prof, err := silicon.Lookup("fleetnode-1kb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const devices, seed, size = 6, uint64(77), 4
+	months := []int{0, 2, 7}
+
+	eager, err := NewSimSource(prof, devices, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := NewLazySimSource(prof, devices, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy.SetWorkers(3)
+	diffWindows(t, "plain",
+		collectWindows(t, eager, months, size),
+		collectWindows(t, lazy, months, size))
+}
+
+// TestLazyMatchesEagerFleetSubset pins the same contract for a
+// heterogeneous fleet over a sparse GLOBAL-index subset — the shard
+// worker's lazy slice — and additionally checks the compact profile
+// assignment agrees with the eager per-device listing.
+func TestLazyMatchesEagerFleetSubset(t *testing.T) {
+	p1, err := silicon.Lookup("fleetnode-1kb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := silicon.Lookup("fleetnode-2kb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := NewFleet(p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed, size = uint64(1234), 3
+	indices := []int{1, 4, 5, 9, 12}
+	months := []int{0, 3}
+
+	eager, err := NewSimFleetSourceSubset(fleet, seed, p1.NominalScenario(), indices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := NewLazySimFleetSourceSubset(fleet, seed, p1.NominalScenario(), indices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy.SetWorkers(2)
+
+	names, idx := lazy.ProfileAssignment()
+	want := eager.DeviceProfileNames()
+	if len(idx) != len(want) {
+		t.Fatalf("assignment length %d, want %d", len(idx), len(want))
+	}
+	for d := range idx {
+		if names[idx[d]] != want[d] {
+			t.Fatalf("device %d assigned %q, eager says %q", d, names[idx[d]], want[d])
+		}
+	}
+
+	diffWindows(t, "fleet subset",
+		collectWindows(t, eager, months, size),
+		collectWindows(t, lazy, months, size))
+}
+
+// TestLazyPruneSkipsDevices checks pruned devices stop being delivered
+// while survivors' bits are untouched by the pruning.
+func TestLazyPruneSkipsDevices(t *testing.T) {
+	prof, err := silicon.Lookup("fleetnode-1kb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const devices, seed, size = 5, uint64(9), 2
+
+	full, err := NewLazySimSource(prof, devices, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := NewLazySimSource(prof, devices, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := collectWindows(t, full, []int{0}, size)
+	pw := collectWindows(t, pruned, []int{0}, size)
+	diffWindows(t, "pre-prune", fw, pw)
+
+	if err := pruned.PruneDevices([]int{1, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := pruned.Alive(); got != 3 {
+		t.Fatalf("Alive() = %d, want 3", got)
+	}
+	fw2 := collectWindows(t, full, []int{4}, size)
+	pw2 := collectWindows(t, pruned, []int{4}, size)
+	if len(pw2[4]) != 3 {
+		t.Fatalf("pruned source delivered %d devices, want 3", len(pw2[4]))
+	}
+	for _, d := range []int{0, 2, 4} {
+		for i := range fw2[4][d] {
+			if !fw2[4][d][i].Equal(pw2[4][d][i]) {
+				t.Fatalf("survivor %d window %d changed under pruning", d, i)
+			}
+		}
+	}
+	if _, ok := pw2[4][1]; ok {
+		t.Fatal("pruned device 1 still delivered")
+	}
+}

@@ -42,6 +42,25 @@ type ResumeSource struct {
 // must match the live source's. An empty doneMonths is valid and yields
 // a pure live source (a checkpoint that held no complete month).
 func NewResumeSource(live Source, arch *ArchiveSource, doneMonths []int, windowSize int) (*ResumeSource, error) {
+	return newResumeSource(live, arch, doneMonths, windowSize, false)
+}
+
+// NewScreenedResumeSource is NewResumeSource for a campaign that runs
+// with corner screening: archived months are validated with the
+// survivor-aware lister (a board absent from a month was pruned, not
+// lost), and the engine's prune calls during replayed months forward to
+// both halves so the live silicon's population tracks the original
+// run's exactly.
+func NewScreenedResumeSource(live Source, arch *ArchiveSource, doneMonths []int, windowSize int) (*ResumeSource, error) {
+	if live != nil {
+		if _, ok := live.(DevicePruner); !ok {
+			return nil, fmt.Errorf("%w: screened resume needs a live source that can prune devices; %T cannot", ErrConfig, live)
+		}
+	}
+	return newResumeSource(live, arch, doneMonths, windowSize, true)
+}
+
+func newResumeSource(live Source, arch *ArchiveSource, doneMonths []int, windowSize int, screened bool) (*ResumeSource, error) {
 	if live == nil {
 		return nil, fmt.Errorf("%w: resume needs a live source", ErrConfig)
 	}
@@ -55,6 +74,9 @@ func NewResumeSource(live Source, arch *ArchiveSource, doneMonths []int, windowS
 				ErrConfig, arch.Devices(), live.Devices())
 		}
 		avail, err := arch.AvailableMonths(windowSize)
+		if screened {
+			avail, err = arch.AvailableMonthsSurviving(windowSize)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -89,6 +111,33 @@ func (s *ResumeSource) Devices() int { return s.live.Devices() }
 func (s *ResumeSource) DeviceProfileNames() []string {
 	if pl, ok := s.live.(ProfileLister); ok {
 		return pl.DeviceProfileNames()
+	}
+	return nil
+}
+
+// ProfileAssignment forwards the live source's compact profile
+// assignment (ProfileAssigner) — the fleet-scale form of the listing.
+func (s *ResumeSource) ProfileAssignment() ([]string, []uint8) {
+	if pa, ok := s.live.(ProfileAssigner); ok {
+		return pa.ProfileAssignment()
+	}
+	return nil, nil
+}
+
+// PruneDevices forwards a screening decision to both halves: the live
+// silicon stops fast-forwarding the pruned devices (matching the
+// original run, which pruned them at the same months — the decisions
+// are deterministic) and the archive stops replaying their segments.
+func (s *ResumeSource) PruneDevices(indices []int) error {
+	dp, ok := s.live.(DevicePruner)
+	if !ok {
+		return fmt.Errorf("%w: resume live source %T cannot prune devices", ErrConfig, s.live)
+	}
+	if err := dp.PruneDevices(indices); err != nil {
+		return err
+	}
+	if s.arch != nil {
+		return s.arch.PruneDevices(indices)
 	}
 	return nil
 }

@@ -1,0 +1,467 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/silicon"
+	"repro/internal/store"
+)
+
+// screeningFleet builds the two-profile fleet-node population the
+// screening goldens run on (same 256-bit read window, different array
+// sizes — the heterogeneous-fleet shape screening is for).
+func screeningFleet(t *testing.T) *Fleet {
+	t.Helper()
+	p1, err := silicon.Lookup("fleetnode-1kb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := silicon.Lookup("fleetnode-2kb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := NewFleet(p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fleet
+}
+
+// runScreened runs one screened campaign to completion.
+func runScreened(t *testing.T, src Source, window int, months []int, sc *ScreeningConfig) *Results {
+	t.Helper()
+	eng, err := NewAssessment(AssessmentConfig{Source: src, WindowSize: window, Months: months, Screening: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// pickScreeningFloor derives a stability floor from an unscreened probe
+// run. A screened device's own StableRatio trajectory is identical to
+// its unscreened one (the prune decision reads only that device's
+// metrics), so the whole prune schedule of any candidate floor can be
+// simulated on the probe's ratio matrix. The picker returns the floor
+// that prunes the most devices subject to the schedule staying viable:
+// at least two devices survive every non-final month, at least one
+// device is pruned overall, and — when requireMonth0 — at least one is
+// pruned right after month 0. prunable restricts which devices the
+// floor applies to (nil = all), mirroring a per-profile floor.
+func pickScreeningFloor(t *testing.T, res *Results, requireMonth0 bool, prunable []bool) float64 {
+	t.Helper()
+	matrix := make([][]float64, len(res.Monthly))
+	for mi, m := range res.Monthly {
+		row := make([]float64, len(m.Devices))
+		for d, dev := range m.Devices {
+			row[d] = dev.StableRatio
+		}
+		matrix[mi] = row
+	}
+	devices := len(matrix[0])
+	var vals []float64
+	for _, row := range matrix {
+		vals = append(vals, row...)
+	}
+	sort.Float64s(vals)
+	best, bestPruned := 0.0, 0
+	for i := 1; i < len(vals); i++ {
+		if vals[i] == vals[i-1] {
+			continue
+		}
+		floor := (vals[i-1] + vals[i]) / 2
+		active := make([]bool, devices)
+		for d := range active {
+			active[d] = true
+		}
+		alive, month0, total, viable := devices, 0, 0, true
+		for mi, row := range matrix {
+			for d := 0; d < devices; d++ {
+				if !active[d] || (prunable != nil && !prunable[d]) {
+					continue
+				}
+				if row[d] < floor {
+					active[d] = false
+					alive--
+					total++
+					if mi == 0 {
+						month0++
+					}
+				}
+			}
+			if alive < 2 && mi < len(matrix)-1 {
+				viable = false
+				break
+			}
+		}
+		if !viable || total == 0 || (requireMonth0 && month0 == 0) {
+			continue
+		}
+		if total > bestPruned {
+			bestPruned, best = total, floor
+		}
+	}
+	if bestPruned == 0 {
+		t.Fatal("no stability floor yields a viable screening schedule on this population")
+	}
+	return best
+}
+
+// assertScreeningHappened guards against a degenerate golden: the floor
+// must actually prune devices, or the test compares unscreened runs.
+func assertScreeningHappened(t *testing.T, res *Results, devices int) {
+	t.Helper()
+	last := res.Monthly[len(res.Monthly)-1]
+	if last.Survivors == 0 || last.Survivors >= devices {
+		t.Fatalf("screening is a no-op: %d of %d devices survive", last.Survivors, devices)
+	}
+	pruned := 0
+	for _, m := range res.Monthly {
+		pruned += len(m.Pruned)
+	}
+	if pruned == 0 {
+		t.Fatal("no month pruned any device")
+	}
+}
+
+// TestScreeningDirectVsShardedBitIdentical is the screening determinism
+// golden: the same screened fleet campaign — eager direct, lazy direct,
+// eager sharded (1, 2, 7) and lazy sharded (2, 7) — prunes the identical
+// devices at the identical months and produces bit-identical Results,
+// including Survivors, DeviceIndex, Pruned and per-profile Attrition.
+func TestScreeningDirectVsShardedBitIdentical(t *testing.T) {
+	fleet := screeningFleet(t)
+	const devices, seed, window = 12, 4242, 24
+	months := shardTestMonths
+
+	probe, err := NewSimFleetSource(fleet, devices, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unscreened := runAssessment(t, probe, window, months)
+	sc := &ScreeningConfig{Floor: pickScreeningFloor(t, unscreened, false, nil)}
+
+	direct, err := NewSimFleetSource(fleet, devices, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runScreened(t, direct, window, months, sc)
+	assertScreeningHappened(t, want, devices)
+	attrition := false
+	for _, m := range want.Monthly {
+		if len(m.Attrition) > 0 {
+			attrition = true
+		}
+	}
+	if !attrition {
+		t.Fatal("no month recorded per-profile attrition")
+	}
+
+	lazy, err := NewLazySimFleetSource(fleet, devices, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runScreened(t, lazy, window, months, sc)
+	assertResultsBitIdentical(t, want, got)
+
+	for _, shards := range []int{1, 2, 7} {
+		src, err := NewShardedSimFleetSource(fleet, devices, seed, shards, nil)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		got := runScreened(t, src, window, months, sc)
+		src.Close()
+		assertResultsBitIdentical(t, want, got)
+	}
+	for _, shards := range []int{2, 7} {
+		src, err := NewShardedLazySimFleetSource(fleet, devices, seed, shards, nil)
+		if err != nil {
+			t.Fatalf("lazy shards=%d: %v", shards, err)
+		}
+		got := runScreened(t, src, window, months, sc)
+		src.Close()
+		assertResultsBitIdentical(t, want, got)
+	}
+}
+
+// TestScreeningPerProfileFloors: profile-specific floors resolve through
+// the merged worker-streamed assignment — a floor that only prunes one
+// profile's devices attributes every pruned device to that profile, in
+// every layout.
+func TestScreeningPerProfileFloors(t *testing.T) {
+	fleet := screeningFleet(t)
+	const devices, seed, window = 10, 777, 24
+	months := []int{0, 1, 2}
+
+	probe, err := NewSimFleetSource(fleet, devices, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unscreened := runAssessment(t, probe, window, months)
+	names := probe.DeviceProfileNames()
+	prunable := make([]bool, devices)
+	for d, name := range names {
+		prunable[d] = name == "FleetNode-1KB"
+	}
+	floor := pickScreeningFloor(t, unscreened, false, prunable)
+	sc := &ScreeningConfig{PerProfile: map[string]float64{"FleetNode-1KB": floor}}
+
+	direct, err := NewSimFleetSource(fleet, devices, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runScreened(t, direct, window, months, sc)
+	for _, m := range want.Monthly {
+		for name := range m.Attrition {
+			if name != "FleetNode-1KB" {
+				t.Fatalf("month %d pruned profile %q; only FleetNode-1KB has a floor", m.Month, name)
+			}
+		}
+	}
+
+	sharded, err := NewShardedLazySimFleetSource(fleet, devices, seed, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runScreened(t, sharded, window, months, sc)
+	sharded.Close()
+	assertResultsBitIdentical(t, want, got)
+}
+
+// TestScreeningArchiveReplayBitIdentical: a screened rig campaign's
+// record tap replays to bit-identical Results under the same screening
+// config — the prune decisions recompute from the replayed bits, and the
+// archive source stops reading the boards the original run stopped
+// recording. Both the direct and sharded replay paths are held to it.
+func TestScreeningArchiveReplayBitIdentical(t *testing.T) {
+	profile, err := silicon.ATmega32u4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const devices, seed, window = 6, 31337, 25
+	months := shardTestMonths
+
+	probe, err := NewRigSource(profile, devices, seed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unscreened := runAssessment(t, probe, window, months)
+	sc := &ScreeningConfig{Floor: pickScreeningFloor(t, unscreened, false, nil)}
+
+	rig, err := NewRigSource(profile, devices, seed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tap := store.NewArchive()
+	rig.SetTap(tap.Append)
+	want := runScreened(t, rig, window, months, sc)
+	assertScreeningHappened(t, want, devices)
+
+	replay, err := NewArchiveSource(tap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surviving, err := replay.AvailableMonthsSurviving(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(surviving, months) {
+		t.Fatalf("surviving months %v, want %v", surviving, months)
+	}
+	got := runScreened(t, replay, window, months, sc)
+	assertResultsBitIdentical(t, want, got)
+
+	// The strict lister only serves months where EVERY board is complete
+	// — screening semantics are opt-in, so a screened archive shrinks to
+	// the pre-prune prefix under the historical rule.
+	strict, err := NewArchiveSource(tap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strictMonths, err := strict.AvailableMonths(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strictMonths) >= len(months) {
+		t.Fatalf("strict AvailableMonths served %v from a screened archive; surviving lister is the opt-in", strictMonths)
+	}
+
+	path := filepath.Join(t.TempDir(), "screened.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tap.WriteArchiveJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2} {
+		src, err := NewShardedArchiveSource(path, shards, nil)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		gotMonths, err := src.AvailableMonthsSurviving(window)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !reflect.DeepEqual(gotMonths, months) {
+			t.Fatalf("shards=%d: surviving months %v, want %v", shards, gotMonths, months)
+		}
+		got := runScreened(t, src, window, months, sc)
+		src.Close()
+		assertResultsBitIdentical(t, want, got)
+	}
+}
+
+// TestScreeningResumeBitIdentical: a screened campaign interrupted after
+// two months and resumed through NewScreenedResumeSource reproduces the
+// uninterrupted run bit for bit, re-pruning during replay so the live
+// silicon's population matches when measurement resumes, and finishing
+// an archive byte-identical to the uninterrupted one.
+func TestScreeningResumeBitIdentical(t *testing.T) {
+	profile, err := silicon.ATmega32u4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const devices, seed, window = 6, 2468, 25
+	months := MonthRange(3)
+
+	probe, err := NewRigSource(profile, devices, seed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unscreened := runAssessment(t, probe, window, months)
+	sc := &ScreeningConfig{Floor: pickScreeningFloor(t, unscreened, true, nil)}
+
+	rig, err := NewRigSource(profile, devices, seed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full bytes.Buffer
+	w := store.NewBinaryWriterV1(&full)
+	rig.SetTap(w.Write)
+	want := runScreened(t, rig, window, months, sc)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	assertScreeningHappened(t, want, devices)
+	if len(want.Monthly[0].Pruned) == 0 {
+		t.Fatal("floor pruned nothing after month 0; the resume golden needs prunes inside the replayed prefix")
+	}
+
+	ckpt := truncateToMonths(t, full.Bytes(), map[int]bool{0: true, 1: true})
+	path := filepath.Join(t.TempDir(), "ckpt.bin")
+	if err := os.WriteFile(path, ckpt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	live, err := NewRigSource(profile, devices, seed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch, err := OpenArchiveSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The strict resume constructor must reject the screened checkpoint
+	// (pruned boards are short in month 1)...
+	if _, err := NewResumeSource(live, arch, []int{0, 1}, window); !errors.Is(err, ErrShortWindow) {
+		t.Fatalf("unscreened resume accepted a screened checkpoint: %v", err)
+	}
+	// ...and the screened one accepts it.
+	rs, err := NewScreenedResumeSource(live, arch, []int{0, 1}, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cw := store.ContinueBinaryWriterV1(f)
+	rs.OnBeforeLive(func() error {
+		live.SetTap(cw.Write)
+		return nil
+	})
+
+	got := runScreened(t, rs, window, months, sc)
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	assertResultsBitIdentical(t, want, got)
+
+	resumed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resumed, full.Bytes()) {
+		t.Fatalf("resumed screened archive (%d bytes) differs from the uninterrupted one (%d bytes)",
+			len(resumed), len(full.Bytes()))
+	}
+}
+
+// TestScreeningFloorKillsCampaign: pruning below two survivors with
+// months still to run is the typed ErrScreenedOut, not a metrics panic.
+func TestScreeningFloorKillsCampaign(t *testing.T) {
+	profile, err := silicon.Lookup("fleetnode-1kb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewLazySimSource(profile, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewAssessment(AssessmentConfig{
+		Source:     src,
+		WindowSize: 8,
+		Months:     []int{0, 1, 2},
+		Screening:  &ScreeningConfig{Floor: 0.999999},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(context.Background()); !errors.Is(err, ErrScreenedOut) {
+		t.Fatalf("want ErrScreenedOut, got %v", err)
+	}
+}
+
+// prunelessSource is a Source without DevicePruner — the shape screening
+// must reject at configuration time.
+type prunelessSource struct{ devices int }
+
+func (s *prunelessSource) Devices() int { return s.devices }
+func (s *prunelessSource) Measure(context.Context, int, int, Sink) error {
+	return errors.New("unreachable")
+}
+
+// TestScreeningRequiresPruner: a source that cannot stop sampling pruned
+// devices is a configuration error, caught before any measurement.
+func TestScreeningRequiresPruner(t *testing.T) {
+	src := &prunelessSource{devices: 4}
+	_, err := NewAssessment(AssessmentConfig{
+		Source:     src,
+		WindowSize: 4,
+		Months:     []int{0},
+		Screening:  &ScreeningConfig{Floor: 0.5},
+	})
+	if !errors.Is(err, ErrConfig) {
+		t.Fatalf("want ErrConfig, got %v", err)
+	}
+}

@@ -117,14 +117,27 @@ func buildShardBackend(spec shard.Spec) (shard.Backend, error) {
 	}
 }
 
+// simShardSource is what a sim shard backend drives: both the eager
+// SimSource and the LazySimSource satisfy it.
+type simShardSource interface {
+	Source
+	WorkerSetter
+	DevicePruner
+}
+
 // simShardBackend serves a shard of simulated chips: only the assigned
-// arrays are built, each derived from the campaign seed by its GLOBAL
-// device index, so the shard's streams are bit-identical to the same
-// devices in a single-process source.
+// slice is served, each chip derived from the campaign seed by its
+// GLOBAL device index, so the shard's streams are bit-identical to the
+// same devices in a single-process source. With Spec.Lazy the chips are
+// built on demand inside the measuring worker slots (LazySimSource) —
+// the worker's resident array state is O(sampling workers), not O(shard
+// devices), which is what lets a million-device fleet shard across a
+// handful of ordinary processes.
 type simShardBackend struct {
 	spec    shard.Spec
+	fleet   *Fleet // nil for single-profile campaigns
 	indices []int
-	src     *SimSource
+	src     simShardSource
 }
 
 func (b *simShardBackend) Devices() int { return b.spec.Devices }
@@ -133,27 +146,74 @@ func (b *simShardBackend) Assign(indices []int) error {
 	if err := validAssignment(indices, b.spec.Devices); err != nil {
 		return err
 	}
-	var src *SimSource
 	var err error
 	if len(b.spec.Fleet) > 0 {
 		// A fleet spec rebuilds the coordinator's profile mix; the
 		// per-device assignment depends only on (seed, global index), so
 		// every shard layout builds exactly the full source's chips.
-		var fleet *Fleet
-		if fleet, err = NewFleet(b.spec.Fleet...); err == nil {
-			src, err = NewSimFleetSourceSubset(fleet, b.spec.Seed, b.spec.Scenario, indices)
+		if b.fleet, err = NewFleet(b.spec.Fleet...); err != nil {
+			return err
 		}
-	} else {
-		src, err = NewSimSourceSubset(b.spec.Profile, b.spec.Seed, b.spec.Scenario, indices)
+	}
+	switch {
+	case b.spec.Lazy:
+		fleet := b.fleet
+		if fleet == nil {
+			// Lazy single-profile: a one-profile fleet short-circuits the
+			// assignment RNG, so the bits match the plain source exactly.
+			if fleet, err = NewFleet(b.spec.Profile); err != nil {
+				return err
+			}
+		}
+		b.src, err = NewLazySimFleetSourceSubset(fleet, b.spec.Seed, b.spec.Scenario, indices)
+	case b.fleet != nil:
+		b.src, err = NewSimFleetSourceSubset(b.fleet, b.spec.Seed, b.spec.Scenario, indices)
+	default:
+		b.src, err = NewSimSourceSubset(b.spec.Profile, b.spec.Seed, b.spec.Scenario, indices)
 	}
 	if err != nil {
 		return err
 	}
-	b.indices, b.src = indices, src
+	b.indices = indices
 	return nil
 }
 
 func (b *simShardBackend) Months(int) ([]int, error) { return nil, errMonthsUnsupported }
+
+// ProfileAssignment reports the shard's slice of the fleet's profile
+// assignment (local order) — shipped to the coordinator in the first
+// measure-done frame. Single-profile shards report nothing.
+func (b *simShardBackend) ProfileAssignment() ([]string, []uint8) {
+	if b.fleet == nil || b.fleet.Size() < 2 {
+		return nil, nil
+	}
+	return b.fleet.ProfileNames(), b.fleet.AssignmentIndices(b.spec.Seed, b.indices)
+}
+
+// Prune maps the screening decision's GLOBAL indices onto the shard's
+// local namespace and forwards it to the source. Assignments are
+// contiguous ascending ranges, so the mapping is an offset.
+func (b *simShardBackend) Prune(globals []int) error {
+	return pruneLocal(b.src, b.indices, globals)
+}
+
+// pruneLocal maps global device indices onto a shard's local namespace
+// (indices is the contiguous ascending assignment) and prunes them.
+func pruneLocal(src DevicePruner, indices []int, globals []int) error {
+	if len(indices) == 0 {
+		return fmt.Errorf("%w: prune before assignment", ErrConfig)
+	}
+	lo := indices[0]
+	locals := make([]int, len(globals))
+	for i, g := range globals {
+		d := g - lo
+		if d < 0 || d >= len(indices) {
+			return fmt.Errorf("%w: pruned device %d outside shard assignment [%d, %d)", ErrConfig, g, lo, lo+len(indices))
+		}
+		locals[i] = d
+	}
+	return src.PruneDevices(locals)
+}
 
 // Measure samples the shard's arrays and synthesises the record
 // envelope (sequence, cycle, wall clock) around each pattern with the
@@ -226,6 +286,15 @@ func (b *rigShardBackend) Assign(indices []int) error {
 
 func (b *rigShardBackend) Months(int) ([]int, error) { return nil, errMonthsUnsupported }
 
+// Prune screens boards out of record delivery. Rig board indices ARE
+// global device indices (every worker simulates the full instrument),
+// so the decision forwards without translation; the rig keeps cycling
+// pruned boards to preserve the coupled instrument's timing and every
+// survivor's bits.
+func (b *rigShardBackend) Prune(globals []int) error {
+	return b.src.PruneDevices(globals)
+}
+
 func (b *rigShardBackend) Measure(ctx context.Context, month, size, workers int, emit func(device int, rec store.Record) error) error {
 	b.emit = emit
 	defer func() { b.emit = nil }()
@@ -266,6 +335,18 @@ func (b *archiveShardBackend) Assign(indices []int) error {
 
 func (b *archiveShardBackend) Months(windowSize int) ([]int, error) {
 	return b.src.AvailableMonths(windowSize)
+}
+
+// MonthsSurviving discovers the shard's months under screening
+// semantics (shard.SurvivingMonths): a board with no records in a month
+// was pruned by the original run, not lost.
+func (b *archiveShardBackend) MonthsSurviving(windowSize int) ([]int, error) {
+	return b.src.AvailableMonthsSurviving(windowSize)
+}
+
+// Prune stops replaying the screened-out boards' segments.
+func (b *archiveShardBackend) Prune(globals []int) error {
+	return pruneLocal(b.src, b.indices, globals)
 }
 
 // Measure replays the shard's boards with the worker's parallelism
@@ -346,10 +427,6 @@ func (c pipeConn) Close() error {
 type ShardedSource struct {
 	co *shard.Coordinator
 
-	// profNames is the coordinator-side per-device profile listing of a
-	// fleet campaign (ProfileLister); nil for single-profile shards.
-	profNames []string
-
 	mu  sync.Mutex
 	tap func(store.Record) error
 }
@@ -412,18 +489,54 @@ func NewShardedSimFleetSourceAt(fleet *Fleet, devices int, seed uint64, sc aging
 			return nil, err
 		}
 	}
-	src, err := newShardedSource(shard.Spec{
+	return newShardedSource(shard.Spec{
 		Mode:     shard.ModeSim,
 		Fleet:    fleet.Profiles(),
 		Devices:  devices,
 		Seed:     seed,
 		Scenario: sc,
 	}, shards, transport)
-	if err != nil {
+}
+
+// NewShardedLazySimFleetSource shards a heterogeneous fleet campaign
+// with on-demand chip construction: each worker derives chips inside
+// its measuring slots (LazySimSource) instead of materialising its
+// slice up front, so the campaign's resident array state is O(total
+// sampling workers) — the construction behind million-device fleet
+// screening. Streams are bit-identical to the eager sharded fleet
+// source for any shard count.
+func NewShardedLazySimFleetSource(fleet *Fleet, devices int, seed uint64, shards int, transport shard.Transport) (*ShardedSource, error) {
+	if fleet == nil {
+		return nil, fmt.Errorf("%w: nil fleet", ErrConfig)
+	}
+	return NewShardedLazySimFleetSourceAt(fleet, devices, seed, fleet.profiles[0].NominalScenario(), shards, transport)
+}
+
+// NewShardedLazySimFleetSourceAt is NewShardedLazySimFleetSource at an
+// explicit environmental scenario.
+func NewShardedLazySimFleetSourceAt(fleet *Fleet, devices int, seed uint64, sc aging.Scenario, shards int, transport shard.Transport) (*ShardedSource, error) {
+	if fleet == nil {
+		return nil, fmt.Errorf("%w: nil fleet", ErrConfig)
+	}
+	if devices < 1 {
+		return nil, fmt.Errorf("%w: need >= 1 device, got %d", ErrConfig, devices)
+	}
+	if err := validShardCount(shards, devices); err != nil {
 		return nil, err
 	}
-	src.profNames = fleet.AssignmentNames(seed, devices)
-	return src, nil
+	for _, p := range fleet.profiles {
+		if _, err := conditionedProfile(p, sc); err != nil {
+			return nil, err
+		}
+	}
+	return newShardedSource(shard.Spec{
+		Mode:     shard.ModeSim,
+		Fleet:    fleet.Profiles(),
+		Devices:  devices,
+		Seed:     seed,
+		Scenario: sc,
+		Lazy:     true,
+	}, shards, transport)
 }
 
 // NewShardedRigSource shards a full-rig campaign: every worker runs the
@@ -484,10 +597,38 @@ func (s *ShardedSource) Devices() int { return s.co.Devices() }
 // Shards returns the worker count.
 func (s *ShardedSource) Shards() int { return s.co.Shards() }
 
+// ProfileAssignment returns the campaign's profile assignment as merged
+// from the workers' first measure-done frames (ProfileAssigner): the
+// shards compute their slices' assignments while measuring and stream
+// them back, so the coordinator never re-derives a million-device
+// assignment centrally. Nil until the first window completes, and
+// always nil for single-profile campaigns — the engine resolves profile
+// names after the first Measure, which is exactly when this is ready.
+func (s *ShardedSource) ProfileAssignment() ([]string, []uint8) {
+	return s.co.ProfileAssignment()
+}
+
 // DeviceProfileNames returns the fleet's per-device profile names
-// (ProfileLister), or nil for single-profile sharded campaigns.
+// (ProfileLister), expanded from the worker-streamed assignment; nil
+// before the first window and for single-profile sharded campaigns.
 func (s *ShardedSource) DeviceProfileNames() []string {
-	return append([]string(nil), s.profNames...)
+	names, idx := s.co.ProfileAssignment()
+	if names == nil {
+		return nil
+	}
+	out := make([]string, len(idx))
+	for d, i := range idx {
+		out[d] = names[i]
+	}
+	return out
+}
+
+// PruneDevices fans a screening decision out to the owning shards
+// (DevicePruner): each worker stops measuring its pruned devices from
+// the next window on. Engine device indices ARE global device indices
+// on the sharded source.
+func (s *ShardedSource) PruneDevices(indices []int) error {
+	return mapShardErr(s.co.Prune(indices))
 }
 
 // SetWorkers sets the campaign's TOTAL sampling-parallelism budget,
@@ -566,5 +707,15 @@ func NewShardedArchiveSource(path string, shards int, transport shard.Transport)
 // skip).
 func (s *ShardedArchiveSource) AvailableMonths(windowSize int) ([]int, error) {
 	months, err := s.co.Months(windowSize)
+	return months, mapShardErr(err)
+}
+
+// AvailableMonthsSurviving is AvailableMonths under screening semantics
+// (SurvivingMonthLister): each shard answers with its survivor-aware
+// month list and the lists are unioned — a shard whose boards were all
+// pruned before a month legitimately serves nothing for it, while
+// per-board partial windows still error inside the owning shard.
+func (s *ShardedArchiveSource) AvailableMonthsSurviving(windowSize int) ([]int, error) {
+	months, err := s.co.MonthsSurviving(windowSize)
 	return months, mapShardErr(err)
 }

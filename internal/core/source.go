@@ -51,6 +51,16 @@ type MonthLister interface {
 	AvailableMonths(windowSize int) ([]int, error)
 }
 
+// SurvivingMonthLister is the screened counterpart of MonthLister:
+// AvailableMonthsSurviving treats a board with NO records in a month as
+// legitimately absent (pruned by an earlier screening decision) instead
+// of as lost data, so a screened campaign's checkpoint archive still
+// lists its complete months. Boards that hold SOME records but less than
+// a window remain a defect.
+type SurvivingMonthLister interface {
+	AvailableMonthsSurviving(windowSize int) ([]int, error)
+}
+
 // WorkerSetter is implemented by sources whose window delivery can be
 // parallelised; the assessment builder forwards its worker bound here.
 type WorkerSetter interface {
@@ -168,6 +178,20 @@ func (s *SimSource) DeviceProfileNames() []string {
 	return append([]string(nil), s.profNames...)
 }
 
+// PruneDevices releases the given (local) devices' arrays and stops
+// sampling them — the eager source's side of the screening contract.
+// The freed memory is the point: a screened eager campaign's resident
+// set shrinks with its survivor count.
+func (s *SimSource) PruneDevices(indices []int) error {
+	for _, d := range indices {
+		if d < 0 || d >= len(s.arrays) {
+			return fmt.Errorf("%w: prune index %d of %d devices", ErrConfig, d, len(s.arrays))
+		}
+		s.arrays[d] = nil
+	}
+	return nil
+}
+
 // SetWorkers bounds the per-device sampling parallelism.
 func (s *SimSource) SetWorkers(n int) { s.pool = stream.NewPool(n) }
 
@@ -197,14 +221,20 @@ func (s deviceSink) Add(m *bitvec.Vector) error { return s.sink(s.d, m) }
 // O(array size) memory; cancellation is checked before every draw.
 func (s *SimSource) Measure(ctx context.Context, month, size int, sink Sink) error {
 	for _, a := range s.arrays {
+		if a == nil { // pruned by screening
+			continue
+		}
 		if err := a.AgeTo(float64(month)); err != nil {
 			return err
 		}
 	}
-	jobs := make([]func() error, len(s.arrays))
-	for d := range jobs {
+	jobs := make([]func() error, 0, len(s.arrays))
+	for d := range s.arrays {
+		if s.arrays[d] == nil {
+			continue
+		}
 		d := d
-		jobs[d] = func() error {
+		jobs = append(jobs, func() error {
 			n := 0
 			src := stream.Sampler(s.bits, size, func(dst *bitvec.Vector) error {
 				if err := ctx.Err(); err != nil {
@@ -215,7 +245,7 @@ func (s *SimSource) Measure(ctx context.Context, month, size int, sink Sink) err
 			})
 			_, err := stream.Drain(src, deviceSink{d, sink})
 			return err
-		}
+		})
 	}
 	return s.pool.Run(jobs...)
 }
@@ -234,6 +264,7 @@ type RigSource struct {
 	tap      func(store.Record) error
 	scenario aging.Scenario
 	pool     *stream.Pool // nil: pump in the caller's goroutine
+	pruned   []bool       // screened-out boards; nil until PruneDevices
 }
 
 // NewRigSource builds the two-layer rig with devices boards (an even
@@ -287,6 +318,24 @@ func (s *RigSource) Rig() *harness.Rig { return s.rig }
 // store.JSONLWriter archiving the campaign to disk as it runs.
 func (s *RigSource) SetTap(tap func(store.Record) error) { s.tap = tap }
 
+// PruneDevices screens the given boards out of record delivery: the rig
+// keeps cycling every board (the physical rig would — a screened board
+// is unplugged from collection, not from the power sequence, so the
+// shared masters' timing and every other board's bits are untouched),
+// but pruned boards' records reach neither the sink nor the archive tap.
+func (s *RigSource) PruneDevices(indices []int) error {
+	if s.pruned == nil {
+		s.pruned = make([]bool, len(s.rig.Arrays()))
+	}
+	for _, d := range indices {
+		if d < 0 || d >= len(s.pruned) {
+			return fmt.Errorf("%w: prune index %d of %d boards", ErrConfig, d, len(s.pruned))
+		}
+		s.pruned[d] = true
+	}
+	return nil
+}
+
 // SetPool routes the rig's window pump through a shared scheduler: the
 // pump (one job per Measure call) then counts against the pool's worker
 // budget. This is how a multi-campaign service keeps N concurrent rig
@@ -321,6 +370,9 @@ func (s *RigSource) Measure(ctx context.Context, month, size int, sink Sink) err
 			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("core: board %d: %w", rec.Board, err)
 			}
+			if s.pruned != nil && rec.Board >= 0 && rec.Board < len(s.pruned) && s.pruned[rec.Board] {
+				return nil
+			}
 			if s.tap != nil {
 				if err := s.tap(rec); err != nil {
 					return err
@@ -351,6 +403,7 @@ type ArchiveSource struct {
 	boards []int
 	pool   *stream.Pool
 	decs   sync.Pool // *store.SegmentDecoder, one per in-flight board job
+	pruned []bool    // screened-out boards; nil until PruneDevices
 }
 
 func newArchiveSourceOver(ir *store.IndexedReader, boards []int) *ArchiveSource {
@@ -416,6 +469,24 @@ func (s *ArchiveSource) SetPool(p *stream.Pool) {
 	}
 }
 
+// PruneDevices stops replaying the given (device-index) boards — the
+// replay side of the screening contract. Replaying a screened campaign's
+// archive with the same screening config reproduces the original prune
+// sequence, and the skipped boards' segments are never decoded (or even
+// read: seek-based replay touches only surviving boards' byte ranges).
+func (s *ArchiveSource) PruneDevices(indices []int) error {
+	if s.pruned == nil {
+		s.pruned = make([]bool, len(s.boards))
+	}
+	for _, d := range indices {
+		if d < 0 || d >= len(s.pruned) {
+			return fmt.Errorf("%w: prune index %d of %d boards", ErrConfig, d, len(s.pruned))
+		}
+		s.pruned[d] = true
+	}
+	return nil
+}
+
 // Close releases the underlying archive file (no-op for in-memory
 // backings). The engine does not close sources; whoever opened the
 // archive owns its lifetime.
@@ -476,15 +547,67 @@ func (s *ArchiveSource) AvailableMonths(windowSize int) ([]int, error) {
 	return months, nil
 }
 
+// AvailableMonthsSurviving is AvailableMonths under screening
+// semantics: a board with NO records in a month was legitimately pruned
+// by an earlier screening decision, not lost — the month is complete as
+// long as every board that has ANY records in it holds a full window.
+// A board with some records but less than a window is still a defect
+// (interrupted tail, or lost mid-archive if complete months follow),
+// exactly like the strict lister.
+func (s *ArchiveSource) AvailableMonthsSurviving(windowSize int) ([]int, error) {
+	const maxArchiveMonths = 600
+	last := -1
+	for _, b := range s.boards {
+		if m, ok := s.ir.LastMonth(b); ok && m > last {
+			last = m
+		}
+	}
+	if last > maxArchiveMonths {
+		last = maxArchiveMonths
+	}
+	var months []int
+	partialMonth, partialBoards := -1, []int(nil)
+	for m := 0; m <= last; m++ {
+		var short []int
+		any := false
+		for _, b := range s.boards {
+			n := s.ir.MonthRecords(b, m)
+			if n == 0 {
+				continue // pruned before this month — legitimately absent
+			}
+			any = true
+			if n < windowSize {
+				short = append(short, b)
+			}
+		}
+		switch {
+		case any && len(short) == 0:
+			if partialMonth >= 0 {
+				return nil, fmt.Errorf("%w: month %d is short on boards %v (want %d records) but month %d is complete — records were lost mid-archive",
+					ErrShortWindow, partialMonth, partialBoards, windowSize, m)
+			}
+			months = append(months, m)
+		case len(short) > 0:
+			if partialMonth < 0 {
+				partialMonth, partialBoards = m, short
+			}
+		}
+	}
+	return months, nil
+}
+
 // replay streams the month's windows with full record envelopes, one
-// segment job per board on the source's pool. The *store.Record (and
-// its arena-backed Data) is valid only inside fn — retainers must Clone,
-// the same reuse rule as the engine Sink.
+// segment job per surviving board on the source's pool. The
+// *store.Record (and its arena-backed Data) is valid only inside fn —
+// retainers must Clone, the same reuse rule as the engine Sink.
 func (s *ArchiveSource) replay(ctx context.Context, month, size int, fn func(device int, rec *store.Record) error) error {
-	jobs := make([]func() error, len(s.boards))
+	jobs := make([]func() error, 0, len(s.boards))
 	for d, b := range s.boards {
+		if s.pruned != nil && s.pruned[d] {
+			continue
+		}
 		d, b := d, b
-		jobs[d] = func() error {
+		jobs = append(jobs, func() error {
 			if n := s.ir.MonthRecords(b, month); n < size {
 				return fmt.Errorf("%w: board %d month %d: archive holds %d records in the month's window, want %d",
 					ErrShortWindow, b, month, n, size)
@@ -499,7 +622,7 @@ func (s *ArchiveSource) replay(ctx context.Context, month, size int, fn func(dev
 				i++
 				return fn(d, rec)
 			})
-		}
+		})
 	}
 	return s.pool.Run(jobs...)
 }

@@ -88,6 +88,9 @@ func LinePlot(title string, series [][]float64, xlabels []string, height int) (s
 			return "", fmt.Errorf("report: ragged series in plot %q", title)
 		}
 		for _, v := range s {
+			if math.IsNaN(v) {
+				continue // screened-out device: no sample this month
+			}
 			if v < lo {
 				lo = v
 			}
@@ -95,6 +98,9 @@ func LinePlot(title string, series [][]float64, xlabels []string, height int) (s
 				hi = v
 			}
 		}
+	}
+	if math.IsInf(lo, 1) {
+		return "", fmt.Errorf("report: no finite data for plot %q", title)
 	}
 	if hi == lo {
 		hi = lo + 1e-9
@@ -110,6 +116,9 @@ func LinePlot(title string, series [][]float64, xlabels []string, height int) (s
 	for si, s := range series {
 		mark := marks[si%len(marks)]
 		for i, v := range s {
+			if math.IsNaN(v) {
+				continue // the line simply stops where the device was pruned
+			}
 			r := int(float64(height-1) * (hi - v) / (hi - lo))
 			if r < 0 {
 				r = 0

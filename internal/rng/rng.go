@@ -53,18 +53,29 @@ func New(seed uint64) *Source {
 // same label from the same parent always yields the same stream; distinct
 // labels yield independent streams. The parent is not advanced.
 func (r *Source) Derive(label uint64) *Source {
+	d := &Source{}
+	r.DeriveInto(label, d)
+	return d
+}
+
+// DeriveInto is Derive writing into an existing Source — the
+// allocation-free form used by hot paths that re-derive per-device
+// streams in a reused scratch (lazy chip rebuilds re-derive three
+// streams per device per month). Any prior state of d, including a
+// cached Gaussian spare, is overwritten; deriving into the parent
+// itself is allowed (the mixed state is computed first).
+func (r *Source) DeriveInto(label uint64, d *Source) {
 	// Mix the parent state with the label through SplitMix64 so sibling
 	// streams decorrelate even for adjacent labels.
 	st := r.s0 ^ rotl(r.s1, 13) ^ rotl(r.s2, 29) ^ rotl(r.s3, 43) ^ (label * 0xd1342543de82ef95)
-	d := &Source{}
 	d.s0 = splitMix64(&st)
 	d.s1 = splitMix64(&st)
 	d.s2 = splitMix64(&st)
 	d.s3 = splitMix64(&st)
+	d.spare, d.hasSpare = 0, false
 	if d.s0|d.s1|d.s2|d.s3 == 0 {
 		d.s0 = 0x9e3779b97f4a7c15
 	}
-	return d
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -461,12 +461,18 @@ func (m *Manager) execute(ctx context.Context, c *campaign) (*core.Results, erro
 	case fleet != nil:
 		// Fleet campaigns sample the sharded sim source: it synthesises
 		// full record envelopes for the checkpoint tap (the rig harness is
-		// a single-profile instrument). One shard unless asked for more.
+		// a single-profile instrument). One shard unless asked for more;
+		// lazy campaigns derive each chip inside its worker slot instead
+		// of materialising the fleet.
 		shards := spec.Shards
 		if shards < 1 {
 			shards = 1
 		}
-		s, err := core.NewShardedSimFleetSourceAt(fleet, spec.Devices, spec.Seed, sc, shards, nil)
+		build := core.NewShardedSimFleetSourceAt
+		if spec.Lazy {
+			build = core.NewShardedLazySimFleetSourceAt
+		}
+		s, err := build(fleet, spec.Devices, spec.Seed, sc, shards, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -507,7 +513,14 @@ func (m *Manager) execute(ctx context.Context, c *campaign) (*core.Results, erro
 			return nil, fmt.Errorf("serve: campaign %s: reopening checkpoint: %w", c.id, err)
 		}
 		arch.SetPool(m.pool)
-		rs, err := core.NewResumeSource(live, arch, done, spec.Window)
+		compose := core.NewResumeSource
+		if spec.screening() != nil {
+			// Screened campaigns re-prune during replay: the decisions
+			// forward to both halves so the live silicon's population
+			// tracks the killed run's exactly when measurement resumes.
+			compose = core.NewScreenedResumeSource
+		}
+		rs, err := compose(live, arch, done, spec.Window)
 		if err != nil {
 			arch.Close()
 			return nil, err
@@ -558,6 +571,7 @@ func (m *Manager) execute(ctx context.Context, c *campaign) (*core.Results, erro
 		Months:       months,
 		Metrics:      metrics,
 		CrossMetrics: crossMetrics,
+		Screening:    spec.screening(),
 		Progress: func(ev core.MonthEval) {
 			c.month(ev)
 			if err := w.Flush(); err != nil && flushErr == nil {
@@ -645,18 +659,39 @@ func recoverCheckpoint(path string, spec Spec, months []int) ([]int, error) {
 	}
 	f.Close()
 
+	// Completeness per month. Unscreened: every device holds a full
+	// window. Screened: a device with NO records was pruned by an earlier
+	// month's decision — legitimate, as long as absences are monotonic
+	// (a pruned device never reappears) and the first month is whole.
+	screened := spec.screening() != nil
 	var done []int
 	doneSet := map[int]bool{}
+	gone := map[int]bool{}
 	for _, mo := range months {
 		complete := true
 		for d := 0; d < spec.Devices; d++ {
-			if counts[mo][d] < spec.Window {
+			n := counts[mo][d]
+			switch {
+			case n >= spec.Window:
+				if gone[d] {
+					complete = false // pruned device reappeared: torn state
+				}
+			case n == 0 && screened && len(done) > 0:
+				// Absent after at least one evaluated month: pruned.
+			default:
 				complete = false
+			}
+			if !complete {
 				break
 			}
 		}
 		if !complete {
 			break
+		}
+		for d := 0; d < spec.Devices; d++ {
+			if counts[mo][d] == 0 {
+				gone[d] = true
+			}
 		}
 		done = append(done, mo)
 		doneSet[mo] = true

@@ -82,6 +82,23 @@ type Spec struct {
 	// (profile, devices, seed), so a resumed campaign re-derives the
 	// identical enrollment from its checkpoint replay.
 	KeyLife bool `json:"keylife,omitempty"`
+	// ScreenFloor enables corner-screening: after every evaluated month,
+	// devices whose stable-cell ratio fell below the floor are pruned and
+	// stop being sampled. In [0, 1); 0 (with no ScreenProfiles) is off.
+	// The prune decision is a pure function of the month's metrics, so a
+	// resumed screened campaign re-prunes identically during replay.
+	// Exclusive with KeyLife (which runs its own burn-in screening).
+	ScreenFloor float64 `json:"screen_floor,omitempty"`
+	// ScreenProfiles overrides ScreenFloor per fleet profile name —
+	// family-specific stability limits for a heterogeneous fleet.
+	ScreenProfiles map[string]float64 `json:"screen_profiles,omitempty"`
+	// Lazy runs a fleet campaign on lazily-constructed silicon: chips are
+	// derived on demand inside each worker slot instead of materialised
+	// up front, holding O(workers) arrays however large the fleet. Bits
+	// are identical to the eager source; the trade is re-aging each chip
+	// through its visited months on every measure. Fleet-only (the rig is
+	// a persistent coupled instrument).
+	Lazy bool `json:"lazy,omitempty"`
 }
 
 // Service defaults: the quick-demonstration campaign of cmd/agingtest.
@@ -226,6 +243,20 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("%w: month_list must be ascending within [0, %d], got %v", core.ErrConfig, maxMonthIndex, s.MonthList)
 		}
 	}
+	if s.ScreenFloor < 0 || s.ScreenFloor >= 1 {
+		return fmt.Errorf("%w: screening floor %v outside [0, 1)", core.ErrConfig, s.ScreenFloor)
+	}
+	for name, f := range s.ScreenProfiles {
+		if f < 0 || f >= 1 {
+			return fmt.Errorf("%w: screening floor %v for profile %q outside [0, 1)", core.ErrConfig, f, name)
+		}
+	}
+	if s.screening() != nil && s.KeyLife {
+		return fmt.Errorf("%w: the key-lifecycle workload runs its own burn-in screening; keylife and screen_floor are exclusive", core.ErrConfig)
+	}
+	if s.Lazy && len(s.Fleet) == 0 {
+		return fmt.Errorf("%w: lazy construction is for fleet campaigns (the rig is a persistent coupled instrument)", core.ErrConfig)
+	}
 	if s.Condition != nil {
 		sc := aging.Condition(s.Condition.TempC, s.Condition.Volts)
 		if err := sc.Validate(); err != nil {
@@ -241,6 +272,22 @@ func (s Spec) EvalMonths() []int {
 		return append([]int(nil), s.MonthList...)
 	}
 	return core.MonthRange(s.Months)
+}
+
+// screening resolves the spec's corner-screening configuration (nil:
+// screening is off).
+func (s Spec) screening() *core.ScreeningConfig {
+	if s.ScreenFloor == 0 && len(s.ScreenProfiles) == 0 {
+		return nil
+	}
+	sc := &core.ScreeningConfig{Floor: s.ScreenFloor}
+	if len(s.ScreenProfiles) > 0 {
+		sc.PerProfile = make(map[string]float64, len(s.ScreenProfiles))
+		for name, f := range s.ScreenProfiles {
+			sc.PerProfile[name] = f
+		}
+	}
+	return sc
 }
 
 // scenario resolves the campaign's operating point against its profile.

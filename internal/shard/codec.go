@@ -61,7 +61,11 @@ import (
 // worker refuses a mismatch so a stale shardworker binary fails loudly
 // instead of mis-decoding frames. Version 2 replaced the per-record JSON
 // measurement frames of version 1 with batched binary record payloads.
-const Protocol = 2
+// Version 3 made assignments contiguous ranges instead of index lists
+// (a million-device shard is two ints, not a 7 MB JSON array), let the
+// measure-done frame carry the shard's profile assignment, and added
+// between-month device pruning (screening).
+const Protocol = 3
 
 // Frame types. Type 5 was protocol v1's per-record JSON frame and is
 // retired, not recycled.
@@ -76,6 +80,8 @@ const (
 	frameMonths      byte = 9  // worker → coordinator: monthsResponse
 	frameShutdown    byte = 10 // coordinator → worker: clean exit, no payload
 	frameRecordBatch byte = 11 // worker → coordinator: batched binary records
+	framePrune       byte = 12 // coordinator → worker: pruneRequest
+	framePruneAck    byte = 13 // worker → coordinator: prune applied, no payload
 )
 
 // maxFrame bounds a frame payload. Record batches flush at
@@ -148,12 +154,20 @@ type Spec struct {
 	// JSONL or binary, detected by the leading magic. The path
 	// must be readable by the worker process.
 	ArchivePath string `json:"archive_path,omitempty"`
+	// Lazy selects on-demand chip construction for ModeSim shards: the
+	// worker derives each chip inside the measuring worker slot instead
+	// of materialising its whole slice up front, holding O(sampling
+	// workers) arrays resident — the fleet-screening memory shape.
+	Lazy bool `json:"lazy,omitempty"`
 }
 
 // Validate checks the spec a worker received.
 func (s Spec) Validate() error {
 	if s.Protocol != Protocol {
 		return fmt.Errorf("%w: protocol %d, worker speaks %d", ErrProtocol, s.Protocol, Protocol)
+	}
+	if s.Lazy && s.Mode != ModeSim {
+		return fmt.Errorf("%w: lazy chip construction shards the sim source, not %s", ErrProtocol, s.Mode)
 	}
 	switch s.Mode {
 	case ModeSim, ModeRig:
@@ -187,9 +201,14 @@ type helloAck struct {
 	Devices int `json:"devices"`
 }
 
-// assignment hands a worker its shard: global device indices, ascending.
+// assignment hands a worker its shard: the half-open GLOBAL device
+// index range [Lo, Hi). Partition always produces contiguous ascending
+// shards, so the range IS the assignment — protocol v2 shipped the
+// expanded index list, which serialised a million-device shard into a
+// multi-megabyte JSON array before a single chip was built.
 type assignment struct {
-	Indices []int `json:"indices"`
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
 }
 
 // measureRequest asks for one evaluation window over the assigned shard.
@@ -201,10 +220,29 @@ type measureRequest struct {
 	Workers int `json:"workers"`
 }
 
-// endOfWindow closes one measure exchange.
+// endOfWindow closes one measure exchange. On the FIRST window of a
+// fleet campaign it additionally carries the shard's profile breakdown
+// data — the fleet's profile names and one byte per assigned device
+// (local order, base64 on the wire) — so the coordinator merges the
+// per-shard assignments its workers already computed instead of
+// re-deriving a million-device assignment centrally.
 type endOfWindow struct {
 	Month   int `json:"month"`
 	Records int `json:"records"`
+	// Profiles / ProfileIdx are the shard's ProfileAssignment, sent with
+	// the first measure-done only (empty afterwards, and always empty for
+	// single-profile campaigns).
+	Profiles   []string `json:"profiles,omitempty"`
+	ProfileIdx []byte   `json:"profile_idx,omitempty"`
+}
+
+// pruneRequest tells a worker to stop measuring the given GLOBAL device
+// indices (all within its assignment) from the next measure on — the
+// screening decision, fanned out between months. The worker answers
+// with a bare framePruneAck so the coordinator knows the prune landed
+// before it requests the next window.
+type pruneRequest struct {
+	Indices []int `json:"indices"`
 }
 
 // errorFrame reports a worker-side failure. Code carries the typed error
@@ -215,9 +253,11 @@ type errorFrame struct {
 }
 
 // monthsRequest asks a bounded (archive) worker which month indices its
-// shard holds complete windows for.
+// shard holds complete windows for. Surviving selects screening
+// semantics: a board with no records in a month was pruned, not lost.
 type monthsRequest struct {
-	WindowSize int `json:"window_size"`
+	WindowSize int  `json:"window_size"`
+	Surviving  bool `json:"surviving,omitempty"`
 }
 
 // monthsResponse lists the shard's available months, ascending.

@@ -34,12 +34,44 @@ type Coordinator struct {
 	spec    Spec
 	shards  int
 	conns   []io.ReadWriteCloser
-	assigns [][]int
+	lo, hi  []int // shard i serves global devices [lo[i], hi[i])
+	alive   []int // devices not yet pruned per shard
+	pruned  map[int]bool
 	devices int
+
+	// states holds each shard's persistent read-side scratch — frame
+	// payload buffer and batch decoder — allocated once at session start
+	// and reused by every window, so the steady-state merge loop costs no
+	// per-month allocation.
+	states []shardState
+
+	// profNames/profIdx accumulate the campaign's profile assignment from
+	// the workers' first measure-done frames (fleet campaigns only).
+	profNames []string
+	profIdx   []uint8
+	profSeen  int            // shards whose assignment has arrived
+	shardProf []shardProfile // raw per-shard payloads until all arrive
 
 	mu      sync.Mutex
 	workers int
 	closed  bool
+}
+
+// shardState is one shard's read-side scratch, owned by that shard's
+// forwarding goroutine during a Measure and by the coordinator loop
+// otherwise (the protocol is strictly request/response per shard).
+type shardState struct {
+	fr  frameReader
+	dec *BatchDecoder
+}
+
+// shardProfile is one shard's raw profile-assignment payload (names +
+// one local-order byte per device), held until every shard's has
+// arrived.
+type shardProfile struct {
+	names []string
+	idx   []byte
+	ok    bool
 }
 
 // NewCoordinator opens one connection per shard, handshakes the spec and
@@ -94,16 +126,23 @@ func (c *Coordinator) start(transport Transport) error {
 			return fmt.Errorf("%w: shard %d sees %d devices, shard 0 sees %d — workers disagree on the population", ErrProtocol, i, ack.Devices, devices)
 		}
 	}
-	assigns, err := Partition(devices, c.shards)
-	if err != nil {
-		return err
+	if devices < 1 || c.shards > devices {
+		return fmt.Errorf("%w: cannot partition %d devices into %d shards", ErrProtocol, devices, c.shards)
 	}
+	c.lo = make([]int, c.shards)
+	c.hi = make([]int, c.shards)
+	c.alive = make([]int, c.shards)
+	c.states = make([]shardState, c.shards)
 	for i, conn := range c.conns {
-		if err := writeJSON(conn, frameAssign, assignment{Indices: assigns[i]}); err != nil {
+		c.lo[i], c.hi[i] = i*devices/c.shards, (i+1)*devices/c.shards
+		c.alive[i] = c.hi[i] - c.lo[i]
+		c.states[i].fr.r = conn
+		c.states[i].dec = NewBatchDecoder()
+		if err := writeJSON(conn, frameAssign, assignment{Lo: c.lo[i], Hi: c.hi[i]}); err != nil {
 			return fmt.Errorf("%w: shard %d: assign: %v", ErrWorker, i, err)
 		}
 	}
-	c.devices, c.assigns = devices, assigns
+	c.devices = devices
 	return nil
 }
 
@@ -134,8 +173,96 @@ func (c *Coordinator) Devices() int { return c.devices }
 func (c *Coordinator) Shards() int { return c.shards }
 
 // Assignments returns the device partition (shard → ascending global
-// device indices). The result is shared; do not modify.
-func (c *Coordinator) Assignments() [][]int { return c.assigns }
+// device indices), materialised from the contiguous shard ranges.
+func (c *Coordinator) Assignments() [][]int {
+	out := make([][]int, c.shards)
+	for i := range out {
+		idx := make([]int, c.hi[i]-c.lo[i])
+		for j := range idx {
+			idx[j] = c.lo[i] + j
+		}
+		out[i] = idx
+	}
+	return out
+}
+
+// ProfileAssignment returns the campaign's merged fleet profile
+// assignment — the distinct profile names plus one byte per global
+// device — once every shard's first measure-done frame has delivered its
+// slice; (nil, nil) before that, and always for single-profile
+// campaigns. The merge normalises each shard's name list onto shard 0's
+// ordering, so heterogeneous workers cannot skew the breakdown.
+func (c *Coordinator) ProfileAssignment() ([]string, []uint8) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.profSeen != c.shards || len(c.profNames) == 0 {
+		return nil, nil
+	}
+	return c.profNames, c.profIdx
+}
+
+// Prune tells the owning shards to stop measuring the given GLOBAL
+// device indices from the next window on — the screening fan-out. The
+// call blocks until every affected worker acknowledges, so a following
+// Measure cannot race its own prune. Pruning is monotonic; re-pruning a
+// device is a no-op.
+func (c *Coordinator) Prune(indices []int) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	if c.pruned == nil {
+		c.pruned = make(map[int]bool, len(indices))
+	}
+	byShard := make(map[int][]int)
+	for _, g := range indices {
+		if g < 0 || g >= c.devices {
+			c.mu.Unlock()
+			return fmt.Errorf("%w: prune index %d of %d devices", ErrProtocol, g, c.devices)
+		}
+		if c.pruned[g] {
+			continue
+		}
+		c.pruned[g] = true
+		// Contiguous equal partition: the owner is found by range scan
+		// (shards is small; no arithmetic edge cases).
+		for i := 0; i < c.shards; i++ {
+			if g >= c.lo[i] && g < c.hi[i] {
+				byShard[i] = append(byShard[i], g)
+				c.alive[i]--
+				break
+			}
+		}
+	}
+	c.mu.Unlock()
+	for i, list := range byShard {
+		if err := writeJSON(c.conns[i], framePrune, pruneRequest{Indices: list}); err != nil {
+			c.Close()
+			return fmt.Errorf("%w: shard %d: prune request: %v", ErrWorker, i, err)
+		}
+		typ, payload, err := c.states[i].fr.next()
+		if err != nil {
+			c.Close()
+			return fmt.Errorf("%w: shard %d: prune ack: %v", ErrWorker, i, err)
+		}
+		switch typ {
+		case framePruneAck:
+		case frameError:
+			var ef errorFrame
+			if derr := decodeJSON(payload, &ef); derr != nil {
+				c.Close()
+				return fmt.Errorf("%w: shard %d: undecodable error frame: %v", ErrProtocol, i, derr)
+			}
+			c.Close()
+			return &RemoteError{Shard: i, Code: ef.Code, Message: ef.Message}
+		default:
+			c.Close()
+			return fmt.Errorf("%w: shard %d: frame type %d, want prune ack", ErrProtocol, i, typ)
+		}
+	}
+	return nil
+}
 
 // SetWorkers sets the campaign's TOTAL sampling-parallelism budget; each
 // subsequent Measure hands every shard its slice of it (per-shard pool
@@ -188,6 +315,7 @@ func (c *Coordinator) Measure(ctx context.Context, month, size int, sink func(de
 		}(i, conn)
 	}
 	wg.Wait()
+	c.mergeProfiles()
 	err := errors.Join(errs...)
 	if err == nil {
 		return nil
@@ -200,39 +328,102 @@ func (c *Coordinator) Measure(ctx context.Context, month, size int, sink func(de
 	return fmt.Errorf("shard: month %d: %w", month, err)
 }
 
+// storeShardProfiles stashes one shard's first-window profile payload.
+func (c *Coordinator) storeShardProfiles(i int, names []string, idx []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.shardProf == nil {
+		c.shardProf = make([]shardProfile, c.shards)
+	}
+	if !c.shardProf[i].ok {
+		c.shardProf[i] = shardProfile{names: names, idx: idx, ok: true}
+	}
+}
+
+// mergeProfiles assembles the global profile assignment once every
+// shard's payload has arrived: shard 0's name list is the canonical
+// ordering and every other shard's idx bytes are remapped onto it, so
+// the merged assignment is insensitive to per-worker name ordering.
+// Malformed payloads (unknown name, out-of-range idx, wrong length)
+// abandon the merge — the breakdown is an enrichment, not a correctness
+// gate, and the engine treats a nil assignment as "no breakdown".
+func (c *Coordinator) mergeProfiles() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.profSeen == c.shards || c.shardProf == nil {
+		return
+	}
+	for i := range c.shardProf {
+		if !c.shardProf[i].ok {
+			return // not all shards have reported yet
+		}
+	}
+	names := c.shardProf[0].names
+	pos := make(map[string]uint8, len(names))
+	for p, n := range names {
+		pos[n] = uint8(p)
+	}
+	idx := make([]uint8, c.devices)
+	for i := range c.shardProf {
+		sp := c.shardProf[i]
+		if len(sp.idx) != c.hi[i]-c.lo[i] {
+			c.shardProf = nil
+			return
+		}
+		remap := make([]uint8, len(sp.names))
+		for p, n := range sp.names {
+			g, ok := pos[n]
+			if !ok {
+				c.shardProf = nil
+				return
+			}
+			remap[p] = g
+		}
+		for d, b := range sp.idx {
+			if int(b) >= len(remap) {
+				c.shardProf = nil
+				return
+			}
+			idx[c.lo[i]+d] = remap[b]
+		}
+	}
+	c.profNames, c.profIdx, c.profSeen = names, idx, c.shards
+	c.shardProf = nil
+}
+
 // measureShard runs one shard's side of a Measure: request, then forward
-// record-batch frames until the end frame. The frame payload buffer, the
-// batch decoder's per-device payload vectors and its word scratch are
-// all reused across the window, so forwarding a record is decode-in-place
-// plus the sink call — no per-measurement allocation. The sink sees each
+// record-batch frames until the end frame. The shard's persistent state
+// — frame payload buffer, the batch decoder's per-device payload vectors
+// and its word scratch — is reused across windows AND months, so the
+// steady-state merge loop is decode-in-place plus the sink call: no
+// per-measurement and no per-month allocation. The sink sees each
 // device's payload storage reused between that device's deliveries,
-// which is the engine Sink contract.
+// which is the engine Sink contract. Delivery validation is a range
+// check against the shard's contiguous assignment (pruned devices are
+// caught by the record count: a pruned device's records would overshoot
+// the shard's alive total).
 func (c *Coordinator) measureShard(i int, conn io.ReadWriteCloser, month, size, workers int, sink func(device int, rec store.Record) error) error {
 	if err := writeJSON(conn, frameMeasure, measureRequest{Month: month, Size: size, Workers: workers}); err != nil {
 		return fmt.Errorf("%w: shard %d: measure request: %v", ErrWorker, i, err)
 	}
-	want := map[int]bool{}
-	for _, d := range c.assigns[i] {
-		want[d] = true
-	}
 	received := 0
-	fr := frameReader{r: conn}
-	dec := NewBatchDecoder()
+	lo, hi := c.lo[i], c.hi[i]
+	st := &c.states[i]
 	forward := func(device int, rec store.Record) error {
-		if !want[device] {
-			return fmt.Errorf("%w: shard %d delivered device %d outside its assignment %v", ErrProtocol, i, device, c.assigns[i])
+		if device < lo || device >= hi {
+			return fmt.Errorf("%w: shard %d delivered device %d outside its assignment [%d, %d)", ErrProtocol, i, device, lo, hi)
 		}
 		received++
 		return sink(device, rec)
 	}
 	for {
-		typ, payload, err := fr.next()
+		typ, payload, err := st.fr.next()
 		if err != nil {
 			return fmt.Errorf("%w: shard %d: %v", ErrWorker, i, err)
 		}
 		switch typ {
 		case frameRecordBatch:
-			if err := dec.Decode(payload, forward); err != nil {
+			if err := st.dec.Decode(payload, forward); err != nil {
 				return fmt.Errorf("shard %d: %w", i, err)
 			}
 		case frameEnd:
@@ -240,8 +431,11 @@ func (c *Coordinator) measureShard(i int, conn io.ReadWriteCloser, month, size, 
 			if err := decodeJSON(payload, &end); err != nil {
 				return fmt.Errorf("shard %d: %w", i, err)
 			}
-			if wantTotal := size * len(c.assigns[i]); end.Records != wantTotal || received != wantTotal {
+			if wantTotal := size * c.alive[i]; end.Records != wantTotal || received != wantTotal {
 				return fmt.Errorf("%w: shard %d month %d delivered %d of %d records", ErrProtocol, i, month, received, wantTotal)
+			}
+			if len(end.Profiles) > 0 {
+				c.storeShardProfiles(i, end.Profiles, end.ProfileIdx)
 			}
 			return nil
 		case frameError:
@@ -270,6 +464,20 @@ func (c *Coordinator) measureShard(i int, conn io.ReadWriteCloser, month, size, 
 // trailing partial month (collection interrupted, no complete month
 // after it) is dropped, exactly like the single-process tail rule.
 func (c *Coordinator) Months(windowSize int) ([]int, error) {
+	return c.months(windowSize, false)
+}
+
+// MonthsSurviving is Months under screening semantics: each shard
+// answers with its survivor-aware month list (a board with no records in
+// a month was pruned, not lost), and the shard lists are UNIONED — a
+// shard whose boards were all pruned before a month legitimately serves
+// nothing for it. Per-board defects (some records but less than a
+// window) still error inside each shard.
+func (c *Coordinator) MonthsSurviving(windowSize int) ([]int, error) {
+	return c.months(windowSize, true)
+}
+
+func (c *Coordinator) months(windowSize int, surviving bool) ([]int, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -278,7 +486,7 @@ func (c *Coordinator) Months(windowSize int) ([]int, error) {
 	c.mu.Unlock()
 	served := map[int][]int{} // month → shard indices serving it
 	for i, conn := range c.conns {
-		if err := writeJSON(conn, frameMonthsReq, monthsRequest{WindowSize: windowSize}); err != nil {
+		if err := writeJSON(conn, frameMonthsReq, monthsRequest{WindowSize: windowSize, Surviving: surviving}); err != nil {
 			c.Close()
 			return nil, fmt.Errorf("%w: shard %d: months request: %v", ErrWorker, i, err)
 		}
@@ -290,6 +498,14 @@ func (c *Coordinator) Months(windowSize int) ([]int, error) {
 		for _, m := range resp.Months {
 			served[m] = append(served[m], i)
 		}
+	}
+	if surviving {
+		months := make([]int, 0, len(served))
+		for m := range served {
+			months = append(months, m)
+		}
+		sort.Ints(months)
+		return months, nil
 	}
 	var months []int
 	for m, shards := range served {

@@ -34,6 +34,33 @@ type Backend interface {
 	Months(windowSize int) ([]int, error)
 }
 
+// Pruner is implemented by backends that can stop measuring a subset of
+// their assigned devices mid-campaign (screening). Indices are GLOBAL
+// device indices within the backend's assignment; pruning is monotonic
+// and applies from the next Measure.
+type Pruner interface {
+	Prune(indices []int) error
+}
+
+// ProfileReporter is implemented by backends that know the fleet
+// profile of each assigned device. The worker ships the assignment in
+// its first measure-done frame (names once, one byte per device in
+// local assignment order), which is how the coordinator assembles a
+// fleet campaign's profile breakdown without re-deriving it centrally.
+type ProfileReporter interface {
+	// ProfileAssignment returns (names, idx) with one idx byte per
+	// assigned device, or (nil, nil) when the campaign has no profile
+	// breakdown (single profile).
+	ProfileAssignment() ([]string, []uint8)
+}
+
+// SurvivingMonths is implemented by bounded backends that can discover
+// months under screening semantics (a board with no records in a month
+// was pruned, not lost).
+type SurvivingMonths interface {
+	MonthsSurviving(windowSize int) ([]int, error)
+}
+
 // ServerConfig parameterises a worker's protocol loop.
 type ServerConfig struct {
 	// Build constructs the backend from the handshake spec.
@@ -60,9 +87,10 @@ func Serve(ctx context.Context, rw io.ReadWriter, cfg ServerConfig) error {
 		code = func(error) string { return CodeInternal }
 	}
 	var (
-		wmu     sync.Mutex // serialises frame writes (Measure emits concurrently)
-		backend Backend
-		indices []int
+		wmu          sync.Mutex // serialises frame writes (Measure emits concurrently)
+		backend      Backend
+		assigned     bool
+		sentProfiles bool
 	)
 	// Backends may hold resources open for the session (the archive
 	// backend keeps its indexed file open for seek-based replay); release
@@ -125,15 +153,22 @@ func Serve(ctx context.Context, rw io.ReadWriter, cfg ServerConfig) error {
 			if err := decodeJSON(payload, &a); err != nil {
 				return err
 			}
-			if err := backend.Assign(a.Indices); err != nil {
+			if a.Lo < 0 || a.Hi <= a.Lo {
+				return fmt.Errorf("%w: assignment range [%d, %d)", ErrProtocol, a.Lo, a.Hi)
+			}
+			idx := make([]int, a.Hi-a.Lo)
+			for i := range idx {
+				idx[i] = a.Lo + i
+			}
+			if err := backend.Assign(idx); err != nil {
 				if werr := fail(err); werr != nil {
 					return werr
 				}
 				return err
 			}
-			indices = a.Indices
+			assigned = true
 		case frameMeasure:
-			if backend == nil || indices == nil {
+			if backend == nil || !assigned {
 				return fmt.Errorf("%w: measure before hello/assign", ErrProtocol)
 			}
 			var req measureRequest
@@ -153,20 +188,67 @@ func Serve(ctx context.Context, rw io.ReadWriter, cfg ServerConfig) error {
 				}
 				continue // the coordinator decides whether the session ends
 			}
-			if err := write(frameEnd, endOfWindow{Month: req.Month, Records: sent}); err != nil {
+			end := endOfWindow{Month: req.Month, Records: sent}
+			if !sentProfiles {
+				// First window: ship the shard's profile assignment so the
+				// coordinator can merge breakdowns instead of re-deriving
+				// them. One byte per device, base64 inside the JSON frame.
+				sentProfiles = true
+				if pr, ok := backend.(ProfileReporter); ok {
+					if names, idx := pr.ProfileAssignment(); len(names) > 0 {
+						end.Profiles, end.ProfileIdx = names, idx
+					}
+				}
+			}
+			if err := write(frameEnd, end); err != nil {
+				return err
+			}
+		case framePrune:
+			if backend == nil || !assigned {
+				return fmt.Errorf("%w: prune before hello/assign", ErrProtocol)
+			}
+			var req pruneRequest
+			if err := decodeJSON(payload, &req); err != nil {
+				return err
+			}
+			pr, ok := backend.(Pruner)
+			if !ok {
+				if werr := fail(fmt.Errorf("backend %T cannot prune devices", backend)); werr != nil {
+					return werr
+				}
+				continue
+			}
+			if err := pr.Prune(req.Indices); err != nil {
+				if werr := fail(err); werr != nil {
+					return werr
+				}
+				continue
+			}
+			if err := write(framePruneAck, nil); err != nil {
 				return err
 			}
 		case frameMonthsReq:
-			if backend == nil || indices == nil {
+			if backend == nil || !assigned {
 				return fmt.Errorf("%w: months before hello/assign", ErrProtocol)
 			}
 			var req monthsRequest
 			if err := decodeJSON(payload, &req); err != nil {
 				return err
 			}
-			months, err := backend.Months(req.WindowSize)
-			if err != nil {
-				if werr := fail(err); werr != nil {
+			var months []int
+			var merr error
+			if req.Surviving {
+				sm, ok := backend.(SurvivingMonths)
+				if !ok {
+					merr = fmt.Errorf("backend %T cannot discover surviving months", backend)
+				} else {
+					months, merr = sm.MonthsSurviving(req.WindowSize)
+				}
+			} else {
+				months, merr = backend.Months(req.WindowSize)
+			}
+			if merr != nil {
+				if werr := fail(merr); werr != nil {
 					return werr
 				}
 				continue

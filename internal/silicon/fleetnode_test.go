@@ -1,0 +1,27 @@
+package silicon
+
+import "testing"
+
+// TestFleetNodeProfiles pins the fleet-screening family: tiny shared read
+// window (so 10^5+-device campaigns hold bounded evaluation state), both
+// registered cell models represented, and registry resolution by name.
+func TestFleetNodeProfiles(t *testing.T) {
+	small, err := Lookup("fleetnode-1kb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Lookup("fleetnode-2kb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.ReadWindowBits() != 256 || large.ReadWindowBits() != 256 {
+		t.Fatalf("read windows = %d/%d bits, want 256/256 (a shared small window)",
+			small.ReadWindowBits(), large.ReadWindowBits())
+	}
+	if small.Model == ModelCorrelated {
+		t.Fatal("fleetnode-1kb should use the i.i.d. model")
+	}
+	if large.Model != ModelCorrelated {
+		t.Fatal("fleetnode-2kb should use the correlated model")
+	}
+}

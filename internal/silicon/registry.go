@@ -128,4 +128,6 @@ func init() {
 	Register("cmos65nm-accelerated", buildCMOS65nmAccelerated)
 	Register("cachearray-2mb", func() (DeviceProfile, error) { return buildCacheArray("CacheArray-2MB", 2<<20) })
 	Register("cachearray-64kb", func() (DeviceProfile, error) { return buildCacheArray("CacheArray-64KB", 64<<10) })
+	Register("fleetnode-1kb", func() (DeviceProfile, error) { return buildFleetNode("FleetNode-1KB", 1<<10, false) })
+	Register("fleetnode-2kb", func() (DeviceProfile, error) { return buildFleetNode("FleetNode-2KB", 2<<10, true) })
 }

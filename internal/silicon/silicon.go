@@ -330,6 +330,41 @@ func buildCacheArray(name string, sizeBytes int) (DeviceProfile, error) {
 	return p, p.Validate()
 }
 
+// buildFleetNode returns a small screening-node profile for
+// million-device fleet campaigns: the calibrated embedded-SRAM cell
+// behaviour on a deliberately tiny geometry (a 32-byte read window), so
+// per-device evaluation state is a few hundred bits instead of 8K and a
+// screening run over 10^5..10^6 devices is bounded by statistics, not by
+// window size. correlated selects the cache-line-structured mismatch
+// model so a fleet of the two variants mixes both registered models.
+func buildFleetNode(name string, sizeBytes int, correlated bool) (DeviceProfile, error) {
+	calOnce.Do(runCalibration)
+	if calErr != nil {
+		return DeviceProfile{}, calErr
+	}
+	p := DeviceProfile{
+		Name:             name,
+		Technology:       "fleet screening node (embedded SRAM)",
+		SRAMBytes:        sizeBytes,
+		ReadWindowBytes:  32, // shared across the family: fleetnode variants always form a fleet
+		OperatingVoltage: 3.3,
+		NominalTempC:     25,
+		Lambda:           calNom.Lambda,
+		Mu:               calNom.Mu,
+		LambdaRelJitter:  defaultLambdaRelJitter,
+		BiasZJitter:      defaultBiasZJitter,
+		Kinetics:         kineticsFromCalibration(baseNominalKinetics(25, 3.3), calNom.TotalDrift, calMonths.nom),
+		AgingDispersion:  calNom.Dispersion,
+	}
+	if correlated {
+		p.Model = ModelCorrelated
+		p.LineBits = 64
+		p.LineCorr = 0.3
+		p.NoiseRel = 1.15
+	}
+	return p, p.Validate()
+}
+
 // ProfileOption mutates a DeviceProfile under construction; see
 // NewProfile.
 type ProfileOption func(*DeviceProfile)

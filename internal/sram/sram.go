@@ -28,6 +28,7 @@ import (
 // Array is one simulated SRAM chip instance.
 type Array struct {
 	profile silicon.DeviceProfile
+	model   silicon.CellModel
 	params  silicon.DeviceParams
 
 	// Aging response cached from the profile's cell model at construction:
@@ -55,6 +56,10 @@ type Array struct {
 	pcacheValid bool
 
 	powerUps uint64 // number of power cycles sampled so far
+
+	// derived is Reset's derivation scratch, so rebuilding a chip in
+	// place (the lazy-construction hot path) allocates nothing.
+	derived rng.Source
 }
 
 // New creates a chip instance of the given profile. The seed stream
@@ -71,6 +76,7 @@ func New(profile silicon.DeviceProfile, seed *rng.Source) (*Array, error) {
 	n := profile.Cells()
 	a := &Array{
 		profile:    profile,
+		model:      model,
 		params:     model.SampleParams(profile, seed.Derive(0)),
 		static:     make([]float64, n),
 		dP1:        make([]float64, n),
@@ -88,6 +94,46 @@ func New(profile silicon.DeviceProfile, seed *rng.Source) (*Array, error) {
 	model.SampleSkew(profile, a.params, mfg, a.static, a.gamma)
 	return a, nil
 }
+
+// Reset re-derives the chip in place from seed, as if freshly built with
+// New(profile, seed), reusing every per-cell slice: age returns to zero,
+// skews and parameters are resampled from the seed's derivation streams,
+// the noise stream restarts, and the noise scale returns to nominal. It
+// is the rebuild step of lazy chip construction — a worker slot holds one
+// Array per profile and Resets it to whichever device it measures next —
+// and is bit-identical to a fresh New because derivation is label-based
+// and the parent seed is never advanced.
+func (a *Array) Reset(seed *rng.Source) {
+	seed.DeriveInto(0, &a.derived)
+	a.params = a.model.SampleParams(a.profile, &a.derived)
+	zero(a.dP1)
+	zero(a.dP2)
+	zero(a.dN1)
+	zero(a.dN2)
+	zero(a.dDisp)
+	seed.DeriveInto(1, &a.derived)
+	a.model.SampleSkew(a.profile, a.params, &a.derived, a.static, a.gamma)
+	seed.DeriveInto(2, a.noise)
+	a.noiseScale = 1
+	a.ageMonths = 0
+	a.pcacheValid = false
+	a.powerUps = 0
+}
+
+func zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// JumpNoise fast-forwards the chip's noise stream by the jump's step
+// count without sampling — how a lazily rebuilt chip skips the uniform
+// draws that earlier evaluation windows consumed. Each Bernoulli-path
+// power-up of n cells consumes exactly n Uint64 draws, so the jump for a
+// window of w power-ups over an n-bit read window is NewJump(w*n). The
+// power-up counter is NOT advanced: PowerUps() counts samples this Array
+// actually produced.
+func (a *Array) JumpNoise(j *rng.Jump) { j.Apply(a.noise) }
 
 // Profile returns the device family profile.
 func (a *Array) Profile() silicon.DeviceProfile { return a.profile }

@@ -3,6 +3,7 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/bits"
 
 	"repro/internal/bitvec"
@@ -420,8 +421,21 @@ func (c *Cross) Add(first *bitvec.Vector) error {
 // Devices returns the number of patterns recorded.
 func (c *Cross) Devices() int { return len(c.firsts) }
 
+// crossPairwiseCap is the largest population evaluated with the exact
+// all-pairs BCHD fold. Above it the O(devices²) pair walk (and its
+// Pairwise slice) would dominate a fleet-screening campaign — 50k devices
+// is 1.25 billion pairs — so Result switches to the column-count path:
+// the exact same mean via per-bit one-counts in O(devices × bits), with
+// min/max over the deterministic adjacent-pair sample. Every historical
+// campaign size sits far below the cap, so published results keep their
+// bits.
+const crossPairwiseCap = 2048
+
 // Result finalises BCHD and PUF min-entropy. It needs >= 2 devices.
 func (c *Cross) Result() (CrossResult, error) {
+	if len(c.firsts) > crossPairwiseCap {
+		return c.resultLarge()
+	}
 	bc, err := metrics.BetweenClassHD(c.firsts)
 	if err != nil {
 		return CrossResult{}, err
@@ -431,4 +445,69 @@ func (c *Cross) Result() (CrossResult, error) {
 		return CrossResult{}, err
 	}
 	return CrossResult{BCHDMean: bc.Mean, BCHDMin: bc.Min, BCHDMax: bc.Max, PUFHmin: puf}, nil
+}
+
+// resultLarge is the fleet-scale cross fold. The pairwise BCHD mean has a
+// closed form over per-bit one-counts: a bit position where c of n devices
+// read 1 disagrees in exactly c·(n−c) of the n·(n−1)/2 pairs, so
+// mean = Σ_pos c(n−c) / (pairs · bits) — identical in exact arithmetic to
+// the pair walk, summed in a fixed order (positions ascending) so any two
+// runs of the same population agree bit-for-bit. Min/Max, which have no
+// columnar form, come from the adjacent-pair sample (i, i+1) — n−1
+// deterministic pairs in device order, which all execution layouts share
+// because the engine folds devices in index order.
+func (c *Cross) resultLarge() (CrossResult, error) {
+	n := len(c.firsts)
+	nbits := c.firsts[0].Len()
+	words := len(c.firsts[0].Words())
+	counts := make([]int, 64*words)
+	for _, v := range c.firsts {
+		if v.Len() != nbits {
+			return CrossResult{}, fmt.Errorf("stream: cross pattern has %d bits, want %d", v.Len(), nbits)
+		}
+		for wi, w := range v.Words() {
+			base := wi << 6
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				w &= w - 1
+				counts[base+b]++
+			}
+		}
+	}
+	var disagree float64
+	for _, cnt := range counts[:nbits] {
+		disagree += float64(cnt) * float64(n-cnt)
+	}
+	pairs := float64(n) * float64(n-1) / 2
+	mean := disagree / (pairs * float64(nbits))
+
+	min, max := 1.0, 0.0
+	for i := 0; i+1 < n; i++ {
+		f, err := c.firsts[i].FractionalHammingDistance(c.firsts[i+1])
+		if err != nil {
+			return CrossResult{}, fmt.Errorf("stream: cross pair (%d,%d): %w", i, i+1, err)
+		}
+		if f < min {
+			min = f
+		}
+		if f > max {
+			max = f
+		}
+	}
+
+	// PUF min-entropy's probability estimate is c/n per position — reuse
+	// the counts instead of re-walking the patterns.
+	var hmin float64
+	for _, cnt := range counts[:nbits] {
+		p := float64(cnt) / float64(n)
+		m := p
+		if 1-p > m {
+			m = 1 - p
+		}
+		if m < 1 {
+			hmin += -math.Log2(m)
+		}
+	}
+	hmin /= float64(nbits)
+	return CrossResult{BCHDMean: mean, BCHDMin: min, BCHDMax: max, PUFHmin: hmin}, nil
 }

@@ -1,0 +1,74 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+// buildCross fills a Cross with n deterministic pseudo-random patterns.
+func buildCross(t *testing.T, n, bits int) *Cross {
+	t.Helper()
+	c := NewCross()
+	r := rng.New(42)
+	for d := 0; d < n; d++ {
+		v := bitvec.New(bits)
+		src := r.Derive(uint64(d))
+		for i := 0; i < bits; i++ {
+			v.Set(i, src.Float64() < 0.5)
+		}
+		if err := c.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// TestCrossLargeMeanMatchesPairwise: the column-count mean of the
+// fleet-scale path equals the exact all-pairs mean (same population,
+// forced down both paths) to float tolerance, and the sampled min/max
+// bracket within the exact extremes.
+func TestCrossLargeMeanMatchesPairwise(t *testing.T) {
+	const n, bits = 300, 256
+	c := buildCross(t, n, bits)
+	exact, err := c.Result() // n < cap: all-pairs path
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := c.resultLarge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exact.BCHDMean-large.BCHDMean) > 1e-12 {
+		t.Fatalf("BCHD mean: pairwise %v, columnar %v", exact.BCHDMean, large.BCHDMean)
+	}
+	if math.Abs(exact.PUFHmin-large.PUFHmin) > 1e-12 {
+		t.Fatalf("PUF Hmin: pairwise %v, columnar %v", exact.PUFHmin, large.PUFHmin)
+	}
+	if large.BCHDMin < exact.BCHDMin || large.BCHDMax > exact.BCHDMax {
+		t.Fatalf("sampled min/max (%v,%v) outside exact extremes (%v,%v)",
+			large.BCHDMin, large.BCHDMax, exact.BCHDMin, exact.BCHDMax)
+	}
+}
+
+// TestCrossLargePathDeterministic: above the cap Result takes the
+// columnar path and two identical populations produce identical bits.
+func TestCrossLargePathDeterministic(t *testing.T) {
+	const n, bits = crossPairwiseCap + 10, 64
+	a, err := buildCross(t, n, bits).Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildCross(t, n, bits).Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("large-population cross fold not deterministic: %+v vs %+v", a, b)
+	}
+	if a.BCHDMean < 0.4 || a.BCHDMean > 0.6 {
+		t.Fatalf("BCHD mean %v implausible for uniform random patterns", a.BCHDMean)
+	}
+}

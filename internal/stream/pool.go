@@ -115,3 +115,57 @@ func (p *Pool) Run(jobs ...func() error) error {
 	wg.Wait()
 	return errors.Join(errs...)
 }
+
+// RunSlotted executes the jobs like Run, but additionally hands each job
+// an exclusive slot index in [0, slots): no two concurrently executing
+// jobs ever see the same slot. Slots are how a lazy source keeps O(slots)
+// scratch state (reusable chip arrays) for an O(jobs) device population —
+// each job rebuilds its device into the per-slot scratch it was handed.
+//
+// slots caps the call's own concurrency in addition to the pool bound: at
+// most min(slots, Workers) jobs of this call run at once (other concurrent
+// Run calls still share the pool semaphore). slots <= 0 defaults to the
+// pool bound, or to len(jobs) on an unbounded pool.
+func (p *Pool) RunSlotted(slots int, jobs ...func(slot int) error) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	if slots <= 0 {
+		slots = p.workers
+	}
+	if slots <= 0 || slots > len(jobs) {
+		slots = len(jobs)
+	}
+	free := make(chan int, slots)
+	for s := 0; s < slots; s++ {
+		free <- s
+	}
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i, job := range jobs {
+		wg.Add(1)
+		go func(i int, job func(int) error) {
+			defer wg.Done()
+			// Slot first, then the pool semaphore: a job holding a slot but
+			// queued on the semaphore blocks only its own call's siblings,
+			// never another Run call's budget.
+			slot := <-free
+			defer func() { free <- slot }()
+			if p.sem != nil {
+				p.sem <- struct{}{}
+				defer func() { <-p.sem }()
+			}
+			n := p.inflight.Add(1)
+			for {
+				high := p.high.Load()
+				if n <= high || p.high.CompareAndSwap(high, n) {
+					break
+				}
+			}
+			defer p.inflight.Add(-1)
+			errs[i] = job(slot)
+		}(i, job)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

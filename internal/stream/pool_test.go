@@ -90,3 +90,84 @@ func TestPoolAccountingSharedBudget(t *testing.T) {
 		t.Fatalf("InFlight() = %d after all Runs returned, want 0", got)
 	}
 }
+
+// TestRunSlotted verifies the slot contract: every job gets a slot in
+// [0, slots), no two concurrent jobs share one, all jobs run, and errors
+// join like Run's.
+func TestRunSlotted(t *testing.T) {
+	const slots, jobs = 3, 20
+	p := NewPool(8)
+	var mu sync.Mutex
+	held := make(map[int]bool, slots)
+	ran := make([]bool, jobs)
+	fns := make([]func(int) error, jobs)
+	for i := range fns {
+		i := i
+		fns[i] = func(slot int) error {
+			if slot < 0 || slot >= slots {
+				t.Errorf("job %d: slot %d out of [0,%d)", i, slot, slots)
+			}
+			mu.Lock()
+			if held[slot] {
+				t.Errorf("job %d: slot %d already held by a concurrent job", i, slot)
+			}
+			held[slot] = true
+			ran[i] = true
+			mu.Unlock()
+			runtime.Gosched()
+			mu.Lock()
+			held[slot] = false
+			mu.Unlock()
+			return nil
+		}
+	}
+	if err := p.RunSlotted(slots, fns...); err != nil {
+		t.Fatalf("RunSlotted: %v", err)
+	}
+	for i, r := range ran {
+		if !r {
+			t.Fatalf("job %d never ran", i)
+		}
+	}
+}
+
+// TestRunSlottedDefaults pins slot-count defaulting: non-positive slots
+// fall back to the pool bound, and an unbounded pool hands every job its
+// own slot.
+func TestRunSlottedDefaults(t *testing.T) {
+	bounded := NewPool(2)
+	seen := make(map[int]bool)
+	var mu sync.Mutex
+	job := func(slot int) error {
+		mu.Lock()
+		seen[slot] = true
+		mu.Unlock()
+		return nil
+	}
+	if err := bounded.RunSlotted(0, job, job, job, job); err != nil {
+		t.Fatal(err)
+	}
+	for slot := range seen {
+		if slot < 0 || slot >= 2 {
+			t.Fatalf("bounded pool handed slot %d, want [0,2)", slot)
+		}
+	}
+	unbounded := NewPool(0)
+	slotCh := make(chan int, 3)
+	gate := make(chan struct{})
+	err := unbounded.RunSlotted(0,
+		func(s int) error { slotCh <- s; <-gate; return nil },
+		func(s int) error { slotCh <- s; <-gate; return nil },
+		func(s int) error { slotCh <- s; close(gate); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(slotCh)
+	distinct := make(map[int]bool)
+	for s := range slotCh {
+		distinct[s] = true
+	}
+	if len(distinct) != 3 {
+		t.Fatalf("unbounded pool: %d distinct slots for 3 gated jobs, want 3", len(distinct))
+	}
+}

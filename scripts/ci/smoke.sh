@@ -161,6 +161,52 @@ diff -u "$workdir/kl-direct.keytable" "$workdir/kl-replay.keytable"
 echo "== smoke OK: key-lifecycle tables are byte-identical across direct, sharded, and archive-replay runs"
 
 # ---------------------------------------------------------------------------
+# Fleet-screening leg: a 50 000-device mixed fleet — far too large to
+# materialise eagerly (tens of GB of arrays) — runs lazily with a stability
+# floor, direct and sharded, and must render byte-identical tables and
+# survivor counts: lazy chip construction and prune decisions derive from
+# (seed, global index, per-device metrics) alone, never from the execution
+# shape.
+# ---------------------------------------------------------------------------
+
+FDEV=50000 FMONTHS=1 FWINDOW=4 FLOOR=0.95
+FLEET=fleetnode-1kb,fleetnode-2kb
+
+echo "== fleet screening: direct lazy run ($FDEV devices, mixed fleet)"
+"$workdir/agingtest" -fleet $FLEET -devices $FDEV \
+    -months $FMONTHS -window $FWINDOW -seed 4242 -screen-floor $FLOOR \
+    > "$workdir/fleet-direct.txt"
+extract_table "$workdir/fleet-direct.txt" > "$workdir/fleet-direct.table"
+grep "devices survive" "$workdir/fleet-direct.txt" > "$workdir/fleet-direct.survive"
+
+echo "== fleet screening: sharded lazy run (2 shardworker subprocesses)"
+"$workdir/agingtest" -fleet $FLEET -devices $FDEV \
+    -months $FMONTHS -window $FWINDOW -seed 4242 -screen-floor $FLOOR \
+    -shards 2 -shardworker "$workdir/shardworker" > "$workdir/fleet-sharded.txt"
+extract_table "$workdir/fleet-sharded.txt" > "$workdir/fleet-sharded.table"
+grep "devices survive" "$workdir/fleet-sharded.txt" > "$workdir/fleet-sharded.survive"
+
+echo "== comparing screened fleet tables and survivor counts"
+diff -u "$workdir/fleet-direct.table" "$workdir/fleet-sharded.table"
+diff -u "$workdir/fleet-direct.survive" "$workdir/fleet-sharded.survive"
+
+# The floor must actually have screened — survivors strictly below the
+# population — and the attrition summary must attribute prunes to both
+# fleet profiles (the worker-streamed breakdown reaching the CLI).
+if grep -q "screening: $FDEV of $FDEV" "$workdir/fleet-direct.txt"; then
+    echo "screening floor $FLOOR pruned nothing at $FDEV devices" >&2
+    exit 1
+fi
+for prof in FleetNode-1KB FleetNode-2KB; do
+    grep -q "$prof" "$workdir/fleet-direct.txt" || {
+        echo "no $prof attrition in the screened fleet output" >&2
+        exit 1
+    }
+done
+
+echo "== smoke OK: $FDEV-device screened fleet tables are byte-identical sharded vs direct"
+
+# ---------------------------------------------------------------------------
 # Service leg: the same bit-identity guarantee through assessd — a campaign
 # submitted over HTTP and streamed back must render the identical table; a
 # campaign hard-killed (SIGKILL) mid-run must resume from its checkpoint on
